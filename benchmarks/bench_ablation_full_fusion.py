@@ -1,0 +1,55 @@
+"""Future-work projection (§6, item 1): fusing ALL GPU kernels into one.
+
+The paper lists full kernel fusion as its first future-work item.  This
+bench projects the gain with the cost model: the intermediate code array's
+global round trip disappears and all launches but the prefix sum collapse.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.pipeline import FZGPU
+from repro.gpu import A100, A4000
+from repro.gpu.cost import pipeline_time
+from repro.harness import render_table
+from repro.harness.runner import EVAL_SHAPES, eval_field
+from repro.perf.pipelines import fzgpu_profiles
+
+
+def test_ablation_full_fusion(benchmark, record_result):
+    def run():
+        rows = []
+        for name in ("cesm", "hurricane", "rtm"):
+            f = eval_field(name, shape=EVAL_SHAPES[name])
+            result = FZGPU().compress(f.data, 1e-3, "rel")
+            n = f.data.size
+            for device in (A100, A4000):
+                t_now = pipeline_time(fzgpu_profiles(n, result), device)["total"]
+                t_fused = pipeline_time(
+                    fzgpu_profiles(n, result, fully_fused=True), device
+                )["total"]
+                rows.append(
+                    {
+                        "dataset": name,
+                        "device": device.name,
+                        "current_gbps": f.nbytes / t_now / 1e9,
+                        "fully_fused_gbps": f.nbytes / t_fused / 1e9,
+                        "projected_speedup": t_now / t_fused,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_result(
+        "ablation_full_fusion",
+        render_table(rows, title="Future work: full kernel fusion projection (§6)"),
+    )
+    # fusion always helps, and the gain stays plausible (< 2x: compute work
+    # is unchanged, only traffic and launches go away)
+    for r in rows:
+        assert 1.0 < r["projected_speedup"] < 2.0, r
+    # small fields (CESM) gain the most: launch overhead amortization
+    cesm = [r for r in rows if r["dataset"] == "cesm" and r["device"] == "A100"][0]
+    rtm = [r for r in rows if r["dataset"] == "rtm" and r["device"] == "A100"][0]
+    assert cesm["projected_speedup"] >= rtm["projected_speedup"] * 0.9

@@ -1,0 +1,75 @@
+"""Ablation (§3.2): sign-magnitude codes vs two's complement.
+
+The paper's argument for sign-magnitude: small negative residuals in two's
+complement are nearly all ones, which destroys the zero bit-planes bitshuffle
+needs.  This bench measures the real end-to-end effect on the encoder's
+zero-block fraction and the resulting compression ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.bitshuffle import bitshuffle
+from repro.core.encoder import encode_zero_blocks
+from repro.core.pipeline import resolve_error_bound
+from repro.core.quantize import encode_sign_magnitude, prequantize
+from repro.datasets import generate
+from repro.harness import render_table
+from repro.harness.runner import EVAL_SHAPES
+from repro.lorenzo import lorenzo_delta_chunked
+
+
+def _encode_both_ways(data: np.ndarray, eb_rel: float) -> dict:
+    eb = resolve_error_bound(data, eb_rel, "rel")
+    delta = lorenzo_delta_chunked(prequantize(data, eb)).ravel()
+    sm_codes, _ = encode_sign_magnitude(delta)
+    tc_codes = np.clip(delta, -(2**15), 2**15 - 1).astype(np.int16).view(np.uint16)
+    out = {}
+    for label, codes in [("sign-magnitude", sm_codes), ("twos-complement", tc_codes)]:
+        enc = encode_zero_blocks(bitshuffle(codes))
+        out[label] = {
+            "zero_fraction": enc.zero_fraction,
+            "encoded_bytes": enc.nbytes,
+        }
+    return out
+
+
+def test_ablation_sign_mode(benchmark, record_result):
+    def run():
+        rows = []
+        for name in ("cesm", "hurricane", "rtm", "nyx"):
+            f = generate(name, shape=EVAL_SHAPES[name])
+            both = _encode_both_ways(f.data, 1e-3)
+            for label, stats in both.items():
+                rows.append(
+                    {
+                        "dataset": name,
+                        "code_format": label,
+                        "zero_fraction": stats["zero_fraction"],
+                        "ratio": f.nbytes / stats["encoded_bytes"],
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_result(
+        "ablation_sign_mode",
+        render_table(rows, title="Ablation: sign-magnitude vs two's complement (§3.2)"),
+    )
+
+    for name in ("cesm", "hurricane", "rtm", "nyx"):
+        sm = next(r for r in rows if r["dataset"] == name and r["code_format"] == "sign-magnitude")
+        tc = next(r for r in rows if r["dataset"] == name and r["code_format"] == "twos-complement")
+        # sign-magnitude must produce at least as many zero blocks and a
+        # strictly better ratio wherever negatives occur
+        assert sm["zero_fraction"] >= tc["zero_fraction"]
+        assert sm["ratio"] >= tc["ratio"]
+    # and the gap is material on at least one dataset
+    gaps = [
+        next(r for r in rows if r["dataset"] == n and r["code_format"] == "sign-magnitude")["ratio"]
+        / next(r for r in rows if r["dataset"] == n and r["code_format"] == "twos-complement")["ratio"]
+        for n in ("cesm", "hurricane", "rtm", "nyx")
+    ]
+    assert max(gaps) > 1.3

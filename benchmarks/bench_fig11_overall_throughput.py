@@ -1,0 +1,30 @@
+"""Fig. 11: overall CPU-GPU data-transfer throughput at BW = 11.4 GB/s.
+
+T_overall = ((BW*CR)^-1 + T_compr^-1)^-1 per compressor/dataset/error bound;
+the paper's claim is that FZ-GPU's ratio+speed balance wins nearly
+everywhere at PCIe-class bandwidth.
+"""
+
+from __future__ import annotations
+
+from conftest import checks_block, run_once
+
+from repro.harness import render_table, run_experiment
+
+
+def test_fig11_overall_throughput(benchmark, record_result):
+    res = run_once(benchmark, lambda: run_experiment("fig11"))
+    table = render_table(
+        res.rows, columns=["dataset", "eb", "compressor", "overall_gbps"], title=res.title
+    )
+    record_result("fig11", table + checks_block(res))
+    assert res.all_checks_pass, res.checks
+
+    # FZ-GPU beats cuSZx overall despite cuSZx's higher compression speed
+    rows = res.rows
+    combos = {(r["dataset"], r["eb"]) for r in rows}
+    fz_beats_cuszx = 0
+    for ds, eb in combos:
+        sub = {r["compressor"]: r["overall_gbps"] for r in rows if r["dataset"] == ds and r["eb"] == eb}
+        fz_beats_cuszx += sub["fz-gpu"] > sub["cuszx"]
+    assert fz_beats_cuszx >= 0.7 * len(combos)

@@ -1,0 +1,38 @@
+"""Fig. 12: reconstructed data quality at a matched compression ratio ~22.8x.
+
+PSNR, slice SSIM, value-distribution overlap and model throughput for all
+five compressors on a Hurricane moisture field, each tuned (error bound or
+rate) to land near the common ratio, per the paper's protocol (§4.7).
+"""
+
+from __future__ import annotations
+
+from conftest import checks_block, run_once
+
+from repro.harness import render_table, run_experiment
+
+
+def test_fig12_quality(benchmark, record_result):
+    # The paper matches all codecs at CR ~22.8 on the real QSNOWf48 field;
+    # the synthetic stand-in caps FZ-GPU's ratio below that, so the harness
+    # default matches at CR 12 (see EXPERIMENTS.md).
+    res = run_once(
+        benchmark,
+        lambda: run_experiment("fig12", dataset="hurricane", field="QSNOW"),
+    )
+    table = render_table(
+        res.rows,
+        columns=["compressor", "ratio", "psnr", "ssim", "hist_overlap", "gbps"],
+        title=res.title,
+    )
+    record_result("fig12", table + checks_block(res))
+    assert res.all_checks_pass, res.checks
+
+    by = {r["compressor"]: r for r in res.rows}
+    # FZ-GPU == cuSZ reconstruction (shared error-control scheme)
+    assert abs(by["FZ-GPU"]["psnr"] - by["cuSZ"]["psnr"]) < 0.5
+    assert abs(by["FZ-GPU"]["ssim"] - by["cuSZ"]["ssim"]) < 1e-6
+    # FZ-GPU's SSIM tops the throughput-competitive codecs
+    assert by["FZ-GPU"]["ssim"] >= max(by["cuZFP"]["ssim"], by["cuSZx"]["ssim"]) - 1e-9
+    # distribution overlap stays reasonable for the error-bounded codecs
+    assert by["FZ-GPU"]["hist_overlap"] > 0.5

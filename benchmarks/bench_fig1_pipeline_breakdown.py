@@ -1,0 +1,26 @@
+"""Fig. 1: per-kernel time breakdown, FZ-GPU vs cuSZ pipeline.
+
+The paper annotates each kernel with its relative time and throughput on one
+Hurricane field at relative error bound 1e-4; this bench regenerates both
+pipelines' breakdowns on the synthetic Hurricane stand-in.
+"""
+
+from __future__ import annotations
+
+from conftest import checks_block, run_once
+
+from repro.harness import render_table, run_experiment
+
+
+def test_fig1_pipeline_breakdown(benchmark, record_result):
+    res = run_once(benchmark, lambda: run_experiment("fig1", dataset="hurricane", eb=1e-4))
+    table = render_table(
+        res.rows, columns=["pipeline", "kernel", "time_pct", "gbps"], title=res.title
+    )
+    record_result("fig1", table + checks_block(res))
+    assert res.all_checks_pass, res.checks
+
+    # The paper's structural claim: cuSZ's encoding stages dominate its
+    # pipeline while no FZ-GPU kernel exceeds ~2/3 of the total.
+    fz = [r for r in res.rows if r["pipeline"] == "fz-gpu" and r["kernel"] != "TOTAL"]
+    assert max(r["time_pct"] for r in fz) < 80.0

@@ -1,0 +1,50 @@
+"""Fig. 9: compression throughput on the RTX A4000 model.
+
+Same protocol as Fig. 8 on the workstation GPU; additionally checks the
+paper's cross-device observations (FZ-GPU ~0.5x of its A100 speed and stable
+across datasets; cuZFP essentially unchanged between the two GPUs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import checks_block, run_once
+
+from repro.datasets import generate
+from repro.gpu import A100, A4000
+from repro.harness import render_table, run_experiment
+from repro.perf import measure_throughput
+
+
+def test_fig9_throughput_a4000(benchmark, record_result):
+    res = run_once(benchmark, lambda: run_experiment("fig9"))
+    table = render_table(
+        res.rows, columns=["dataset", "eb", "compressor", "gbps", "ratio"], title=res.title
+    )
+    record_result("fig9", table + checks_block(res))
+    assert res.all_checks_pass, res.checks
+
+    fz = [r["gbps"] for r in res.rows if r["compressor"] == "fz-gpu"]
+    # "consistently around 70 GB/s": stable across datasets on A4000
+    assert np.std(fz) / np.mean(fz) < 0.45
+
+
+def test_fig9_cross_device_observations(benchmark, record_result):
+    def run():
+        f = generate("hurricane")
+        fz_a100 = measure_throughput("fz-gpu", f.data, A100, eb=1e-3)
+        fz_a4000 = measure_throughput("fz-gpu", f.data, A4000, eb=1e-3)
+        zf_a100 = measure_throughput("cuzfp", f.data, A100, rate=6)
+        zf_a4000 = measure_throughput("cuzfp", f.data, A4000, rate=6)
+        return fz_a100, fz_a4000, zf_a100, zf_a4000
+
+    fz_a100, fz_a4000, zf_a100, zf_a4000 = run_once(benchmark, run)
+    lines = [
+        f"FZ-GPU   A100 {fz_a100.throughput_gbps:7.1f} GB/s   A4000 {fz_a4000.throughput_gbps:7.1f} GB/s",
+        f"cuZFP    A100 {zf_a100.throughput_gbps:7.1f} GB/s   A4000 {zf_a4000.throughput_gbps:7.1f} GB/s",
+    ]
+    record_result("fig9_cross_device", "\n".join(lines))
+    # FZ-GPU drops with the weaker GPU...
+    assert 0.3 < fz_a4000.throughput_gbps / fz_a100.throughput_gbps < 0.85
+    # ...while cuZFP barely moves (§4.4: fp32-peak-bound, not BW-bound)
+    assert 0.75 < zf_a4000.throughput_gbps / zf_a100.throughput_gbps <= 1.05

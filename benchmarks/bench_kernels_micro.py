@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the vectorized pipeline stages themselves.
+
+These time the *Python implementation* (not the GPU model): useful for
+spotting regressions in the NumPy kernels and for profiling-driven work on
+the hot paths, per the project's HPC coding guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.encoder import decode_zero_blocks, encode_zero_blocks
+from repro.core.pipeline import FZGPU
+from repro.core.quantize import dual_quantize
+from repro.datasets import generate
+
+N = 1 << 20  # 4 MiB of float32
+
+
+@pytest.fixture(scope="module")
+def field():
+    return generate("hurricane", shape=(16, 256, 256)).data
+
+
+@pytest.fixture(scope="module")
+def codes(field):
+    codes, _, _ = dual_quantize(field, 1e-3)
+    return codes
+
+
+def test_bench_dual_quantize(benchmark, field):
+    benchmark(dual_quantize, field, 1e-3)
+
+
+def test_bench_bitshuffle(benchmark, codes):
+    benchmark(bitshuffle, codes)
+
+
+def test_bench_bitunshuffle(benchmark, codes):
+    words = bitshuffle(codes)
+    benchmark(bitunshuffle, words, codes.size)
+
+
+def test_bench_zero_block_encode(benchmark, codes):
+    words = bitshuffle(codes)
+    benchmark(encode_zero_blocks, words)
+
+
+def test_bench_zero_block_decode(benchmark, codes):
+    enc = encode_zero_blocks(bitshuffle(codes))
+    benchmark(decode_zero_blocks, enc)
+
+
+def test_bench_full_compress(benchmark, field):
+    codec = FZGPU()
+    result = benchmark(codec.compress, field, 1e-3, "rel")
+    assert result.ratio > 1.0
+
+
+def test_bench_full_decompress(benchmark, field):
+    codec = FZGPU()
+    stream = codec.compress(field, 1e-3, "rel").stream
+    recon = benchmark(codec.decompress, stream)
+    assert recon.shape == field.shape

@@ -1,0 +1,39 @@
+"""Supplementary: full-factorial sweep exported as CSV.
+
+Not a paper figure — the general artifact downstream users plot from.  Runs
+a compact (dataset x codec x eb) sweep and writes
+``benchmarks/results/sweep.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.gpu import A100
+from repro.harness.sweep import SweepConfig, rows_to_csv, run_sweep
+
+
+def test_sweep_csv(benchmark, record_result):
+    cfg = SweepConfig(
+        datasets=["cesm", "hurricane", "rtm"],
+        codecs=["fz-gpu", "cusz", "cuszx"],
+        ebs=(1e-2, 1e-3, 1e-4),
+        shapes={"cesm": (150, 300), "hurricane": (16, 125, 125), "rtm": (64, 64, 48)},
+        device=A100,
+    )
+    rows = run_once(benchmark, lambda: run_sweep(cfg))
+    text = rows_to_csv(rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sweep.csv").write_text(text)
+
+    assert len(rows) == 3 * 3 * 3
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == len(rows)
+    # every row carries measured ratio+psnr and modeled throughput
+    for row in parsed:
+        assert float(row["ratio"]) > 1.0
+        assert float(row["psnr"]) > 10.0
+        assert float(row["gbps"]) > 0.0

@@ -1,0 +1,18 @@
+"""Table 1: evaluation datasets (paper inventory vs generated stand-ins)."""
+
+from __future__ import annotations
+
+from conftest import checks_block, run_once
+
+from repro.harness import render_table, run_experiment
+
+
+def test_table1_datasets(benchmark, record_result):
+    res = run_once(benchmark, lambda: run_experiment("table1"))
+    table = render_table(
+        res.rows,
+        columns=["dataset", "paper_dims", "bench_dims", "bench_MB", "n_fields", "example"],
+        title=res.title,
+    )
+    record_result("table1", table + checks_block(res))
+    assert res.all_checks_pass, res.checks

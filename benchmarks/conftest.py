@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+registered experiment once under pytest-benchmark timing, prints the rows as
+a text table, writes the table to ``benchmarks/results/`` and asserts the
+paper's qualitative shape checks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Writer fixture: save a rendered table under benchmarks/results/."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _write
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def checks_block(res) -> str:
+    """Render an experiment's shape checks for the results file."""
+    lines = ["", "shape checks:"]
+    for name, ok in res.checks.items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    for note in res.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Use case: choosing a compressor for a storage pipeline (§4.6).
+
+Compares all five codecs on one field: real compression ratio, real PSNR,
+modeled A100 compression throughput, and the paper's *overall* throughput
+metric at PCIe-class bandwidth — the number that decides which compressor
+actually moves your data fastest.
+
+Run:  python examples/compare_compressors.py [dataset] [rel_eb]
+"""
+
+import sys
+
+from repro.baselines import CuSZ, CuSZx, CuZFP, MGARDGPU
+from repro.core.pipeline import FZGPU
+from repro.datasets import generate
+from repro.gpu import A100
+from repro.harness import render_table
+from repro.harness.runner import EVAL_SHAPES
+from repro.metrics import psnr
+from repro.perf import measure_throughput, overall_throughput
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "hurricane"
+    eb = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-3
+
+    field = generate(dataset, shape=EVAL_SHAPES[dataset])
+    data = field.data
+    print(f"{dataset}: shape {field.shape}, eb {eb:g} (range-relative)\n")
+
+    rows = []
+
+    def add(name, perf_name, res, recon, **perf_kwargs):
+        rep = measure_throughput(perf_name, data, A100, **perf_kwargs)
+        rows.append(
+            {
+                "compressor": name,
+                "ratio": res.ratio,
+                "psnr_dB": psnr(data, recon),
+                "compr_GBps": rep.throughput_gbps,
+                "overall_GBps": overall_throughput(
+                    rep.throughput_gbps, res.ratio, A100.pcie_gbps
+                ),
+            }
+        )
+
+    fz = FZGPU()
+    r = fz.compress(data, eb, "rel")
+    add("FZ-GPU", "fz-gpu", r, fz.decompress(r.stream), eb=eb)
+
+    cusz = CuSZ()
+    r = cusz.compress(data, eb=eb, mode="rel")
+    add("cuSZ", "cusz", r, cusz.decompress(r.stream), eb=eb)
+
+    cuszx = CuSZx()
+    r = cuszx.compress(data, eb=eb, mode="rel")
+    add("cuSZx", "cuszx", r, cuszx.decompress(r.stream), eb=eb)
+
+    mgard = MGARDGPU()
+    r = mgard.compress(data, eb=eb, mode="rel")
+    add("MGARD-GPU", "mgard", r, mgard.decompress(r.stream), eb=eb)
+
+    # cuZFP has no error bound: use the rate matching FZ-GPU's bitrate
+    rate = max(min(32.0 / rows[0]["ratio"], 16.0), 1.0)
+    zfp = CuZFP(rate=rate)
+    r = zfp.compress(data)
+    add(f"cuZFP@{rate:.1f}bpv", "cuzfp", r, zfp.decompress(r.stream), rate=rate)
+
+    print(render_table(rows, title=f"Compressor comparison on {dataset} (A100 model)"))
+    best = max(rows, key=lambda r: r["overall_GBps"])
+    print(f"\nbest overall data-transfer throughput: {best['compressor']}")
+
+
+if __name__ == "__main__":
+    main()

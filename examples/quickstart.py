@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a scientific field with FZ-GPU and verify the bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FZGPU
+from repro.datasets import generate
+from repro.metrics import error_report
+
+
+def main() -> None:
+    # A synthetic Hurricane-ISABEL field (50 x 250 x 250 float32).
+    field = generate("hurricane", field="CLDICE")
+    data = field.data
+    print(f"field: {field.dataset}/{field.name}  shape={field.shape}  "
+          f"{field.nbytes / 1e6:.1f} MB")
+
+    codec = FZGPU()
+
+    # Compress under a range-based relative error bound of 1e-3 — every
+    # reconstructed value is within 0.1% of the data's value range.
+    result = codec.compress(data, eb=1e-3, mode="rel")
+    print(f"compressed: {result.compressed_bytes / 1e6:.2f} MB  "
+          f"ratio={result.ratio:.2f}x  bitrate={result.bitrate:.2f} bits/value")
+    print(f"zero blocks elided by the encoder: {result.zero_block_fraction:.1%}")
+
+    # Decompress and verify the error bound for real.
+    recon = codec.decompress(result.stream)
+    report = error_report(data, recon, eb_abs=result.eb_abs)
+    print(f"max |error| = {report.max_abs:.3e}  (bound {result.eb_abs:.3e})")
+    print(f"PSNR = {report.psnr:.1f} dB   bound satisfied: {report.bound_satisfied}")
+
+    assert report.bound_satisfied
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Use case: compressing a reverse-time-migration (RTM) run (§4.3).
+
+Seismic imaging writes hundreds of wavefield snapshots per shot.  Early
+snapshots are almost entirely zero (the wavefront has not propagated yet),
+which is exactly where FZ-GPU's zero-block encoder shines: the paper reports
+ratios beyond Huffman-capped cuSZ's 32x limit, approaching the encoder's
+128x ceiling.
+
+This example sweeps snapshot timesteps, compares FZ-GPU against the cuSZ
+baseline at the same error bound, and shows the cap difference.
+
+Run:  python examples/rtm_timesteps.py
+"""
+
+from repro import FZGPU
+from repro.baselines import CuSZ
+from repro.datasets import generate
+
+
+def main() -> None:
+    fz = FZGPU()
+    cusz = CuSZ()
+    shape = (96, 96, 64)
+    eb = 1e-2
+
+    print(f"RTM snapshots {shape}, relative error bound {eb:g}")
+    print(f"{'step':>6} {'zeros':>7} {'FZ-GPU CR':>10} {'cuSZ CR':>9} {'FZ/cuSZ':>8}")
+    for step in (200, 600, 1200, 2000, 3200):
+        field = generate("rtm", field=f"snapshot_{step}", shape=shape)
+        zeros = float((field.data == 0).mean())
+        r_fz = fz.compress(field.data, eb, "rel")
+        r_cz = cusz.compress(field.data, eb=eb, mode="rel")
+        print(
+            f"{step:>6} {zeros:>6.1%} {r_fz.ratio:>10.1f} {r_cz.ratio:>9.1f} "
+            f"{r_fz.ratio / r_cz.ratio:>8.2f}"
+        )
+
+    # The early, sparse snapshots demonstrate the >32x headroom.
+    early = generate("rtm", field="snapshot_200", shape=shape)
+    r = fz.compress(early.data, eb, "rel")
+    print(f"\nearly snapshot: FZ-GPU ratio {r.ratio:.1f}x "
+          f"(cuSZ's Huffman caps at 32x; FZ-GPU's encoder caps at 128x)")
+    recon = fz.decompress(r.stream)
+    assert abs(recon - early.data).max() <= r.eb_abs * (1 + 1e-5)
+    print("error bound verified on reconstruction")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Use case: visual comparison of reconstructions (Fig. 12's top row).
+
+Renders a Hurricane moisture slice and its reconstructions by three codecs
+at a matched compression ratio as terminal intensity maps, plus absolute
+difference maps — the offline equivalent of the paper's region-of-interest
+visualizations.
+
+Run:  python examples/visual_quality.py
+"""
+
+from repro.analysis import tune_eb_for_ratio
+from repro.baselines import CuSZx, CuZFP
+from repro.core.pipeline import FZGPU
+from repro.datasets import generate
+from repro.metrics import psnr, ssim
+from repro.viz import ascii_heatmap, difference_map, side_by_side
+
+
+def main() -> None:
+    field = generate("hurricane", field="QSNOW", shape=(32, 125, 125))
+    data = field.data
+    k = data.shape[0] // 2
+    target = 12.0
+
+    recons = {}
+    fz = FZGPU()
+    _, r = tune_eb_for_ratio(fz, data, target)
+    recons[f"FZ-GPU ({r.ratio:.1f}x)"] = fz.decompress(r.stream)
+
+    zfp = CuZFP(rate=32.0 / target)
+    rz = zfp.compress(data)
+    recons[f"cuZFP ({rz.ratio:.1f}x)"] = zfp.decompress(rz.stream)
+
+    cx = CuSZx()
+    _, rx = tune_eb_for_ratio(cx, data, target)
+    recons[f"cuSZx ({rx.ratio:.1f}x)"] = cx.decompress(rx.stream)
+
+    vmin, vmax = float(data[k].min()), float(data[k].max())
+    maps = {"original": ascii_heatmap(data[k], vmin=vmin, vmax=vmax)}
+    for name, recon in recons.items():
+        maps[name] = ascii_heatmap(recon[k], vmin=vmin, vmax=vmax)
+    print(side_by_side(maps))
+
+    print("\nabsolute error (same color scale as the data):")
+    diff_maps = {
+        name: difference_map(data[k], recon[k]) for name, recon in recons.items()
+    }
+    print(side_by_side(diff_maps))
+
+    print("\nmetrics on the full volume:")
+    for name, recon in recons.items():
+        print(f"  {name:18s} PSNR {psnr(data, recon):6.2f} dB   "
+              f"slice SSIM {ssim(data[k], recon[k]):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a full reproduction of FZ-GPU (HPDC '23).
+
+A fast, high-ratio error-bounded lossy compressor for scientific floating
+point data, plus every substrate its evaluation depends on: the cuSZ, cuZFP,
+cuSZx and MGARD-GPU baseline codecs, a GPU execution-model simulator, SDRBench
+style synthetic datasets, quality metrics and the benchmark harness that
+regenerates the paper's tables and figures.
+
+Quick start::
+
+    import numpy as np
+    from repro import FZGPU
+
+    codec = FZGPU()
+    result = codec.compress(field, eb=1e-4, mode="rel")
+    recon = codec.decompress(result.stream)
+    print(result.ratio, result.bitrate)
+"""
+
+from repro.core import FZGPU, CompressionResult, compress, decompress
+
+__version__ = "1.0.0"
+
+__all__ = ["FZGPU", "CompressionResult", "compress", "decompress", "__version__"]

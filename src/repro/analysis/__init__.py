@@ -1,0 +1,17 @@
+"""Compression analysis utilities: R-D sweeps, Pareto fronts, bound tuning."""
+
+from repro.analysis.rate_distortion import (
+    RDPoint,
+    rd_sweep,
+    pareto_front,
+    tune_eb_for_ratio,
+    tune_eb_for_psnr,
+)
+
+__all__ = [
+    "RDPoint",
+    "rd_sweep",
+    "pareto_front",
+    "tune_eb_for_ratio",
+    "tune_eb_for_psnr",
+]

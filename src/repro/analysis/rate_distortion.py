@@ -1,0 +1,143 @@
+"""Rate-distortion analysis and error-bound auto-tuning.
+
+The paper's evaluation repeatedly needs two operations that downstream users
+need too:
+
+* sweeping error bounds into a rate-distortion curve (Fig. 7), and
+* searching for the configuration that hits a target ratio or PSNR (the
+  Fig. 12 protocol; also the problem OptZConfig [52] automates).
+
+Both are provided here against any codec following the library's interface
+(``compress(data, eb=..., mode=...)`` returning an object with ``.stream``,
+``.ratio`` and ``.bitrate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metrics import psnr as psnr_metric
+
+__all__ = ["RDPoint", "rd_sweep", "pareto_front", "tune_eb_for_ratio", "tune_eb_for_psnr"]
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One point of a rate-distortion curve."""
+
+    eb: float
+    ratio: float
+    bitrate: float
+    psnr: float
+
+    def dominates(self, other: "RDPoint") -> bool:
+        """Pareto dominance: at least as good on both axes, better on one."""
+        ge = self.psnr >= other.psnr and self.ratio >= other.ratio
+        gt = self.psnr > other.psnr or self.ratio > other.ratio
+        return ge and gt
+
+
+def rd_sweep(
+    codec,
+    data: np.ndarray,
+    ebs: Sequence[float],
+    mode: str = "rel",
+) -> list[RDPoint]:
+    """Sweep error bounds into a rate-distortion curve (measured, not modeled).
+
+    Parameters
+    ----------
+    codec:
+        Any object with ``compress(data, eb=..., mode=...)`` and
+        ``decompress(stream)``.
+    data:
+        The field to sweep on.
+    ebs:
+        Error bounds to evaluate (any order; the result is sorted by eb).
+    """
+    points = []
+    for eb in sorted(ebs):
+        res = codec.compress(data, eb=eb, mode=mode)
+        recon = codec.decompress(res.stream)
+        points.append(
+            RDPoint(eb=eb, ratio=res.ratio, bitrate=res.bitrate, psnr=psnr_metric(data, recon))
+        )
+    return points
+
+
+def pareto_front(points: Sequence[RDPoint]) -> list[RDPoint]:
+    """The non-dominated subset of a set of R-D points, sorted by bitrate."""
+    front = [
+        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.bitrate)
+
+
+def _bisect_eb(
+    evaluate: Callable[[float], float],
+    target: float,
+    increasing: bool,
+    lo: float = 1e-7,
+    hi: float = 0.3,
+    rel_tol: float = 0.02,
+    max_iter: int = 30,
+) -> tuple[float, float]:
+    """Geometric bisection of a monotone objective over the error bound.
+
+    Returns ``(eb, value)`` of the best configuration found.  ``increasing``
+    states whether the objective grows with the error bound (ratio does;
+    PSNR does not).
+    """
+    best_eb, best_val, best_err = None, None, float("inf")
+    for _ in range(max_iter):
+        mid = float(np.sqrt(lo * hi))
+        val = evaluate(mid)
+        err = abs(val - target) / max(abs(target), 1e-12)
+        if err < best_err:
+            best_eb, best_val, best_err = mid, val, err
+        if err < rel_tol:
+            break
+        if (val > target) == increasing:
+            hi = mid
+        else:
+            lo = mid
+    return best_eb, best_val
+
+
+def tune_eb_for_ratio(
+    codec, data: np.ndarray, target_ratio: float, mode: str = "rel", rel_tol: float = 0.02
+):
+    """Find the error bound whose compression ratio is ~ ``target_ratio``.
+
+    Returns the final ``(eb, result)`` pair; ``result`` is the codec's
+    compression result at that bound.  If the codec's achievable ratio
+    saturates below the target, the closest configuration is returned
+    (check ``result.ratio``).
+    """
+    results: dict[float, object] = {}
+
+    def evaluate(eb: float) -> float:
+        res = codec.compress(data, eb=eb, mode=mode)
+        results[eb] = res
+        return res.ratio
+
+    eb, _ = _bisect_eb(evaluate, target_ratio, increasing=True, rel_tol=rel_tol)
+    return eb, results[eb]
+
+
+def tune_eb_for_psnr(
+    codec, data: np.ndarray, target_psnr: float, mode: str = "rel", rel_tol: float = 0.01
+):
+    """Find the error bound whose reconstruction PSNR is ~ ``target_psnr``."""
+    results: dict[float, object] = {}
+
+    def evaluate(eb: float) -> float:
+        res = codec.compress(data, eb=eb, mode=mode)
+        results[eb] = res
+        return psnr_metric(data, codec.decompress(res.stream))
+
+    eb, _ = _bisect_eb(evaluate, target_psnr, increasing=False, rel_tol=rel_tol)
+    return eb, results[eb]

@@ -1,0 +1,37 @@
+"""Baseline compressors the paper evaluates FZ-GPU against.
+
+Every baseline is a real codec implemented from scratch: it produces an actual
+compressed byte stream and reconstructs the data, so rate-distortion and
+quality comparisons (Figs. 7 and 12) are measured, not modeled.
+
+* :class:`repro.baselines.cusz.CuSZ` — prediction-based, dual-quant v1 with
+  radius shift + outlier store + canonical Huffman (cuSZ / cuSZ-ncb).
+* :class:`repro.baselines.zfp.CuZFP` — transform-based fixed-rate ZFP.
+* :class:`repro.baselines.cuszx.CuSZx` — ultrafast constant/non-constant block
+  codec.
+* :class:`repro.baselines.mgard.MGARDGPU` — multigrid hierarchical refactoring.
+"""
+
+from repro.baselines.huffman import HuffmanCodec
+from repro.baselines.huffman_gpu import GapArrayHuffman
+from repro.baselines.cusz import CuSZ
+from repro.baselines.cusz_rle import CuSZRLE
+from repro.baselines.zfp import CuZFP, ZFPFixedAccuracy
+from repro.baselines.cuszx import CuSZx
+from repro.baselines.mgard import MGARDGPU
+from repro.baselines.bitshuffle_lz import BitshuffleLZ
+from repro.baselines.rle import rle_encode, rle_decode
+
+__all__ = [
+    "HuffmanCodec",
+    "GapArrayHuffman",
+    "CuSZ",
+    "CuSZRLE",
+    "CuZFP",
+    "ZFPFixedAccuracy",
+    "CuSZx",
+    "MGARDGPU",
+    "BitshuffleLZ",
+    "rle_encode",
+    "rle_decode",
+]

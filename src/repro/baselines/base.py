@@ -1,0 +1,66 @@
+"""Common codec interface shared by FZ-GPU and every baseline.
+
+The harness treats all compressors uniformly: ``compress`` returns a
+:class:`CodecResult` with the real stream and size accounting, ``decompress``
+reconstructs the field.  Error-bounded codecs take ``eb``/``mode``; the
+fixed-rate codec (cuZFP) takes ``rate`` (bits per value) instead, exactly as
+in the paper's evaluation protocol (§4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CodecResult", "Codec"]
+
+
+@dataclass(frozen=True)
+class CodecResult:
+    """Outcome of one baseline compression run.
+
+    Attributes
+    ----------
+    stream:
+        Self-contained compressed byte stream.
+    original_bytes / compressed_bytes:
+        Size accounting for the compression ratio.
+    eb_abs:
+        Absolute error bound applied, or ``None`` for fixed-rate codecs.
+    extras:
+        Codec-specific statistics consumed by the performance model (e.g.
+        outlier counts, constant-block fractions, codebook sizes).
+    """
+
+    stream: bytes
+    original_bytes: int
+    compressed_bytes: int
+    eb_abs: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bitrate(self) -> float:
+        """Average bits per (float32) value after compression."""
+        return 32.0 / self.ratio
+
+
+class Codec(abc.ABC):
+    """Abstract compressor: concrete codecs define ``name`` and both methods."""
+
+    #: Display name used in benchmark tables.
+    name: str = "codec"
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray, **opts) -> CodecResult:
+        """Compress ``data`` and return a :class:`CodecResult`."""
+
+    @abc.abstractmethod
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the field from a stream produced by :meth:`compress`."""

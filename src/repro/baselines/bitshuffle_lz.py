@@ -1,0 +1,110 @@
+"""Bitshuffle + LZ codec (Masui et al. 2017) — the design FZ-GPU rejects.
+
+§3.4's motivation: "bitshuffle works well with LZ4 lossless encoding on
+scientific floating-point data.  However, the LZ4 algorithm is unsuitable
+for GPU architectures due to the sequential nature of its search for
+repeated strings" (the paper measures nvCOMP's LZ4 at only 6.3 GB/s).
+
+This codec is that rejected design, made concrete: the same dual-quantized,
+bitshuffled codes as FZ-GPU, but compressed with the LZ77 coder instead of
+the zero-block encoder.  The comparison bench shows the trade the paper
+describes — LZ often finds a somewhat better ratio, at a throughput an
+order of magnitude below the sparsification encoder.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.base import Codec, CodecResult
+from repro.baselines.lz import lz_compress, lz_decompress
+from repro.core.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.pipeline import resolve_error_bound
+from repro.core.quantize import dual_dequantize, dual_quantize
+from repro.errors import FormatError
+from repro.utils.chunking import chunk_shape_for
+from repro.utils.validation import ensure_float32, ensure_ndim
+
+__all__ = ["BitshuffleLZ", "LZ4_GPU_GBPS"]
+
+#: The paper's footnote-3 anchor: nvCOMP LZ4 throughput on their datasets.
+LZ4_GPU_GBPS = 6.3
+
+_MAGIC = b"BSLZ"
+_HDR = "<4sBBH3Q3Q3HHdQ"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+
+def _pad3(dims: tuple[int, ...]) -> tuple[int, int, int]:
+    d = tuple(int(x) for x in dims)
+    return tuple(list(d) + [1] * (3 - len(d)))  # type: ignore[return-value]
+
+
+class BitshuffleLZ(Codec):
+    """Dual-quantization + bitshuffle + LZ77 (the Masui-style pipeline)."""
+
+    name = "bitshuffle+LZ"
+
+    def __init__(self, chunk: tuple[int, ...] | None = None):
+        self._chunk = chunk
+
+    def compress(self, data: np.ndarray, eb: float = 1e-3, mode: str = "rel", **_) -> CodecResult:
+        """Compress under an error bound (same lossy stage as FZ-GPU)."""
+        data = ensure_ndim(ensure_float32(data))
+        chunk = chunk_shape_for(data.ndim, self._chunk)
+        eb_abs = resolve_error_bound(data, eb, mode)
+
+        codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
+        shuffled = bitshuffle(codes)
+        payload = lz_compress(shuffled.tobytes())
+
+        header = struct.pack(
+            _HDR,
+            _MAGIC,
+            1,
+            data.ndim,
+            0,
+            *_pad3(data.shape),
+            *_pad3(padded_shape),
+            *_pad3(chunk),
+            0,
+            eb_abs,
+            shuffled.size,
+        )
+        stream = header + payload
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=eb_abs,
+            extras={
+                "n_saturated": qstats.n_saturated,
+                "lz_payload_bytes": len(payload),
+                "shuffled_bytes": int(shuffled.nbytes),
+            },
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """LZ-decompress, bit-unshuffle and reconstruct."""
+        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+            raise FormatError("not a bitshuffle+LZ stream")
+        (
+            _m, _v, ndim, _r,
+            d0, d1, d2,
+            p0, p1, p2,
+            c0, c1, c2, _r2,
+            eb_abs, n_words,
+        ) = struct.unpack_from(_HDR, stream)
+        shape = (d0, d1, d2)[:ndim]
+        padded = (p0, p1, p2)[:ndim]
+        chunk = (c0, c1, c2)[:ndim]
+
+        raw = lz_decompress(stream[_HDR_BYTES:])
+        words = np.frombuffer(raw, dtype=np.uint32)
+        if words.size != n_words:
+            raise FormatError("bitshuffle+LZ payload length mismatch")
+        n_codes = int(np.prod(padded))
+        codes = bitunshuffle(words, n_codes)
+        return dual_dequantize(codes, padded, shape, eb_abs, chunk)

@@ -1,0 +1,183 @@
+"""cuSZ baseline: dual-quantization v1 + canonical Huffman encoding.
+
+The original cuSZ pipeline (§2.2-2.3): pre-quantization, chunked Lorenzo
+prediction, *radius-shifted* quantization codes in ``[0, 2r)`` with a separate
+sparse outlier store, then Huffman encoding of the codes.  Its compression
+ratio is capped at 32x (one bit per 32-bit float at best) and its GPU
+throughput is dominated by codebook construction — both reproduced here (the
+latter by the performance model in :mod:`repro.perf`).
+
+``CuSZ(ncb=True)`` is the paper's *cuSZ-ncb* variant: the identical stream,
+but the performance model excludes codebook-building time (the paper moves it
+to the CPU).
+
+The lossy stage is shared with FZ-GPU, so at equal error bound cuSZ and
+FZ-GPU reconstruct identical data (the paper leans on this in §4.3/§4.7).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.base import Codec, CodecResult
+from repro.baselines.huffman import HuffmanCodec
+from repro.core.pipeline import resolve_error_bound
+from repro.core.quantize import (
+    decode_radius_shift,
+    dequantize,
+    encode_radius_shift,
+    prequantize,
+)
+from repro.errors import FormatError
+from repro.lorenzo import lorenzo_delta_chunked, lorenzo_reconstruct_chunked
+from repro.utils.chunking import chunk_shape_for
+from repro.utils.validation import ensure_float32, ensure_ndim
+
+__all__ = ["CuSZ", "DEFAULT_RADIUS"]
+
+#: cuSZ's default quantization radius (codebook of 1024 symbols).
+DEFAULT_RADIUS = 512
+
+_MAGIC = b"CUSZ"
+_HDR = "<4sBBBB3Q3Q3HHdIQQ"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+
+def _pad3(dims: tuple[int, ...]) -> tuple[int, int, int]:
+    d = tuple(int(x) for x in dims)
+    return tuple(list(d) + [1] * (3 - len(d)))  # type: ignore[return-value]
+
+
+class CuSZ(Codec):
+    """The cuSZ error-bounded lossy compressor (prediction-based).
+
+    Parameters
+    ----------
+    radius:
+        Quantization radius ``r``; codes live in ``(0, 2r)`` and the Huffman
+        alphabet has ``2r`` symbols.
+    ncb:
+        "No codebook building" variant — identical stream; only the
+        performance model treats codebook construction as free.
+    chunk:
+        Chunk-shape override for the Lorenzo stage.
+    """
+
+    def __init__(
+        self,
+        radius: int = DEFAULT_RADIUS,
+        ncb: bool = False,
+        chunk: tuple[int, ...] | None = None,
+    ):
+        if not (1 < radius <= 0x7FFF):
+            raise ValueError("radius must be in (1, 32767]")
+        self.radius = int(radius)
+        self.ncb = bool(ncb)
+        self._chunk = chunk
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "cuSZ-ncb" if self.ncb else "cuSZ"
+
+    def compress(self, data: np.ndarray, eb: float = 1e-3, mode: str = "rel", **_) -> CodecResult:
+        """Compress under an error bound (outliers are stored exactly)."""
+        data = ensure_ndim(ensure_float32(data))
+        chunk = chunk_shape_for(data.ndim, self._chunk)
+        eb_abs = resolve_error_bound(data, eb, mode)
+
+        q = prequantize(data, eb_abs)
+        delta = lorenzo_delta_chunked(q, chunk)
+        codes, out_idx, out_val, stats = encode_radius_shift(delta, self.radius)
+
+        huff = HuffmanCodec(2 * self.radius)
+        encoded = huff.encode(codes.astype(np.int64))
+
+        # Outliers are stored compactly (u32 index + i32 value, 8 bytes, like
+        # cuSZ's sparse store); the wide format only triggers for extreme
+        # grids or residuals.
+        wide = bool(
+            out_idx.size
+            and (
+                codes.size > 0xFFFFFFFF
+                or (out_val.size and np.abs(out_val).max() >= 2**31)
+            )
+        )
+        idx_bytes = out_idx.astype("<u8" if wide else "<u4").tobytes()
+        val_bytes = out_val.astype("<i8" if wide else "<i4").tobytes()
+
+        header = struct.pack(
+            _HDR,
+            _MAGIC,
+            1,
+            data.ndim,
+            1 if wide else 0,
+            0,
+            *_pad3(data.shape),
+            *_pad3(delta.shape),
+            *_pad3(chunk),
+            0,
+            eb_abs,
+            self.radius,
+            out_idx.size,
+            len(encoded),
+        )
+        stream = header + encoded + idx_bytes + val_bytes
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=eb_abs,
+            extras={
+                "n_outliers": int(out_idx.size),
+                "n_codes": int(codes.size),
+                "huffman_bytes": len(encoded),
+                "codebook_symbols": 2 * self.radius,
+                "max_abs_delta": stats.max_abs_delta,
+                "ncb": self.ncb,
+            },
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct via Huffman decode -> outlier merge -> Lorenzo -> dequant."""
+        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+            raise FormatError("not a cuSZ stream")
+        (
+            _m,
+            _v,
+            ndim,
+            wide,
+            _r,
+            d0,
+            d1,
+            d2,
+            p0,
+            p1,
+            p2,
+            c0,
+            c1,
+            c2,
+            _r2,
+            eb_abs,
+            radius,
+            n_outliers,
+            huff_bytes,
+        ) = struct.unpack_from(_HDR, stream)
+        shape = (d0, d1, d2)[:ndim]
+        padded = (p0, p1, p2)[:ndim]
+        chunk = (c0, c1, c2)[:ndim]
+
+        off = _HDR_BYTES
+        huff = HuffmanCodec(2 * radius)
+        codes = huff.decode(stream[off : off + huff_bytes]).astype(np.uint16)
+        off += huff_bytes
+        idx_t, val_t, width = ("<u8", "<i8", 8) if wide else ("<u4", "<i4", 4)
+        out_idx = np.frombuffer(stream, dtype=idx_t, count=n_outliers, offset=off)
+        off += n_outliers * width
+        out_val = np.frombuffer(stream, dtype=val_t, count=n_outliers, offset=off)
+
+        delta = decode_radius_shift(codes, out_idx, out_val, radius).reshape(padded)
+        q = lorenzo_reconstruct_chunked(delta, chunk)
+        crop = tuple(slice(0, s) for s in shape)
+        return dequantize(q[crop], eb_abs)

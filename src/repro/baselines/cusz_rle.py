@@ -1,0 +1,168 @@
+"""cuSZ+RLE: the run-length variant of cuSZ (Tian et al. 2021, §5).
+
+For high error bounds the quantization codes collapse onto very few symbols
+with long runs; Tian et al. replace cuSZ's Huffman stage with run-length
+encoding to lift the compression ratio in that regime (and to avoid the
+codebook build).  This codec reuses the cuSZ lossy stage (dual-quant v1 with
+radius shift + exact outliers) and encodes the codes as RLE runs whose values
+and lengths are then Huffman-coded (the published variant's second stage).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.base import Codec, CodecResult
+from repro.baselines.cusz import DEFAULT_RADIUS
+from repro.baselines.huffman import HuffmanCodec
+from repro.core.pipeline import resolve_error_bound
+from repro.core.quantize import (
+    decode_radius_shift,
+    dequantize,
+    encode_radius_shift,
+    prequantize,
+)
+from repro.errors import FormatError
+from repro.lorenzo import lorenzo_delta_chunked, lorenzo_reconstruct_chunked
+from repro.utils.chunking import chunk_shape_for
+from repro.utils.validation import ensure_float32, ensure_ndim
+
+__all__ = ["CuSZRLE"]
+
+_MAGIC = b"CSRL"
+_HDR = "<4sBBBB3Q3Q3HHdIQQQQ"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+#: Run lengths are capped so they fit the Huffman alphabet; longer runs split.
+_MAX_RUN = 255
+
+
+def _pad3(dims: tuple[int, ...]) -> tuple[int, int, int]:
+    d = tuple(int(x) for x in dims)
+    return tuple(list(d) + [1] * (3 - len(d)))  # type: ignore[return-value]
+
+
+def _runs(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a code stream into (values, lengths) runs, lengths <= _MAX_RUN."""
+    boundaries = np.flatnonzero(np.diff(codes) != 0)
+    starts = np.concatenate([[0], boundaries + 1])
+    ends = np.concatenate([boundaries + 1, [codes.size]])
+    values = codes[starts].astype(np.int64)
+    lengths = (ends - starts).astype(np.int64)
+    if (lengths > _MAX_RUN).any():
+        v_out, l_out = [], []
+        for v, ln in zip(values.tolist(), lengths.tolist()):
+            while ln > _MAX_RUN:
+                v_out.append(v)
+                l_out.append(_MAX_RUN)
+                ln -= _MAX_RUN
+            v_out.append(v)
+            l_out.append(ln)
+        values = np.array(v_out, dtype=np.int64)
+        lengths = np.array(l_out, dtype=np.int64)
+    return values, lengths
+
+
+class CuSZRLE(Codec):
+    """cuSZ with run-length + Huffman encoding instead of plain Huffman."""
+
+    name = "cuSZ+RLE"
+
+    def __init__(self, radius: int = DEFAULT_RADIUS, chunk: tuple[int, ...] | None = None):
+        if not (1 < radius <= 0x7FFF):
+            raise ValueError("radius must be in (1, 32767]")
+        self.radius = int(radius)
+        self._chunk = chunk
+
+    def compress(self, data: np.ndarray, eb: float = 1e-3, mode: str = "rel", **_) -> CodecResult:
+        """Compress under an error bound."""
+        data = ensure_ndim(ensure_float32(data))
+        chunk = chunk_shape_for(data.ndim, self._chunk)
+        eb_abs = resolve_error_bound(data, eb, mode)
+
+        q = prequantize(data, eb_abs)
+        delta = lorenzo_delta_chunked(q, chunk)
+        codes, out_idx, out_val, _ = encode_radius_shift(delta, self.radius)
+
+        values, lengths = _runs(codes)
+        value_stream = HuffmanCodec(2 * self.radius).encode(values)
+        length_stream = HuffmanCodec(_MAX_RUN + 1).encode(lengths)
+
+        wide = bool(
+            out_idx.size
+            and (
+                codes.size > 0xFFFFFFFF
+                or (out_val.size and np.abs(out_val).max() >= 2**31)
+            )
+        )
+        header = struct.pack(
+            _HDR,
+            _MAGIC,
+            1,
+            data.ndim,
+            1 if wide else 0,
+            0,
+            *_pad3(data.shape),
+            *_pad3(delta.shape),
+            *_pad3(chunk),
+            0,
+            eb_abs,
+            self.radius,
+            out_idx.size,
+            values.size,
+            len(value_stream),
+            len(length_stream),
+        )
+        stream = (
+            header
+            + value_stream
+            + length_stream
+            + out_idx.astype("<u8" if wide else "<u4").tobytes()
+            + out_val.astype("<i8" if wide else "<i4").tobytes()
+        )
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=eb_abs,
+            extras={
+                "n_runs": int(values.size),
+                "mean_run": float(lengths.mean()) if lengths.size else 0.0,
+                "n_outliers": int(out_idx.size),
+            },
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct: Huffman -> runs -> codes -> Lorenzo -> dequantize."""
+        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+            raise FormatError("not a cuSZ+RLE stream")
+        (
+            _m, _v, ndim, wide, _r,
+            d0, d1, d2,
+            p0, p1, p2,
+            c0, c1, c2, _r2,
+            eb_abs, radius, n_out, n_runs, vbytes, lbytes,
+        ) = struct.unpack_from(_HDR, stream)
+        shape = (d0, d1, d2)[:ndim]
+        padded = (p0, p1, p2)[:ndim]
+        chunk = (c0, c1, c2)[:ndim]
+
+        off = _HDR_BYTES
+        values = HuffmanCodec(2 * radius).decode(stream[off : off + vbytes])
+        off += vbytes
+        lengths = HuffmanCodec(_MAX_RUN + 1).decode(stream[off : off + lbytes])
+        off += lbytes
+        idx_t, val_t, width = ("<u8", "<i8", 8) if wide else ("<u4", "<i4", 4)
+        out_idx = np.frombuffer(stream, idx_t, n_out, off)
+        off += n_out * width
+        out_val = np.frombuffer(stream, val_t, n_out, off)
+        if values.size != n_runs or lengths.size != n_runs:
+            raise FormatError("run count mismatch in cuSZ+RLE stream")
+
+        codes = np.repeat(values, lengths).astype(np.uint16)
+        delta = decode_radius_shift(codes, out_idx, out_val, radius).reshape(padded)
+        q = lorenzo_reconstruct_chunked(delta, chunk)
+        crop = tuple(slice(0, s) for s in shape)
+        return dequantize(q[crop], eb_abs)

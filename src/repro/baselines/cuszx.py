@@ -1,0 +1,164 @@
+"""cuSZx baseline: ultrafast constant / non-constant block compression.
+
+cuSZx (Yu et al., HPDC '22) trades ratio for speed with a one-pass block
+codec: the data is split into fixed blocks; a block whose values all lie
+within ``eb`` of the block mean becomes a *constant block* (stored as just the
+mean), and every other block stores its values quantized relative to the mean
+at a fixed per-block byte width chosen from the block's dynamic range (the
+"fixed-length encoding" driven by leading-zero analysis in the original).
+
+The pipeline has no entropy stage and only blockwise redundancy removal,
+which is why the paper finds it ~1.5x faster than FZ-GPU but with a much
+lower compression ratio (~2.4x lower on average, §4.3).
+
+Stream layout::
+
+    header | constant-flag bits | widths (2 bits/block, non-constant slots
+    meaningful) | block means (f32 each) | width-class payloads (w=1,2,4)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.base import Codec, CodecResult
+from repro.core.pipeline import resolve_error_bound
+from repro.errors import FormatError
+from repro.utils.bits import pack_bitflags, unpack_bitflags
+from repro.utils.validation import ensure_float32, ensure_ndim
+
+__all__ = ["CuSZx", "BLOCK_VALUES"]
+
+#: Values per cuSZx block (flattened 1-D view of the field).
+BLOCK_VALUES = 256
+
+_MAGIC = b"CSZX"
+_HDR = "<4sBBHQd"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+# Byte-width classes for non-constant blocks and their signed capacity.
+_WIDTHS = (1, 2, 4)
+_CAPACITY = {1: 1 << 7, 2: 1 << 15, 4: 1 << 31}
+
+
+class CuSZx(Codec):
+    """cuSZx: block-wise constant detection + fixed-length value coding."""
+
+    name = "cuSZx"
+
+    def compress(self, data: np.ndarray, eb: float = 1e-3, mode: str = "rel", **_) -> CodecResult:
+        """Compress under an absolute/relative error bound.
+
+        The reconstruction error is at most ``eb`` for every value: constant
+        blocks reproduce the mean (within ``eb`` of each member by the
+        constant test), non-constant values are mid-tread quantized with bin
+        width ``2*eb`` around the block mean.
+        """
+        data = ensure_ndim(ensure_float32(data))
+        eb_abs = resolve_error_bound(data, eb, mode)
+        flat = data.reshape(-1)
+        n = flat.size
+
+        pad = (-n) % BLOCK_VALUES
+        if pad:
+            flat = np.concatenate([flat, np.full(pad, flat[-1], dtype=np.float32)])
+        blocks = flat.reshape(-1, BLOCK_VALUES).astype(np.float64)
+        nb = blocks.shape[0]
+
+        means = blocks.mean(axis=1)
+        dev = np.abs(blocks - means[:, None]).max(axis=1)
+        constant = dev <= eb_abs
+
+        q = np.rint((blocks - means[:, None]) / (2.0 * eb_abs)).astype(np.int64)
+        maxq = np.abs(q).max(axis=1)
+        widths = np.full(nb, 4, dtype=np.uint8)
+        widths[maxq < _CAPACITY[2]] = 2
+        widths[maxq < _CAPACITY[1]] = 1
+        widths[constant] = 0
+
+        payload_parts: list[bytes] = []
+        for w in _WIDTHS:
+            sel = (~constant) & (widths == w)
+            if not sel.any():
+                payload_parts.append(b"")
+                continue
+            vals = q[sel]
+            if w < 4:
+                vals = np.clip(vals, -_CAPACITY[w], _CAPACITY[w] - 1)
+            biased = (vals + _CAPACITY[w]).astype(f"<u{w}" if w > 1 else np.uint8)
+            payload_parts.append(biased.astype(f"<u{w}").tobytes())
+
+        flag_bytes = pack_bitflags(constant.astype(np.uint8)).tobytes()
+        width_code = np.zeros(nb, dtype=np.uint8)
+        for i, w in enumerate(_WIDTHS, start=1):
+            width_code[(~constant) & (widths == w)] = i
+        # 2 bits per block, packed 4 per byte.
+        wc_pad = (-nb) % 4
+        wc = np.concatenate([width_code, np.zeros(wc_pad, dtype=np.uint8)]).reshape(-1, 4)
+        width_bytes = (wc[:, 0] | (wc[:, 1] << 2) | (wc[:, 2] << 4) | (wc[:, 3] << 6)).astype(np.uint8).tobytes()
+
+        header = struct.pack(_HDR, _MAGIC, 1, data.ndim, 0, n, eb_abs)
+        shape_bytes = struct.pack("<3Q", *(list(data.shape) + [1] * (3 - data.ndim)))
+        stream = (
+            header
+            + shape_bytes
+            + flag_bytes
+            + width_bytes
+            + means.astype("<f4").tobytes()
+            + b"".join(payload_parts)
+        )
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=eb_abs,
+            extras={
+                "n_blocks": nb,
+                "n_constant": int(np.count_nonzero(constant)),
+                "constant_fraction": float(np.count_nonzero(constant)) / nb,
+                "mean_width": float(widths[~constant].mean()) if (~constant).any() else 0.0,
+            },
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the field (exact inverse of the encoder's quantizer)."""
+        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+            raise FormatError("not a cuSZx stream")
+        _m, _v, ndim, _r, n, eb_abs = struct.unpack_from(_HDR, stream)
+        off = _HDR_BYTES
+        d0, d1, d2 = struct.unpack_from("<3Q", stream, off)
+        off += 24
+        shape = (d0, d1, d2)[:ndim]
+
+        nb = (n + BLOCK_VALUES - 1) // BLOCK_VALUES
+        flag_bytes = (nb + 7) // 8
+        constant = unpack_bitflags(
+            np.frombuffer(stream, np.uint8, flag_bytes, off), nb
+        )
+        off += flag_bytes
+        wc_bytes = (nb + 3) // 4
+        packed_w = np.frombuffer(stream, np.uint8, wc_bytes, off)
+        off += wc_bytes
+        width_code = np.stack(
+            [packed_w & 3, (packed_w >> 2) & 3, (packed_w >> 4) & 3, (packed_w >> 6) & 3],
+            axis=1,
+        ).reshape(-1)[:nb]
+        means = np.frombuffer(stream, "<f4", nb, off).astype(np.float64)
+        off += nb * 4
+
+        q = np.zeros((nb, BLOCK_VALUES), dtype=np.int64)
+        for i, w in enumerate(_WIDTHS, start=1):
+            sel = width_code == i
+            count = int(np.count_nonzero(sel))
+            if count == 0:
+                continue
+            raw = np.frombuffer(stream, f"<u{w}", count * BLOCK_VALUES, off)
+            off += count * BLOCK_VALUES * w
+            q[sel] = raw.reshape(count, BLOCK_VALUES).astype(np.int64) - _CAPACITY[w]
+
+        blocks = means[:, None] + q * (2.0 * eb_abs)
+        blocks[constant] = means[constant, None]
+        flat = blocks.reshape(-1)[:n].astype(np.float32)
+        return flat.reshape(shape)

@@ -1,0 +1,271 @@
+"""Canonical Huffman codec over integer symbols.
+
+This is the lossless back end of the cuSZ baseline (and of the MGARD
+baseline's DEFLATE-style stage).  Design notes:
+
+* **Canonical codes.**  Only code *lengths* are serialized (one byte per
+  symbol); encoder and decoder derive identical codebooks from them, like
+  cuSZ's canonical codebook kernel.
+* **Length-limited.**  Code lengths are capped at :data:`MAX_CODE_LEN` bits by
+  iteratively flattening the frequency histogram (frequencies halve until the
+  optimal tree fits).  The cap enables a single-probe table decoder.
+* **Vectorized encode.**  Per-symbol code bits are expanded through a lookup
+  table and packed with ``np.packbits`` — no per-symbol Python loop.
+* **Table decode.**  A ``2**MAX_CODE_LEN``-entry table maps every possible
+  bit window to (symbol, length); the sliding-window/symbol-chase is the only
+  sequential part (a pointer walk over a precomputed ``next`` array).
+
+The format: ``u32 n_symbols_alphabet | u64 n_values | u64 n_bits | lengths
+(n_symbols bytes) | packed bitstream``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompressionError, FormatError
+
+__all__ = ["HuffmanCodec", "MAX_CODE_LEN", "build_code_lengths", "canonical_codes"]
+
+#: Longest permitted Huffman code, sized so the decode table stays small.
+MAX_CODE_LEN = 16
+
+_HDR = "<IQQ"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+
+def build_code_lengths(freqs: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
+    """Compute Huffman code lengths from symbol frequencies.
+
+    Uses the standard two-queue/heap construction; if the optimal tree exceeds
+    ``max_len`` the histogram is flattened (``freq = ceil(freq/2)``) and the
+    tree rebuilt, converging to a length-limited near-optimal code (the same
+    practical approach production encoders take when a strict package-merge
+    is overkill).
+
+    Parameters
+    ----------
+    freqs:
+        Non-negative integer counts per symbol (alphabet = index range).
+    max_len:
+        Maximum permitted code length in bits.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of code lengths (0 for absent symbols).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be 1-D")
+    if (freqs < 0).any():
+        raise ValueError("frequencies must be non-negative")
+
+    present = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    work = freqs.copy()
+    while True:
+        depths = _huffman_depths(work[present])
+        if depths.max() <= max_len:
+            lengths[present] = depths
+            return lengths
+        # Flatten and retry: halving compresses the dynamic range of the
+        # distribution, which shortens the deepest leaves.
+        work = (work + 1) // 2
+
+
+def _huffman_depths(freqs: np.ndarray) -> np.ndarray:
+    """Leaf depths of the optimal Huffman tree for >= 2 present symbols."""
+    # Heap items: (freq, tie, node_id).  Internal nodes get ids past n.
+    n = freqs.size
+    heap = [(int(f), i, i) for i, f in enumerate(freqs)]
+    heapq.heapify(heap)
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    next_id = n
+    while len(heap) > 1:
+        f1, _, a = heapq.heappop(heap)
+        f2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id, next_id))
+        next_id += 1
+    # Depth of each leaf = number of parent hops to the root.
+    depths = np.zeros(n, dtype=np.int64)
+    for leaf in range(n):
+        d, node = 0, leaf
+        while parent[node] != -1:
+            node = parent[node]
+            d += 1
+        depths[leaf] = d
+    return depths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes from code lengths.
+
+    Symbols are ranked by (length, symbol index); codes are consecutive
+    integers within each length, left-justified per the canonical rule.
+    Returns a ``uint32`` array of codes (undefined where length is 0).
+    """
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    code = 0
+    prev_len = 0
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    for sym in order:
+        ln = int(lengths[sym])
+        if ln == 0:
+            continue
+        code <<= ln - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+@dataclass(frozen=True)
+class _Codebook:
+    lengths: np.ndarray
+    codes: np.ndarray
+
+
+class HuffmanCodec:
+    """Canonical, length-limited Huffman codec for bounded integer symbols.
+
+    Parameters
+    ----------
+    n_symbols:
+        Alphabet size (symbols are ``0..n_symbols-1``).  cuSZ uses 1024 for
+        its quantization codes.
+    """
+
+    def __init__(self, n_symbols: int):
+        if not (2 <= n_symbols <= 1 << 24):
+            raise ValueError("n_symbols must be in [2, 2^24]")
+        self.n_symbols = int(n_symbols)
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode a symbol array into a self-contained byte stream."""
+        symbols = np.ascontiguousarray(symbols)
+        if symbols.ndim != 1:
+            raise ValueError("symbols must be 1-D")
+        if symbols.size and (
+            symbols.min() < 0 or symbols.max() >= self.n_symbols
+        ):
+            raise ValueError("symbol out of alphabet range")
+
+        freqs = np.bincount(symbols, minlength=self.n_symbols)
+        lengths = build_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+
+        if symbols.size == 0:
+            payload = b""
+            n_bits = 0
+        else:
+            # Expand each symbol's code into bits via a (n_symbols, MAX) table.
+            bit_idx = np.arange(MAX_CODE_LEN, dtype=np.int64)
+            shift = np.maximum(
+                lengths[:, None].astype(np.int64) - 1 - bit_idx[None, :], 0
+            )
+            table_bits = ((codes[:, None].astype(np.int64) >> shift) & 1).astype(
+                np.uint8
+            )
+            sym_lengths = lengths[symbols].astype(np.int64)
+            bits2d = table_bits[symbols]  # (n, MAX_CODE_LEN), MSB-first
+            valid = bit_idx[None, :] < sym_lengths[:, None]
+            bitstream = bits2d[valid]  # row-major selection preserves order
+            n_bits = int(bitstream.size)
+            payload = np.packbits(bitstream, bitorder="big").tobytes()
+
+        header = struct.pack(_HDR, self.n_symbols, symbols.size, n_bits)
+        return header + lengths.tobytes() + payload
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, stream: bytes) -> np.ndarray:
+        """Decode a stream produced by :meth:`encode` back to symbols."""
+        if len(stream) < _HDR_BYTES:
+            raise FormatError("huffman stream too short")
+        n_symbols, n_values, n_bits = struct.unpack_from(_HDR, stream)
+        if n_symbols != self.n_symbols:
+            raise FormatError(
+                f"alphabet mismatch: stream {n_symbols}, codec {self.n_symbols}"
+            )
+        lengths = np.frombuffer(
+            stream, dtype=np.uint8, count=n_symbols, offset=_HDR_BYTES
+        )
+        payload = np.frombuffer(stream, dtype=np.uint8, offset=_HDR_BYTES + n_symbols)
+        if n_values == 0:
+            return np.zeros(0, dtype=np.int64)
+        if payload.size * 8 < n_bits:
+            raise FormatError("huffman payload truncated")
+
+        codes = canonical_codes(lengths)
+        sym_table, len_table = self._decode_tables(lengths, codes)
+
+        bits = np.unpackbits(payload, bitorder="big")[:n_bits]
+        # Window value at every bit position (padded so windows never run out).
+        padded = np.concatenate([bits, np.zeros(MAX_CODE_LEN, dtype=np.uint8)])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, MAX_CODE_LEN)[
+            :n_bits
+        ]
+        weights = (1 << np.arange(MAX_CODE_LEN - 1, -1, -1)).astype(np.int64)
+        win_vals = windows @ weights
+        sym_at = sym_table[win_vals]
+        len_at = len_table[win_vals]
+        if (len_at == 0).any() and bool((len_at[0] == 0)):
+            raise DecompressionError("invalid huffman prefix at stream start")
+
+        # Sequential symbol chase over precomputed per-position decodes.
+        sym_list = sym_at.tolist()
+        len_list = len_at.tolist()
+        out = np.empty(n_values, dtype=np.int64)
+        pos = 0
+        for i in range(n_values):
+            if pos >= n_bits:
+                raise DecompressionError("huffman stream exhausted early")
+            step = len_list[pos]
+            if step == 0:
+                raise DecompressionError(f"invalid huffman prefix at bit {pos}")
+            out[i] = sym_list[pos]
+            pos += step
+        if pos != n_bits:
+            raise DecompressionError("trailing bits after last huffman symbol")
+        return out
+
+    @staticmethod
+    def _decode_tables(
+        lengths: np.ndarray, codes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-probe decode tables: window value -> (symbol, code length)."""
+        sym_table = np.zeros(1 << MAX_CODE_LEN, dtype=np.int64)
+        len_table = np.zeros(1 << MAX_CODE_LEN, dtype=np.int64)
+        present = np.flatnonzero(lengths)
+        # Vectorized fill: each code of length L owns a 2^(MAX-L) aligned range.
+        for sym in present:
+            ln = int(lengths[sym])
+            lo = int(codes[sym]) << (MAX_CODE_LEN - ln)
+            hi = lo + (1 << (MAX_CODE_LEN - ln))
+            sym_table[lo:hi] = sym
+            len_table[lo:hi] = ln
+        return sym_table, len_table
+
+    # -- analytics --------------------------------------------------------
+
+    def encoded_bits(self, symbols: np.ndarray) -> int:
+        """Exact payload size in bits without materializing the stream."""
+        freqs = np.bincount(np.ascontiguousarray(symbols), minlength=self.n_symbols)
+        lengths = build_code_lengths(freqs)
+        return int((freqs * lengths.astype(np.int64)).sum())

@@ -1,0 +1,148 @@
+"""Gap-array Huffman: segment-parallel decoding (Rivera et al., IPDPS'22).
+
+Plain Huffman decoding is inherently sequential — a symbol's start position
+is only known once the previous symbol is decoded — which is why cuSZ's GPU
+decompression struggles (§5).  The gap-array technique fixes this at encode
+time: the encoder records the *bit offset of every S-th symbol* (the gap
+array), so the decoder can start one thread block per segment and decode all
+segments concurrently, each from an exact synchronization point.
+
+This module implements the format on top of the canonical codec:
+
+    base huffman stream | u32 segment_symbols | u32 n_segments | u64 offsets
+
+The per-segment decode here reuses the same table walk; the point of the
+substrate is the *format and its guarantees* (every segment is independently
+decodable — property-tested), plus the measured size overhead of the gap
+array, which is what a GPU implementation trades for parallelism.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.huffman import MAX_CODE_LEN, HuffmanCodec, canonical_codes
+from repro.errors import DecompressionError, FormatError
+
+__all__ = ["GapArrayHuffman", "DEFAULT_SEGMENT_SYMBOLS"]
+
+#: Symbols per decoding segment (one GPU thread block's worth).
+DEFAULT_SEGMENT_SYMBOLS = 4096
+
+_TRAILER = "<II"
+
+
+class GapArrayHuffman:
+    """Canonical Huffman with a gap array for segment-parallel decoding.
+
+    Parameters
+    ----------
+    n_symbols:
+        Alphabet size.
+    segment_symbols:
+        Symbols per segment; smaller segments mean more parallelism and a
+        larger gap array.
+    """
+
+    def __init__(self, n_symbols: int, segment_symbols: int = DEFAULT_SEGMENT_SYMBOLS):
+        if segment_symbols < 1:
+            raise ValueError("segment_symbols must be >= 1")
+        self._base = HuffmanCodec(n_symbols)
+        self.n_symbols = n_symbols
+        self.segment_symbols = int(segment_symbols)
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode symbols and append the gap array of segment bit offsets."""
+        symbols = np.ascontiguousarray(symbols)
+        base_stream = self._base.encode(symbols)
+
+        # bit offsets of every segment's first symbol: cumulative code lengths
+        if symbols.size:
+            from repro.baselines.huffman import build_code_lengths
+
+            freqs = np.bincount(symbols, minlength=self.n_symbols)
+            lengths = build_code_lengths(freqs)
+            sym_bits = lengths[symbols].astype(np.int64)
+            cum = np.concatenate([[0], np.cumsum(sym_bits)[:-1]])
+            seg_starts = cum[:: self.segment_symbols]
+        else:
+            seg_starts = np.zeros(0, dtype=np.int64)
+
+        trailer = struct.pack(_TRAILER, self.segment_symbols, seg_starts.size)
+        return (
+            base_stream
+            + seg_starts.astype("<u8").tobytes()
+            + trailer
+            + struct.pack("<Q", len(base_stream))
+        )
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, stream: bytes) -> np.ndarray:
+        """Decode all segments independently and verify they agree.
+
+        Each segment starts exactly at its gap-array offset, so no
+        inter-segment state is needed — the GPU version launches them all
+        concurrently; here they run in a loop, but each is self-contained.
+        """
+        if len(stream) < 8 + struct.calcsize(_TRAILER):
+            raise FormatError("gap-array stream too short")
+        (base_len,) = struct.unpack_from("<Q", stream, len(stream) - 8)
+        seg_sym, n_segments = struct.unpack_from(
+            _TRAILER, stream, len(stream) - 8 - struct.calcsize(_TRAILER)
+        )
+        gap_off = base_len
+        gaps = np.frombuffer(stream, "<u8", n_segments, gap_off).astype(np.int64)
+        base = stream[:base_len]
+
+        # parse base header pieces we need for independent segment decode
+        n_symbols, n_values, n_bits = struct.unpack_from("<IQQ", base)
+        if n_symbols != self.n_symbols:
+            raise FormatError("alphabet mismatch in gap-array stream")
+        if n_values == 0:
+            return np.zeros(0, dtype=np.int64)
+        lengths = np.frombuffer(base, np.uint8, n_symbols, struct.calcsize("<IQQ"))
+        payload = np.frombuffer(
+            base, np.uint8, offset=struct.calcsize("<IQQ") + n_symbols
+        )
+        codes = canonical_codes(lengths)
+        sym_table, len_table = HuffmanCodec._decode_tables(lengths, codes)
+
+        bits = np.unpackbits(payload, bitorder="big")[:n_bits]
+        padded = np.concatenate([bits, np.zeros(MAX_CODE_LEN, dtype=np.uint8)])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, MAX_CODE_LEN)[:n_bits]
+        weights = (1 << np.arange(MAX_CODE_LEN - 1, -1, -1)).astype(np.int64)
+        win_vals = windows @ weights
+        sym_at = sym_table[win_vals].tolist()
+        len_at = len_table[win_vals].tolist()
+
+        out = np.empty(n_values, dtype=np.int64)
+        for s in range(n_segments):
+            pos = int(gaps[s])
+            first = s * seg_sym
+            last = min(first + seg_sym, n_values)
+            for i in range(first, last):
+                if pos >= n_bits:
+                    raise DecompressionError("segment ran past the bitstream")
+                step = len_at[pos]
+                if step == 0:
+                    raise DecompressionError(f"invalid prefix at bit {pos}")
+                out[i] = sym_at[pos]
+                pos += step
+            # segment-boundary invariant: the exit position must equal the
+            # next segment's recorded entry (or the stream end)
+            expected = int(gaps[s + 1]) if s + 1 < n_segments else n_bits
+            if pos != expected:
+                raise DecompressionError(
+                    f"segment {s} desynchronized: exit bit {pos}, expected {expected}"
+                )
+        return out
+
+    def gap_overhead_bytes(self, n_values: int) -> int:
+        """Size of the gap array for ``n_values`` symbols."""
+        n_segments = (n_values + self.segment_symbols - 1) // self.segment_symbols
+        return n_segments * 8 + struct.calcsize(_TRAILER) + 8

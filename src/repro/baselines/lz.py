@@ -1,0 +1,166 @@
+"""Byte-oriented LZ77 dictionary coder (LZ4/DEFLATE-class substrate).
+
+Two places need a dictionary coder:
+
+* MGARD-GPU's lossless back end is DEFLATE (LZ77 + Huffman) run on the CPU
+  (§1); :func:`deflate_like` composes this module with the Huffman codec.
+* The bitshuffle paper (Masui et al.) pairs bitshuffle with LZ4; the
+  benchmark comparing FZ-GPU's encoder against bitshuffle+LZ uses this codec
+  as the stand-in (§3.4 — the paper measures nvCOMP LZ4 at only 6.3 GB/s).
+
+Greedy hash-chain matcher, 64 KiB window, 4-byte minimum match — the LZ4
+recipe.  Token format (byte-aligned for simplicity): a control byte holds a
+literal count (0-15) and match length (0-15) nibble pair with escape bytes
+for longer runs, followed by the literals and a 2-byte little-endian match
+offset, exactly in the spirit of the LZ4 frame.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = ["lz_compress", "lz_decompress", "deflate_like", "deflate_like_decode"]
+
+_MIN_MATCH = 4
+_WINDOW = 1 << 16
+_HDR = "<Q"
+
+
+def lz_compress(data: bytes) -> bytes:
+    """LZ77-compress a byte string (greedy, hash-table matching)."""
+    n = len(data)
+    out = bytearray(struct.pack(_HDR, n))
+    if n == 0:
+        return bytes(out)
+
+    table: dict[bytes, int] = {}
+    i = 0
+    lit_start = 0
+    while i + _MIN_MATCH <= n:
+        key = data[i : i + _MIN_MATCH]
+        cand = table.get(key)
+        table[key] = i
+        if cand is not None and i - cand <= _WINDOW - 1:
+            # extend the match forward
+            mlen = _MIN_MATCH
+            max_len = n - i
+            while mlen < max_len and data[cand + mlen] == data[i + mlen]:
+                mlen += 1
+            _emit(out, data[lit_start:i], i - cand, mlen)
+            # index a few positions inside the match to keep the table fresh
+            end = i + mlen
+            for j in range(i + 1, min(end, i + 8)):
+                if j + _MIN_MATCH <= n:
+                    table[data[j : j + _MIN_MATCH]] = j
+            i = end
+            lit_start = i
+        else:
+            i += 1
+    if lit_start < n:
+        _emit(out, data[lit_start:], 0, 0)
+    return bytes(out)
+
+
+def _emit(out: bytearray, literals: bytes, offset: int, mlen: int) -> None:
+    """Append one token: literal run + optional match."""
+    lit = len(literals)
+    lit_nibble = min(lit, 15)
+    match_extra = mlen - _MIN_MATCH if mlen else 0
+    match_nibble = min(match_extra, 15) if mlen else 0
+    ctrl = (lit_nibble << 4) | match_nibble
+    out.append(ctrl)
+    rest = lit - 15
+    if lit_nibble == 15:
+        while rest >= 255:
+            out.append(255)
+            rest -= 255
+        out.append(max(rest, 0))
+    out += literals
+    # the offset field is always present; 0 marks a literal-only token
+    out += struct.pack("<H", offset if mlen else 0)
+    if mlen and match_nibble == 15:
+        rest = match_extra - 15
+        while rest >= 255:
+            out.append(255)
+            rest -= 255
+        out.append(max(rest, 0))
+
+
+def lz_decompress(stream: bytes) -> bytes:
+    """Invert :func:`lz_compress`."""
+    if len(stream) < struct.calcsize(_HDR):
+        raise FormatError("lz stream too short")
+    (n,) = struct.unpack_from(_HDR, stream)
+    pos = struct.calcsize(_HDR)
+    end = len(stream)
+    out = bytearray()
+    while len(out) < n:
+        if pos >= end:
+            raise FormatError("lz stream truncated")
+        ctrl = stream[pos]
+        pos += 1
+        lit = ctrl >> 4
+        if lit == 15:
+            while True:
+                if pos >= end:
+                    raise FormatError("lz stream truncated in literal length")
+                b = stream[pos]
+                pos += 1
+                lit += b
+                if b != 255:
+                    break
+        if pos + lit + 2 > end:
+            raise FormatError("lz stream truncated in literals")
+        out += stream[pos : pos + lit]
+        pos += lit
+        (offset,) = struct.unpack_from("<H", stream, pos)
+        pos += 2
+        if offset == 0:
+            continue  # literal-only token
+        mext = ctrl & 15
+        if mext == 15:
+            while True:
+                if pos >= end:
+                    raise FormatError("lz stream truncated in match length")
+                b = stream[pos]
+                pos += 1
+                mext += b
+                if b != 255:
+                    break
+        mlen = _MIN_MATCH + mext
+        start = len(out) - offset
+        if start < 0:
+            raise FormatError("lz match before stream start")
+        for k in range(mlen):  # overlapping copies must be byte-serial
+            out.append(out[start + k])
+    if len(out) != n:
+        raise FormatError(f"lz output length mismatch: {len(out)} != {n}")
+    return bytes(out)
+
+
+def deflate_like(symbols: np.ndarray) -> bytes:
+    """DEFLATE-style two-stage coder: LZ77 over bytes, then Huffman.
+
+    The MGARD baseline's lossless back end.  Symbols are serialized as
+    little-endian int32 bytes first (multigrid coefficients fit easily).
+    """
+    from repro.baselines.huffman import HuffmanCodec
+
+    raw = np.ascontiguousarray(symbols, dtype="<i4").tobytes()
+    lz = lz_compress(raw)
+    codec = HuffmanCodec(256)
+    return codec.encode(np.frombuffer(lz, dtype=np.uint8).astype(np.int64))
+
+
+def deflate_like_decode(stream: bytes) -> np.ndarray:
+    """Invert :func:`deflate_like`."""
+    from repro.baselines.huffman import HuffmanCodec
+
+    codec = HuffmanCodec(256)
+    lz = codec.decode(stream).astype(np.uint8).tobytes()
+    raw = lz_decompress(lz)
+    return np.frombuffer(raw, dtype="<i4").astype(np.int64)

@@ -1,0 +1,564 @@
+"""cuZFP baseline: fixed-rate ZFP transform coding (Lindstrom 2014).
+
+The real ZFP algorithm, implemented from scratch:
+
+1. Partition the field into ``4^d`` blocks (edge-padded at boundaries).
+2. Per block: align all values to a common exponent (block floating point)
+   and convert to 32-bit signed fixed point (``q = v * 2**(30 - emax)``).
+3. Decorrelate with the (exactly invertible) integer lifting transform along
+   each dimension.
+4. Reorder coefficients by total sequency and map to *negabinary* so small
+   signed values have small unsigned magnitudes.
+5. Embedded bit-plane coding from MSB to LSB with unary group testing,
+   truncated at a fixed per-block bit budget (``rate * 4**d`` bits) — this is
+   the *fixed-rate mode*, the only mode cuZFP supports (§2.1).
+
+Decoding mirrors each step; unread bit planes are zero.  Like cuZFP, the
+codec offers no error bound — quality is whatever the rate allows, which is
+why the paper's protocol searches for the bitrate matching FZ-GPU's PSNR.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines.base import Codec, CodecResult
+from repro.errors import FormatError
+from repro.utils.validation import ensure_float32, ensure_ndim
+
+__all__ = ["CuZFP", "ZFPFixedAccuracy", "fwd_lift", "inv_lift", "sequency_permutation"]
+
+_MAGIC = b"CZFP"
+_HDR = "<4sBBHdQ3Q"
+_HDR_BYTES = struct.calcsize(_HDR)
+
+#: Fixed-point precision: values are scaled to ``2**(INTPREC - 2 - emax)``.
+INTPREC = 32
+#: Bits used to store each block's common exponent (8-bit biased + zero flag).
+EBITS = 9
+_EBIAS = 127
+#: Negabinary conversion mask (0b1010... over 32 bits).
+_NB_MASK = np.int64(0xAAAAAAAA)
+
+
+def fwd_lift(block: np.ndarray, axis: int) -> np.ndarray:
+    """Forward ZFP lifting transform along ``axis`` (length-4 lines).
+
+    Operates in int64 (the values fit 32-bit by ZFP's range analysis; int64
+    removes any overflow concern).  Inverted by :func:`inv_lift` up to the
+    inherent +-1-bit rounding of the ``>> 1`` steps — the same small loss the
+    real zfp transform has (its exactly-reversible mode uses a different
+    transform); the fixed-point headroom makes it negligible.
+    """
+    b = np.moveaxis(block, axis, -1)
+    x, y, z, w = (b[..., i].copy() for i in range(4))
+    # non-orthogonal transform [4 4 4 4; 5 1 -1 -5; -4 4 4 -4; -2 6 -6 2]/16
+    x += w; x >>= 1; w -= x
+    z += y; z >>= 1; y -= z
+    x += z; x >>= 1; z -= x
+    w += y; w >>= 1; y -= w
+    w += y >> 1; y -= w >> 1
+    out = np.stack([x, y, z, w], axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def inv_lift(block: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`fwd_lift` (exact integer inverse)."""
+    b = np.moveaxis(block, axis, -1)
+    x, y, z, w = (b[..., i].copy() for i in range(4))
+    y += w >> 1; w -= y >> 1
+    y += w; w <<= 1; w -= y
+    z += x; x <<= 1; x -= z
+    y += z; z <<= 1; z -= y
+    w += x; x <<= 1; x -= w
+    out = np.stack([x, y, z, w], axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+@lru_cache(maxsize=None)
+def sequency_permutation(ndim: int) -> tuple[np.ndarray, np.ndarray]:
+    """Coefficient order by total sequency for a ``4^ndim`` block.
+
+    Returns ``(perm, inv_perm)`` where ``perm[j]`` is the flat index of the
+    j-th coefficient in encoding order.  Low-sequency (smooth) coefficients
+    come first so the embedded coder meets the energy-compacted ones early.
+    """
+    coords = np.indices((4,) * ndim).reshape(ndim, -1)
+    total = coords.sum(axis=0)
+    # tie-break on the flat index for a fixed deterministic order
+    perm = np.lexsort((np.arange(total.size), total)).astype(np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size)
+    return perm, inv
+
+
+def _to_negabinary(x: np.ndarray) -> np.ndarray:
+    """Two's complement int -> negabinary unsigned (as int64, 32 valid bits)."""
+    return ((x + _NB_MASK) ^ _NB_MASK) & np.int64(0xFFFFFFFF)
+
+
+def _from_negabinary(u: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_to_negabinary`."""
+    u = u & np.int64(0xFFFFFFFF)
+    x = (u ^ _NB_MASK) - _NB_MASK
+    # sign-extend from 32 bits
+    return (x << 32) >> 32
+
+
+class _BitWriter:
+    """LSB-first bit sink: a small int accumulator flushed to a bytearray.
+
+    Flushing keeps the accumulator bounded so each write stays O(nbits)
+    instead of growing with the whole stream.
+    """
+
+    __slots__ = ("acc", "n", "_out")
+
+    _FLUSH_BITS = 1 << 14
+
+    def __init__(self) -> None:
+        self.acc = 0
+        self.n = 0
+        self._out = bytearray()
+
+    def write(self, value: int, nbits: int) -> None:
+        if not nbits:
+            return
+        self.acc |= (value & ((1 << nbits) - 1)) << self.n
+        self.n += nbits
+        if self.n >= self._FLUSH_BITS:
+            whole = self.n // 8
+            self._out += (self.acc & ((1 << (whole * 8)) - 1)).to_bytes(
+                whole, "little"
+            )
+            self.acc >>= whole * 8
+            self.n -= whole * 8
+
+    def to_bytes(self) -> bytes:
+        tail = self.acc.to_bytes((self.n + 7) // 8, "little") if self.n else b""
+        return bytes(self._out) + tail
+
+
+class _BitReader:
+    """LSB-first bit reader matching :class:`_BitWriter`.
+
+    Reads slice only the bytes they touch, so each read is O(nbits) no
+    matter how large the stream is.
+    """
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read(self, nbits: int) -> int:
+        if not nbits:
+            return 0
+        start = self.pos >> 3
+        end = (self.pos + nbits + 7) >> 3
+        window = int.from_bytes(self.data[start:end], "little")
+        v = (window >> (self.pos & 7)) & ((1 << nbits) - 1)
+        self.pos += nbits
+        return v
+
+
+def _extract_planes(nb_coeffs: np.ndarray) -> np.ndarray:
+    """Vectorized bit-plane extraction for a batch of blocks.
+
+    ``nb_coeffs`` has shape ``(nb, size)`` (negabinary, 32 valid bits);
+    returns ``(nb, INTPREC)`` uint64 where entry ``[b, k]`` is plane ``k`` of
+    block ``b`` (bit ``i`` = coefficient ``i``'s bit).  Hoisting this out of
+    the per-block coder removes the dominant Python-level loop.
+    """
+    nb_coeffs = np.asarray(nb_coeffs, dtype=np.int64)
+    bits = (nb_coeffs[:, :, None] >> np.arange(INTPREC)) & 1  # (nb, size, k)
+    weights = (np.uint64(1) << np.arange(nb_coeffs.shape[1], dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights[None, :, None]).sum(axis=1)
+
+
+def _encode_block_planes(
+    planes: list[int],
+    size: int,
+    budget: int,
+    writer: _BitWriter,
+    kmin: int = 0,
+    pad: bool = True,
+) -> None:
+    """ZFP embedded coding of one block given its pre-extracted bit planes.
+
+    Faithful transcription of zfp's ``encode_ints``: per plane, emit the bits
+    of already-active coefficients, then unary group-test the rest.
+    ``planes[k]`` is bit plane ``k`` packed with coefficient ``i`` at bit
+    ``i`` (see :func:`_extract_planes`).
+
+    ``kmin``/``pad`` support the two zfp modes: fixed rate caps ``budget``
+    and pads to it; fixed accuracy sets ``kmin`` (planes below it carry less
+    than the tolerance) with an effectively unlimited budget and no padding.
+    """
+    bits = budget
+    n = 0
+    for k in range(INTPREC - 1, kmin - 1, -1):
+        if not bits:
+            break
+        x = planes[k]
+        # step 2: verbatim bits for the already-active prefix
+        m = min(n, bits)
+        bits -= m
+        writer.write(x, m)
+        x >>= m
+        # step 3: unary run-length encode the remainder (zfp encode_ints)
+        while n < size and bits:
+            bits -= 1
+            flag = 1 if x else 0
+            writer.write(flag, 1)
+            if not flag:
+                break
+            # inner: emit literal bits while they are 0; a written 1, the
+            # implied final coefficient, or budget exhaustion ends the run
+            while n < size - 1 and bits:
+                bits -= 1
+                b = x & 1
+                writer.write(b, 1)
+                if b:
+                    break
+                x >>= 1
+                n += 1
+            # the coefficient that ended the run is consumed unwritten
+            x >>= 1
+            n += 1
+    # fixed-rate: pad to exactly `budget` bits
+    if pad:
+        writer.write(0, bits)
+
+
+def _decode_block_planes(
+    budget: int,
+    size: int,
+    reader: _BitReader,
+    kmin: int = 0,
+    pad: bool = True,
+) -> np.ndarray:
+    """Inverse of :func:`_encode_block_planes` (zfp's ``decode_ints``)."""
+    coeffs = [0] * size
+    bits = budget
+    n = 0
+    end = reader.pos + budget
+    for k in range(INTPREC - 1, kmin - 1, -1):
+        if not bits:
+            break
+        m = min(n, bits)
+        bits -= m
+        x = reader.read(m)
+        # unary run-length decode (zfp decode_ints): mirror of the encoder
+        while n < size and bits:
+            bits -= 1
+            if not reader.read(1):
+                break
+            while n < size - 1 and bits:
+                bits -= 1
+                if reader.read(1):
+                    break
+                n += 1
+            # coefficient that ended the run carries an (implied) 1 bit
+            x += 1 << n
+            n += 1
+        i = 0
+        while x:
+            if x & 1:
+                coeffs[i] += 1 << k
+            x >>= 1
+            i += 1
+    if pad:
+        reader.pos = end  # skip fixed-rate padding
+    return np.array(coeffs, dtype=np.int64)
+
+
+class CuZFP(Codec):
+    """Fixed-rate ZFP codec (the mode cuZFP exposes).
+
+    Parameters
+    ----------
+    rate:
+        Bits per value; each ``4^d`` block consumes exactly ``rate * 4**d``
+        bits (of which :data:`EBITS` encode the block exponent).
+    """
+
+    name = "cuZFP"
+
+    def __init__(self, rate: float = 8.0):
+        if rate <= 0 or rate > 34:
+            raise ValueError("rate must be in (0, 34] bits/value")
+        self.rate = float(rate)
+
+    def compress(self, data: np.ndarray, rate: float | None = None, **_) -> CodecResult:
+        """Compress at the configured (or overriding) fixed rate."""
+        data = ensure_ndim(ensure_float32(data))
+        rate = float(rate) if rate is not None else self.rate
+        nd = data.ndim
+        block_elems = 4**nd
+        maxbits = max(int(round(rate * block_elems)), EBITS + 1)
+
+        # Edge-pad to whole blocks (replication limits boundary artifacts).
+        pads = [(0, (-s) % 4) for s in data.shape]
+        padded = np.pad(data, pads, mode="edge")
+        blocks = _extract_blocks(padded)  # (nb, 4**nd) float32, flat C order
+        nb = blocks.shape[0]
+
+        # Block floating point: common exponent per block.
+        absmax = np.abs(blocks).max(axis=1)
+        nonzero = absmax > 0
+        emax = np.zeros(nb, dtype=np.int64)
+        emax[nonzero] = np.frexp(absmax[nonzero])[1]
+        # blocks of pure subnormals underflow the 9-bit exponent field; flush
+        # them to zero like zfp does
+        nonzero &= emax + _EBIAS + 1 > 0
+        scale = np.exp2(INTPREC - 2 - emax).astype(np.float64)
+        fixed = np.rint(blocks.astype(np.float64) * scale[:, None]).astype(np.int64)
+
+        # Decorrelate + reorder + negabinary (vectorized across blocks).
+        cube = fixed.reshape((nb,) + (4,) * nd)
+        for ax in range(1, nd + 1):
+            cube = fwd_lift(cube, ax)
+        perm, _ = sequency_permutation(nd)
+        coeffs = cube.reshape(nb, block_elems)[:, perm]
+        nb_coeffs = _to_negabinary(coeffs)
+
+        writer = _BitWriter()
+        plane_budget = maxbits - EBITS
+        all_planes = _extract_planes(nb_coeffs)
+        plane_lists = all_planes.tolist()  # one conversion, fast scalar access
+        for b in range(nb):
+            if nonzero[b]:
+                writer.write(int(emax[b]) + _EBIAS + 1, EBITS)
+                _encode_block_planes(plane_lists[b], block_elems, plane_budget, writer)
+            else:
+                writer.write(0, EBITS)
+                writer.write(0, plane_budget)
+
+        payload = writer.to_bytes()
+        header = struct.pack(
+            _HDR,
+            _MAGIC,
+            1,
+            nd,
+            0,
+            rate,
+            data.size,
+            *(list(data.shape) + [1] * (3 - nd)),
+        )
+        stream = header + payload
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=None,
+            extras={"rate": rate, "n_blocks": nb, "maxbits": maxbits},
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the field from a fixed-rate stream."""
+        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+            raise FormatError("not a cuZFP stream")
+        _m, _v, nd, _r, rate, _n, d0, d1, d2 = struct.unpack_from(_HDR, stream)
+        shape = (d0, d1, d2)[:nd]
+        block_elems = 4**nd
+        maxbits = max(int(round(rate * block_elems)), EBITS + 1)
+        plane_budget = maxbits - EBITS
+
+        padded_shape = tuple(s + ((-s) % 4) for s in shape)
+        nb = int(np.prod([s // 4 for s in padded_shape]))
+        reader = _BitReader(stream[_HDR_BYTES:])
+        perm, inv = sequency_permutation(nd)
+
+        out_blocks = np.zeros((nb, block_elems), dtype=np.float32)
+        for b in range(nb):
+            e_field = reader.read(EBITS)
+            if e_field == 0:
+                reader.pos += plane_budget
+                continue
+            emax = e_field - _EBIAS - 1
+            nb_coeffs = _decode_block_planes(plane_budget, block_elems, reader)
+            coeffs = _from_negabinary(nb_coeffs)
+            cube = coeffs[inv].reshape((4,) * nd)[None]
+            for ax in range(nd, 0, -1):
+                cube = inv_lift(cube, ax)
+            scale = float(np.exp2(-(INTPREC - 2 - emax)))
+            with np.errstate(over="ignore"):
+                # corrupted streams can carry absurd exponents; the cast
+                # saturates to inf rather than raising
+                out_blocks[b] = cube.reshape(-1).astype(np.float64) * scale
+
+        padded = _insert_blocks(out_blocks, padded_shape)
+        crop = tuple(slice(0, s) for s in shape)
+        return np.ascontiguousarray(padded[crop])
+
+
+def _extract_blocks(padded: np.ndarray) -> np.ndarray:
+    """Gather 4^d blocks of a 4-aligned array as ``(nb, 4**nd)`` rows."""
+    nd = padded.ndim
+    split: list[int] = []
+    for s in padded.shape:
+        split += [s // 4, 4]
+    arr = padded.reshape(split)
+    order = list(range(0, 2 * nd, 2)) + list(range(1, 2 * nd, 2))
+    return arr.transpose(order).reshape(-1, 4**nd)
+
+
+def _insert_blocks(blocks: np.ndarray, padded_shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`_extract_blocks`."""
+    nd = len(padded_shape)
+    nbs = [s // 4 for s in padded_shape]
+    arr = blocks.reshape(nbs + [4] * nd)
+    order: list[int] = []
+    for i in range(nd):
+        order += [i, nd + i]
+    return arr.transpose(order).reshape(padded_shape)
+
+
+_ACC_MAGIC = b"ZFPA"
+_ACC_HDR = "<4sBBHdQ3Q"
+_ACC_HDR_BYTES = struct.calcsize(_ACC_HDR)
+
+
+class ZFPFixedAccuracy(Codec):
+    """ZFP in *fixed-accuracy* (error-bounded) mode — the mode cuZFP lacks.
+
+    The paper's problem statement (§2.4) notes that cuZFP only exposes fixed
+    rate, which limits its compression quality at a given error level.  The
+    underlying ZFP algorithm, however, defines a fixed-accuracy mode: keep
+    encoding bit planes of every block until the remaining planes carry less
+    than the tolerance.  This class implements it on the same transform and
+    embedded coder as :class:`CuZFP` — an extension beyond the paper's
+    evaluated baselines showing what an error-bounded cuZFP would look like.
+
+    Per block, planes below ``kmin = floor(log2(tol)) + (INTPREC-2) - emax -
+    margin`` are dropped: a plane-``k`` bit of the fixed-point representation
+    is worth ``2**(k - (INTPREC-2) + emax)`` in value units, and the margin
+    absorbs the decorrelating transform's gain.  The stream is variable
+    length but needs no per-block offsets: the embedded coding is
+    self-terminating given ``kmin``, which the decoder re-derives from each
+    block's exponent and the header tolerance.
+    """
+
+    name = "ZFP (fixed-accuracy)"
+
+    #: extra planes kept below the naive cutoff to absorb transform gain
+    _MARGIN_PLANES = 3
+    _UNLIMITED = 1 << 30
+
+    def __init__(self, tolerance: float | None = None):
+        if tolerance is not None and tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+
+    def _kmin(self, tol: float, emax: int, nd: int) -> int:
+        k = math.floor(math.log2(tol)) + (INTPREC - 2) - emax - self._MARGIN_PLANES - nd
+        return int(min(max(k, 0), INTPREC))
+
+    def compress(
+        self, data: np.ndarray, eb: float | None = None, mode: str = "abs", **_
+    ) -> CodecResult:
+        """Compress under an absolute (or range-relative) error tolerance."""
+        from repro.core.pipeline import resolve_error_bound
+
+        data = ensure_ndim(ensure_float32(data))
+        tol = eb if eb is not None else self.tolerance
+        if tol is None:
+            raise ValueError("a tolerance is required (eb= or constructor)")
+        tol = resolve_error_bound(data, tol, mode)
+
+        nd = data.ndim
+        block_elems = 4**nd
+        pads = [(0, (-s) % 4) for s in data.shape]
+        padded = np.pad(data, pads, mode="edge")
+        blocks = _extract_blocks(padded)
+        nb = blocks.shape[0]
+
+        absmax = np.abs(blocks).max(axis=1)
+        nonzero = absmax > tol / 4.0  # blocks entirely under tol/4 round to 0
+        emax = np.zeros(nb, dtype=np.int64)
+        emax[nonzero] = np.frexp(absmax[nonzero])[1]
+        nonzero &= emax + _EBIAS + 1 > 0
+        scale = np.exp2(INTPREC - 2 - emax).astype(np.float64)
+        fixed = np.rint(blocks.astype(np.float64) * scale[:, None]).astype(np.int64)
+
+        cube = fixed.reshape((nb,) + (4,) * nd)
+        for ax in range(1, nd + 1):
+            cube = fwd_lift(cube, ax)
+        perm, _ = sequency_permutation(nd)
+        coeffs = cube.reshape(nb, block_elems)[:, perm]
+        nb_coeffs = _to_negabinary(coeffs)
+        plane_lists = _extract_planes(nb_coeffs).tolist()
+
+        writer = _BitWriter()
+        for b in range(nb):
+            if nonzero[b]:
+                writer.write(int(emax[b]) + _EBIAS + 1, EBITS)
+                kmin = self._kmin(tol, int(emax[b]), nd)
+                _encode_block_planes(
+                    plane_lists[b], block_elems, self._UNLIMITED, writer,
+                    kmin=kmin, pad=False,
+                )
+            else:
+                writer.write(0, EBITS)
+
+        payload = writer.to_bytes()
+        header = struct.pack(
+            _ACC_HDR,
+            _ACC_MAGIC,
+            1,
+            nd,
+            0,
+            tol,
+            data.size,
+            *(list(data.shape) + [1] * (3 - nd)),
+        )
+        stream = header + payload
+        return CodecResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=tol,
+            extras={"n_blocks": nb, "mode": "fixed-accuracy"},
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct; the per-block cutoff is re-derived from the header."""
+        if len(stream) < _ACC_HDR_BYTES or stream[:4] != _ACC_MAGIC:
+            raise FormatError("not a fixed-accuracy ZFP stream")
+        _m, _v, nd, _r, tol, _n, d0, d1, d2 = struct.unpack_from(_ACC_HDR, stream)
+        shape = (d0, d1, d2)[:nd]
+        block_elems = 4**nd
+
+        padded_shape = tuple(s + ((-s) % 4) for s in shape)
+        nb = int(np.prod([s // 4 for s in padded_shape]))
+        reader = _BitReader(stream[_ACC_HDR_BYTES:])
+        perm, inv = sequency_permutation(nd)
+
+        out_blocks = np.zeros((nb, block_elems), dtype=np.float32)
+        for b in range(nb):
+            e_field = reader.read(EBITS)
+            if e_field == 0:
+                continue
+            emax = e_field - _EBIAS - 1
+            kmin = self._kmin(tol, emax, nd)
+            nb_coeffs = _decode_block_planes(
+                self._UNLIMITED, block_elems, reader, kmin=kmin, pad=False
+            )
+            coeffs = _from_negabinary(nb_coeffs)
+            cube = coeffs[inv].reshape((4,) * nd)[None]
+            for ax in range(nd, 0, -1):
+                cube = inv_lift(cube, ax)
+            with np.errstate(over="ignore"):
+                out_blocks[b] = cube.reshape(-1).astype(np.float64) * float(
+                    np.exp2(-(INTPREC - 2 - emax))
+                )
+
+        padded = _insert_blocks(out_blocks, padded_shape)
+        crop = tuple(slice(0, s) for s in shape)
+        return np.ascontiguousarray(padded[crop])

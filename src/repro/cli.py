@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compress``    compress a field file into a stream file
+``decompress``  reconstruct a field from a stream file
+``info``        inspect a compressed stream's header
+``datasets``    list the synthetic SDRBench registry
+``generate``    write a synthetic field to disk
+``experiment``  run a registered paper experiment and print its table
+``throughput``  query the GPU performance model for one configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_CODECS = ("fz-gpu", "cusz", "cusz-rle", "cuszx", "mgard", "cuzfp")
+
+
+def _parse_shape(text: str | None) -> tuple[int, ...] | None:
+    if text is None:
+        return None
+    try:
+        dims = tuple(int(x) for x in text.lower().split("x"))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}: use e.g. 512x512") from exc
+    if not dims or any(d <= 0 for d in dims):
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}")
+    return dims
+
+
+def _make_codec(name: str, args: argparse.Namespace):
+    from repro.baselines import CuSZ, CuSZx, CuZFP, MGARDGPU
+    from repro.baselines.cusz_rle import CuSZRLE
+    from repro.core.pipeline import FZGPU
+
+    if name == "fz-gpu":
+        return FZGPU()
+    if name == "cusz":
+        return CuSZ()
+    if name == "cusz-rle":
+        return CuSZRLE()
+    if name == "cuszx":
+        return CuSZx()
+    if name == "mgard":
+        return MGARDGPU()
+    if name == "cuzfp":
+        return CuZFP(rate=args.rate if args.rate else 8.0)
+    raise SystemExit(f"unknown codec {name!r}")
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    from repro.io import load_field, save_stream
+
+    data = load_field(args.input, shape=args.shape)
+    codec = _make_codec(args.codec, args)
+    if args.codec == "cuzfp":
+        result = codec.compress(data, rate=args.rate or 8.0)
+    else:
+        result = codec.compress(data, eb=args.eb, mode=args.mode)
+    save_stream(args.output, result.stream)
+    print(
+        f"{args.codec}: {data.nbytes} -> {result.compressed_bytes} bytes "
+        f"(ratio {result.ratio:.2f}x, {result.bitrate:.2f} bits/value)"
+    )
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.io import load_stream, save_field
+
+    stream = load_stream(args.input)
+    codec = _make_codec(args.codec, args)
+    recon = codec.decompress(stream)
+    save_field(args.output, recon)
+    print(f"reconstructed {recon.shape} float32 -> {args.output}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.format import StreamHeader
+    from repro.io import load_stream
+
+    stream = load_stream(args.input)
+    header = StreamHeader.unpack(stream)
+    print(f"FZ-GPU stream: shape={header.shape} (padded {header.padded_shape})")
+    print(f"  error bound (abs): {header.eb:g}")
+    print(f"  chunk: {header.chunk}")
+    print(
+        f"  blocks: {header.n_blocks} total, {header.n_nonzero} literal "
+        f"({1 - header.n_nonzero / header.n_blocks:.1%} elided)"
+    )
+    if header.n_saturated:
+        print(f"  WARNING: {header.n_saturated} saturated residuals "
+              f"(error bound not guaranteed at those points)")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import DATASETS
+
+    for name, spec in DATASETS.items():
+        paper = "x".join(map(str, spec.paper_shape))
+        bench = "x".join(map(str, spec.bench_shape))
+        print(f"{name:10s} paper {paper:>22s}  bench {bench:>14s}  {spec.description}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import generate
+    from repro.io import save_field
+
+    field = generate(args.dataset, field=args.field, shape=args.shape,
+                     seed=args.seed)
+    save_field(args.output, field.data)
+    print(f"{field.dataset}/{field.name} {field.shape} -> {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness import render_table, run_experiment
+
+    res = run_experiment(args.id)
+    print(render_table(res.rows, title=res.title))
+    print("\nshape checks:")
+    for name, ok in res.checks.items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    for note in res.notes:
+        print(f"  note: {note}")
+    return 0 if res.all_checks_pass else 1
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.datasets import generate
+    from repro.gpu import get_device
+    from repro.perf import measure_throughput, overall_throughput
+
+    field = generate(args.dataset)
+    device = get_device(args.device)
+    kwargs = {"rate": args.rate or 8.0} if args.codec == "cuzfp" else {
+        "eb": args.eb, "mode": args.mode,
+    }
+    rep = measure_throughput(args.codec, field.data, device, **kwargs)
+    print(f"{args.codec} on {device.name} / {args.dataset}:")
+    print(f"  compression ratio:   {rep.ratio:.2f}x")
+    print(f"  compression speed:   {rep.throughput_gbps:.1f} GB/s (modelled)")
+    print(f"  overall throughput:  "
+          f"{overall_throughput(rep.throughput_gbps, rep.ratio, device.pcie_gbps):.1f}"
+          f" GB/s at {device.pcie_gbps} GB/s interconnect")
+    for kernel, t in rep.kernel_times.items():
+        if kernel != "total":
+            print(f"    {kernel:22s} {t * 1e6:10.1f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_codec_opts(sp):
+        sp.add_argument("--codec", choices=_CODECS, default="fz-gpu")
+        sp.add_argument("--eb", type=float, default=1e-3, help="error bound")
+        sp.add_argument("--mode", choices=("rel", "abs"), default="rel")
+        sp.add_argument("--rate", type=float, default=None,
+                        help="bits/value (cuZFP only)")
+
+    sp = sub.add_parser("compress", help="compress a field file")
+    sp.add_argument("input")
+    sp.add_argument("output")
+    sp.add_argument("--shape", type=_parse_shape, default=None,
+                    help="dims for raw files, e.g. 512x512")
+    add_codec_opts(sp)
+    sp.set_defaults(fn=cmd_compress)
+
+    sp = sub.add_parser("decompress", help="reconstruct a field")
+    sp.add_argument("input")
+    sp.add_argument("output")
+    add_codec_opts(sp)
+    sp.set_defaults(fn=cmd_decompress)
+
+    sp = sub.add_parser("info", help="inspect an FZ-GPU stream file")
+    sp.add_argument("input")
+    sp.set_defaults(fn=cmd_info)
+
+    sp = sub.add_parser("datasets", help="list the synthetic dataset registry")
+    sp.set_defaults(fn=cmd_datasets)
+
+    sp = sub.add_parser("generate", help="write a synthetic field")
+    sp.add_argument("dataset")
+    sp.add_argument("output")
+    sp.add_argument("--field", default=None)
+    sp.add_argument("--shape", type=_parse_shape, default=None)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_generate)
+
+    sp = sub.add_parser("experiment", help="run a paper experiment")
+    sp.add_argument("id", choices=[
+        "table1", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "cpu",
+    ])
+    sp.set_defaults(fn=cmd_experiment)
+
+    sp = sub.add_parser("throughput", help="query the performance model")
+    sp.add_argument("dataset")
+    sp.add_argument("--device", default="a100")
+    add_codec_opts(sp)
+    sp.set_defaults(fn=cmd_throughput)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""FZ-GPU core compression pipeline.
+
+The pipeline is the paper's primary contribution (Fig. 1):
+
+    optimized dual-quantization  ->  bitshuffle  ->  zero-block encoding
+
+Public entry points are :class:`repro.core.pipeline.FZGPU` and the
+module-level :func:`repro.core.pipeline.compress` /
+:func:`repro.core.pipeline.decompress` convenience functions.
+"""
+
+from repro.core.pipeline import FZGPU, compress, decompress, CompressionResult
+from repro.core.pwrel import PointwiseRelativeFZ, PWRelResult
+from repro.core.quantize import (
+    prequantize,
+    dequantize,
+    encode_sign_magnitude,
+    decode_sign_magnitude,
+    dual_quantize,
+    dual_dequantize,
+)
+from repro.core.bitshuffle import bitshuffle, bitunshuffle, TILE_WORDS
+from repro.core.encoder import (
+    encode_zero_blocks,
+    decode_zero_blocks,
+    BLOCK_BYTES,
+    EncodedBlocks,
+)
+from repro.core.format import StreamHeader, MAGIC
+
+__all__ = [
+    "FZGPU",
+    "compress",
+    "decompress",
+    "CompressionResult",
+    "PointwiseRelativeFZ",
+    "PWRelResult",
+    "prequantize",
+    "dequantize",
+    "encode_sign_magnitude",
+    "decode_sign_magnitude",
+    "dual_quantize",
+    "dual_dequantize",
+    "bitshuffle",
+    "bitunshuffle",
+    "TILE_WORDS",
+    "encode_zero_blocks",
+    "decode_zero_blocks",
+    "BLOCK_BYTES",
+    "EncodedBlocks",
+    "StreamHeader",
+    "MAGIC",
+]

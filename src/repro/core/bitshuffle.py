@@ -1,0 +1,85 @@
+"""GPU-style bitshuffle (§3.3).
+
+The kernel view: each CUDA thread block loads a 32x32 tile of ``uint32`` words
+(4096 bytes = 2048 quantization codes) into shared memory, every warp
+bit-transposes its row of 32 words with ``__ballot_sync`` (one vote per bit
+position), and the block writes the tile back *word-transposed* so that equal
+bit-planes land contiguously (the paper's "scalable" layout of Fig. 5, which
+keeps global-memory writes coalesced).
+
+The functional result per tile: output word ``(b, r)`` holds bit-plane ``b``
+of input row ``r`` — i.e. all 32 words of bit-plane ``b`` are contiguous.
+When every code in a tile is smaller than ``2**k``, bit-planes ``k..15`` of
+both the even and odd code lanes are all-zero words, which is exactly the
+redundancy the zero-block encoder removes.
+
+This module is the bit-exact vectorized implementation; the warp-level kernel
+itself (run through the GPU execution-model simulator for the Fig. 10
+ablation) lives in :mod:`repro.gpu.kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import bit_transpose_32x32
+
+__all__ = ["bitshuffle", "bitunshuffle", "TILE_WORDS", "TILE_BYTES"]
+
+#: Words per bitshuffle tile: a 32x32 array of uint32 (one CUDA thread block).
+TILE_WORDS = 32 * 32
+#: Bytes per tile (4 KiB — the shared-memory budget per block in the paper).
+TILE_BYTES = TILE_WORDS * 4
+
+
+def _as_tiles(words: np.ndarray) -> np.ndarray:
+    """Reshape a flat, tile-aligned uint32 array to ``(ntiles, 32, 32)``."""
+    if words.size % TILE_WORDS:
+        raise ValueError("word count must be a multiple of TILE_WORDS")
+    return words.reshape(-1, 32, 32)
+
+
+def bitshuffle(codes: np.ndarray) -> np.ndarray:
+    """Bitshuffle a ``uint16`` code array into tile-bit-plane order.
+
+    The codes are zero-padded to a whole number of 4 KiB tiles (padding adds
+    all-zero blocks, which the encoder stores as single flag bits).
+
+    Parameters
+    ----------
+    codes:
+        Flat ``uint16`` array of quantization codes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Flat ``uint32`` array, length a multiple of :data:`TILE_WORDS`.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint16)
+    pad = (-codes.size) % (2 * TILE_WORDS)
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint16)])
+    words = codes.view(np.uint32)
+    tiles = _as_tiles(words)
+    # Warp step: bit-transpose each row of 32 words (32 ballots per warp).
+    voted = bit_transpose_32x32(tiles)
+    # Block step: write back column-wise (word transpose) for coalescing; this
+    # is what groups equal bit-planes of the whole tile contiguously.
+    shuffled = voted.swapaxes(-1, -2)
+    return np.ascontiguousarray(shuffled).reshape(-1)
+
+
+def bitunshuffle(words: np.ndarray, n_codes: int) -> np.ndarray:
+    """Invert :func:`bitshuffle`, returning the first ``n_codes`` codes.
+
+    The bit transpose is an involution and the word transpose is its own
+    inverse, so decompression applies them in the opposite order.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    tiles = _as_tiles(words)
+    unswapped = np.ascontiguousarray(tiles.swapaxes(-1, -2))
+    restored = bit_transpose_32x32(unswapped)
+    codes = np.ascontiguousarray(restored).reshape(-1).view(np.uint16)
+    if n_codes > codes.size:
+        raise ValueError(f"stream holds {codes.size} codes, {n_codes} requested")
+    return codes[:n_codes]

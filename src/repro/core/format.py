@@ -1,0 +1,145 @@
+"""Compressed stream container format for FZ-GPU.
+
+Layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"FZGP"
+    4       1     version (currently 1)
+    5       1     ndim (1..3)
+    6       2     reserved
+    8       24    original dims, 3 x u64 (unused dims = 1)
+    32      24    padded code-grid dims, 3 x u64
+    56      8     absolute error bound, f64
+    64      6     chunk shape, 3 x u16 (unused dims = 1)
+    70      2     reserved
+    72      8     n_blocks, u64
+    80      8     n_nonzero, u64
+    88      8     n_saturated, u64
+    96      --    payload: packed bit-flag array, then literal blocks
+
+The bit-flag array occupies ``ceil(n_blocks / 8)`` bytes; literal blocks
+follow immediately, ``n_nonzero * 16`` bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoder import BLOCK_BYTES, EncodedBlocks
+from repro.errors import FormatError
+
+__all__ = ["MAGIC", "VERSION", "HEADER_BYTES", "StreamHeader", "pack_stream", "unpack_stream"]
+
+MAGIC = b"FZGP"
+VERSION = 1
+_HEADER_FMT = "<4sBBH3Q3Qd3HHQQQ"
+HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+assert HEADER_BYTES == 96, HEADER_BYTES
+
+
+def _pad3(dims: tuple[int, ...], fill: int = 1) -> tuple[int, int, int]:
+    dims = tuple(int(d) for d in dims)
+    return tuple(list(dims) + [fill] * (3 - len(dims)))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoded FZ-GPU stream header (see module docstring for the layout)."""
+
+    ndim: int
+    shape: tuple[int, ...]
+    padded_shape: tuple[int, ...]
+    eb: float
+    chunk: tuple[int, ...]
+    n_blocks: int
+    n_nonzero: int
+    n_saturated: int
+
+    def pack(self) -> bytes:
+        """Serialize to the fixed 96-byte header."""
+        return struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            VERSION,
+            self.ndim,
+            0,
+            *_pad3(self.shape),
+            *_pad3(self.padded_shape),
+            float(self.eb),
+            *_pad3(self.chunk),
+            0,
+            self.n_blocks,
+            self.n_nonzero,
+            self.n_saturated,
+        )
+
+    @classmethod
+    def unpack(cls, buf: bytes) -> "StreamHeader":
+        """Parse and validate the fixed header from ``buf``."""
+        if len(buf) < HEADER_BYTES:
+            raise FormatError(f"stream too short for header ({len(buf)} bytes)")
+        (
+            magic,
+            version,
+            ndim,
+            _r0,
+            d0,
+            d1,
+            d2,
+            p0,
+            p1,
+            p2,
+            eb,
+            c0,
+            c1,
+            c2,
+            _r1,
+            n_blocks,
+            n_nonzero,
+            n_saturated,
+        ) = struct.unpack_from(_HEADER_FMT, buf)
+        if magic != MAGIC:
+            raise FormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise FormatError(f"unsupported stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim}")
+        dims = (d0, d1, d2)[:ndim]
+        padded = (p0, p1, p2)[:ndim]
+        chunk = (c0, c1, c2)[:ndim]
+        if eb <= 0:
+            raise FormatError(f"non-positive error bound {eb}")
+        return cls(ndim, dims, padded, eb, chunk, n_blocks, n_nonzero, n_saturated)
+
+
+def pack_stream(header: StreamHeader, encoded: EncodedBlocks) -> bytes:
+    """Assemble a complete compressed stream: header + flags + literal blocks."""
+    return header.pack() + encoded.bitflags.tobytes() + encoded.literals.tobytes()
+
+
+def unpack_stream(stream: bytes | bytearray | memoryview) -> tuple[StreamHeader, EncodedBlocks]:
+    """Split a stream back into header and encoded payload, validating sizes."""
+    buf = memoryview(bytes(stream))
+    header = StreamHeader.unpack(buf)
+    flag_bytes = (header.n_blocks + 7) // 8
+    lit_bytes = header.n_nonzero * BLOCK_BYTES
+    expected = HEADER_BYTES + flag_bytes + lit_bytes
+    if len(buf) < expected:
+        raise FormatError(
+            f"stream truncated: have {len(buf)} bytes, header implies {expected}"
+        )
+    flags = np.frombuffer(buf, dtype=np.uint8, count=flag_bytes, offset=HEADER_BYTES)
+    literals = np.frombuffer(
+        buf, dtype=np.uint32, count=header.n_nonzero * (BLOCK_BYTES // 4),
+        offset=HEADER_BYTES + flag_bytes,
+    )
+    encoded = EncodedBlocks(
+        bitflags=flags,
+        literals=literals,
+        n_blocks=header.n_blocks,
+        n_nonzero=header.n_nonzero,
+    )
+    return header, encoded

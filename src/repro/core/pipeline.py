@@ -1,0 +1,186 @@
+"""FZ-GPU compressor facade: dual-quantization -> bitshuffle -> zero-block encode.
+
+This is the end-to-end pipeline of Fig. 1.  :class:`FZGPU` produces a real
+compressed byte stream (see :mod:`repro.core.format`) and reconstructs data
+within the requested error bound; :class:`CompressionResult` carries per-stage
+statistics used by the tests, the benchmarks and the GPU performance model.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core import FZGPU
+>>> rng = np.random.default_rng(0)
+>>> field = np.cumsum(rng.standard_normal((64, 64)).astype(np.float32), axis=0)
+>>> codec = FZGPU()
+>>> result = codec.compress(field, eb=1e-3, mode="rel")
+>>> recon = codec.decompress(result.stream)
+>>> bound = 1e-3 * (field.max() - field.min())
+>>> bool(np.all(np.abs(recon - field) <= bound + 1e-6))
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.core.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.encoder import decode_zero_blocks, encode_zero_blocks
+from repro.core.format import StreamHeader, pack_stream, unpack_stream
+from repro.core.quantize import QuantizerStats, dual_dequantize, dual_quantize
+from repro.errors import ConfigError
+from repro.utils.chunking import chunk_shape_for
+from repro.utils.validation import ensure_float32, ensure_ndim, ensure_positive
+
+__all__ = ["FZGPU", "CompressionResult", "compress", "decompress", "resolve_error_bound"]
+
+
+def resolve_error_bound(data: np.ndarray, eb: float, mode: str) -> float:
+    """Convert a user error bound to an absolute bound.
+
+    ``mode="abs"`` uses ``eb`` directly; ``mode="rel"`` scales by the field's
+    value range (the paper's "range-based relative error bound").  A constant
+    field has zero range; we fall back to ``|value|`` or 1 so compression still
+    proceeds.
+    """
+    eb = ensure_positive(eb, "eb")
+    if mode == "abs":
+        return eb
+    if mode == "rel":
+        lo = float(np.min(data))
+        hi = float(np.max(data))
+        value_range = hi - lo
+        if value_range == 0.0:
+            value_range = abs(hi) if hi != 0 else 1.0
+        return eb * value_range
+    raise ConfigError(f"mode must be 'abs' or 'rel', got {mode!r}")
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Everything the compressor knows about one compression run.
+
+    Attributes
+    ----------
+    stream:
+        The complete compressed byte stream.
+    original_bytes / compressed_bytes:
+        Sizes used for the compression ratio.
+    eb_abs:
+        The absolute error bound actually applied.
+    quantizer:
+        Saturation / residual statistics from the lossy stage.
+    n_blocks / n_nonzero_blocks:
+        Zero-block encoder statistics (drive the GPU performance model).
+    """
+
+    stream: bytes
+    original_bytes: int
+    compressed_bytes: int
+    eb_abs: float
+    quantizer: QuantizerStats
+    n_blocks: int
+    n_nonzero_blocks: int
+    stage_sizes: dict = dataclass_field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bitrate(self) -> float:
+        """Average bits per value after compression (32 / ratio for f32)."""
+        return 32.0 / self.ratio
+
+    @property
+    def zero_block_fraction(self) -> float:
+        """Fraction of 16-byte blocks elided by the encoder."""
+        return 1.0 - self.n_nonzero_blocks / self.n_blocks if self.n_blocks else 0.0
+
+
+class FZGPU:
+    """The FZ-GPU error-bounded lossy compressor.
+
+    Parameters
+    ----------
+    chunk:
+        Optional chunk-shape override for the dual-quantization stage
+        (defaults to cuSZ geometry: 256 / 16x16 / 8x8x8).
+    """
+
+    name = "FZ-GPU"
+
+    def __init__(self, chunk: tuple[int, ...] | None = None):
+        self._chunk = chunk
+
+    def compress(self, data: np.ndarray, eb: float, mode: str = "rel") -> CompressionResult:
+        """Compress ``data`` under error bound ``eb``.
+
+        Parameters
+        ----------
+        data:
+            1-3 dimensional float field.
+        eb:
+            Error bound; interpreted per ``mode``.
+        mode:
+            ``"rel"`` (range-based relative, the paper's default) or ``"abs"``.
+        """
+        data = ensure_ndim(ensure_float32(data))
+        chunk = chunk_shape_for(data.ndim, self._chunk)
+        eb_abs = resolve_error_bound(data, eb, mode)
+
+        codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
+        shuffled = bitshuffle(codes)
+        encoded = encode_zero_blocks(shuffled)
+
+        header = StreamHeader(
+            ndim=data.ndim,
+            shape=data.shape,
+            padded_shape=padded_shape,
+            eb=eb_abs,
+            chunk=chunk,
+            n_blocks=encoded.n_blocks,
+            n_nonzero=encoded.n_nonzero,
+            n_saturated=qstats.n_saturated,
+        )
+        stream = pack_stream(header, encoded)
+        return CompressionResult(
+            stream=stream,
+            original_bytes=data.nbytes,
+            compressed_bytes=len(stream),
+            eb_abs=eb_abs,
+            quantizer=qstats,
+            n_blocks=encoded.n_blocks,
+            n_nonzero_blocks=encoded.n_nonzero,
+            stage_sizes={
+                "codes_bytes": int(codes.nbytes),
+                "shuffled_bytes": int(shuffled.nbytes),
+                "flags_bytes": int(encoded.bitflags.nbytes),
+                "literals_bytes": int(encoded.literals.nbytes),
+            },
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the field from a compressed stream (float32)."""
+        header, encoded = unpack_stream(stream)
+        words = decode_zero_blocks(encoded)
+        n_codes = int(np.prod(header.padded_shape))
+        codes = bitunshuffle(words, n_codes)
+        return dual_dequantize(
+            codes, header.padded_shape, header.shape, header.eb, header.chunk
+        )
+
+
+_DEFAULT = FZGPU()
+
+
+def compress(data: np.ndarray, eb: float, mode: str = "rel") -> CompressionResult:
+    """Module-level convenience wrapper over :meth:`FZGPU.compress`."""
+    return _DEFAULT.compress(data, eb, mode)
+
+
+def decompress(stream: bytes) -> np.ndarray:
+    """Module-level convenience wrapper over :meth:`FZGPU.decompress`."""
+    return _DEFAULT.decompress(stream)

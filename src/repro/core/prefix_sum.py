@@ -1,0 +1,136 @@
+"""Parallel exclusive prefix sum (scan).
+
+FZ-GPU's second encoding phase needs the memory offset of every non-zero block
+before any block can be written; the paper obtains it from
+``cub::DeviceScan::ExclusiveSum`` between the two kernels (a kernel boundary is
+the device-wide synchronization).  We provide:
+
+* :func:`exclusive_sum` — the production path (NumPy ``cumsum``).
+* :func:`blelloch_exclusive_sum` — a faithful work-efficient two-phase
+  (up-sweep / down-sweep) scan, the algorithm CUB implements, operating on
+  power-of-two segments the way a GPU block scan does.  It exists so the scan
+  itself is a tested substrate rather than an assumed library, and so the GPU
+  cost model can charge it per level.
+
+Both return the same values (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exclusive_sum",
+    "blelloch_exclusive_sum",
+    "hierarchical_exclusive_sum",
+    "scan_levels",
+]
+
+
+def exclusive_sum(values: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``, ``out[0] = 0``."""
+    values = np.asarray(values)
+    out = np.empty(values.size, dtype=dtype)
+    if values.size == 0:
+        return out
+    out[0] = 0
+    np.cumsum(values[:-1], dtype=dtype, out=out[1:])
+    return out
+
+
+def scan_levels(n: int) -> int:
+    """Number of up-sweep levels a Blelloch scan of ``n`` items performs."""
+    if n <= 1:
+        return 0
+    return int(np.ceil(np.log2(n)))
+
+
+def blelloch_exclusive_sum(values: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Work-efficient Blelloch exclusive scan (up-sweep + down-sweep).
+
+    The array is padded to the next power of two with zeros, exactly like a
+    GPU block scan pads to the block size.  Each level is a vectorized strided
+    update, mirroring one barrier-separated step of the CUDA kernel.
+    """
+    values = np.asarray(values, dtype=dtype)
+    n = values.size
+    if n == 0:
+        return values.copy()
+    size = 1 << scan_levels(n) if n > 1 else 1
+    buf = np.zeros(size, dtype=dtype)
+    buf[:n] = values
+
+    # Up-sweep (reduce): at level d, combine pairs stride 2^(d+1) apart.
+    stride = 1
+    while stride < size:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        buf[idx] += buf[idx - stride]
+        stride *= 2
+
+    # Down-sweep: clear the root, then push partial sums back down.
+    buf[size - 1] = 0
+    stride = size // 2
+    while stride >= 1:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        left = buf[idx - stride].copy()
+        buf[idx - stride] = buf[idx]
+        buf[idx] += left
+        stride //= 2
+
+    return buf[:n]
+
+
+def hierarchical_exclusive_sum(
+    values: np.ndarray, block_size: int = 1024, dtype=np.int64
+) -> np.ndarray:
+    """Device-wide exclusive scan the way CUB actually structures it.
+
+    Three phases, exactly mirroring a GPU implementation built from warp
+    primitives:
+
+    1. every 1024-item *block* computes its local inclusive scan from 32
+       warp scans (:func:`repro.gpu.warp.warp_inclusive_scan`) stitched by
+       a scan of the per-warp totals;
+    2. the per-block totals are scanned (recursively, one block usually
+       suffices);
+    3. each block adds its exclusive block offset.
+
+    Equivalent to :func:`exclusive_sum` (property-tested); exists so the
+    scan the encoder depends on is demonstrably buildable from the warp
+    substrate rather than assumed.
+    """
+    from repro.gpu.warp import WARP_SIZE, warp_inclusive_scan
+
+    values = np.asarray(values, dtype=dtype)
+    n = values.size
+    if n == 0:
+        return values.copy()
+    if block_size % WARP_SIZE:
+        raise ValueError("block_size must be a multiple of the warp size")
+
+    pad = (-n) % block_size
+    buf = np.concatenate([values, np.zeros(pad, dtype=dtype)])
+    blocks = buf.reshape(-1, block_size)
+
+    # phase 1: per-block inclusive scan from warp scans
+    warps = blocks.reshape(blocks.shape[0], -1, WARP_SIZE)
+    warp_inc = warp_inclusive_scan(warps)
+    warp_totals = warp_inc[..., -1]
+    # stitch: exclusive scan of warp totals within the block (few warps,
+    # itself one warp-sized scan when block_size <= 1024)
+    warp_offsets = np.zeros_like(warp_totals)
+    np.cumsum(warp_totals[:, :-1], axis=1, out=warp_offsets[:, 1:])
+    block_inc = (warp_inc + warp_offsets[:, :, None]).reshape(blocks.shape)
+
+    # phase 2: scan of per-block totals
+    block_totals = block_inc[:, -1]
+    block_offsets_ = np.zeros_like(block_totals)
+    np.cumsum(block_totals[:-1], out=block_offsets_[1:])
+
+    # phase 3: apply offsets; convert inclusive -> exclusive
+    inclusive = block_inc + block_offsets_[:, None]
+    out = np.empty(n, dtype=dtype)
+    flat = inclusive.reshape(-1)[:n]
+    out[0] = 0
+    out[1:] = flat[:-1]
+    return out

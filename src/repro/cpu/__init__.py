@@ -1,0 +1,5 @@
+"""CPU implementations: the paper's FZ-OMP multi-threaded compressor (§4.4)."""
+
+from repro.cpu.fz_omp import FZOMP
+
+__all__ = ["FZOMP"]

@@ -1,0 +1,31 @@
+"""SDRBench-style synthetic scientific datasets (Table 1 substitutes).
+
+The paper evaluates on six real SDRBench datasets; those files are not
+available offline, so this package generates synthetic fields that match each
+dataset's dimensionality and — crucially for compression behaviour — its
+smoothness class, sparsity and value distribution (see DESIGN.md §1 for the
+substitution argument).
+"""
+
+from repro.datasets.fields import Field, DatasetSpec
+from repro.datasets.sdrbench import (
+    DATASETS,
+    FIELD_SETS,
+    generate,
+    generate_all,
+    dataset_names,
+    dataset_fields,
+    log_transform,
+)
+
+__all__ = [
+    "Field",
+    "DatasetSpec",
+    "DATASETS",
+    "FIELD_SETS",
+    "generate",
+    "generate_all",
+    "dataset_names",
+    "dataset_fields",
+    "log_transform",
+]

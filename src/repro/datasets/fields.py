@@ -1,0 +1,72 @@
+"""Dataset/field containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Field", "DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named scalar field of a dataset.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset name (e.g. ``"hurricane"``).
+    name:
+        Field name (e.g. ``"QSNOW"``).
+    data:
+        float32 array, 1-3 dimensional.
+    """
+
+    dataset: str
+    name: str
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Uncompressed size in bytes."""
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry describing one synthetic SDRBench stand-in.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    paper_shape:
+        The real dataset's per-field dimensions (Table 1).
+    bench_shape:
+        The scaled-down shape this repository generates by default.
+    ndim:
+        Dimensionality the paper treats the dataset as having.
+    n_fields:
+        Number of fields in the real dataset (Table 1).
+    example_fields:
+        Representative field names from Table 1.
+    description:
+        What the real data is and which regime the generator reproduces.
+    generator:
+        ``(shape, field, seed) -> float32 array``.
+    """
+
+    name: str
+    paper_shape: tuple[int, ...]
+    bench_shape: tuple[int, ...]
+    ndim: int
+    n_fields: int
+    example_fields: tuple[str, ...]
+    description: str
+    generator: Callable[[tuple[int, ...], str, int], np.ndarray]

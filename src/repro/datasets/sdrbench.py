@@ -1,0 +1,166 @@
+"""SDRBench dataset registry (Table 1) and generation entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import generators as g
+from repro.datasets.fields import DatasetSpec, Field
+
+__all__ = [
+    "DATASETS",
+    "FIELD_SETS",
+    "generate",
+    "generate_all",
+    "dataset_names",
+    "dataset_fields",
+    "log_transform",
+]
+
+#: Registry keyed by dataset name.  ``paper_shape`` copies Table 1;
+#: ``bench_shape`` is the laptop-scale default this repo generates.
+DATASETS: dict[str, DatasetSpec] = {
+    "hacc": DatasetSpec(
+        name="hacc",
+        paper_shape=(280_953_867,),
+        bench_shape=(1_048_576,),
+        ndim=1,
+        n_fields=6,
+        example_fields=("xx", "vx"),
+        description="cosmology particle simulation (1-D, rough)",
+        generator=g.gen_hacc,
+    ),
+    "cesm": DatasetSpec(
+        name="cesm",
+        paper_shape=(1800, 3600),
+        bench_shape=(450, 900),
+        ndim=2,
+        n_fields=70,
+        example_fields=("CLDICE", "RELHUM"),
+        description="climate simulation (2-D, small fields)",
+        generator=g.gen_cesm,
+    ),
+    "hurricane": DatasetSpec(
+        name="hurricane",
+        paper_shape=(100, 500, 500),
+        bench_shape=(50, 250, 250),
+        ndim=3,
+        n_fields=13,
+        example_fields=("CLDICE", "QRAIN", "QSNOW"),
+        description="ISABEL weather simulation (3-D, smooth vortex)",
+        generator=g.gen_hurricane,
+    ),
+    "nyx": DatasetSpec(
+        name="nyx",
+        paper_shape=(512, 512, 512),
+        bench_shape=(128, 128, 128),
+        ndim=3,
+        n_fields=6,
+        example_fields=("baryon_density",),
+        description="cosmology simulation (3-D, log-normal density)",
+        generator=g.gen_nyx,
+    ),
+    "qmcpack": DatasetSpec(
+        name="qmcpack",
+        paper_shape=(7935, 69, 288),
+        bench_shape=(96, 69, 144),
+        ndim=3,
+        n_fields=1,
+        example_fields=("einspline",),
+        description="quantum Monte Carlo orbitals (3-D, oscillatory)",
+        generator=g.gen_qmcpack,
+    ),
+    "rtm": DatasetSpec(
+        name="rtm",
+        paper_shape=(449, 449, 235),
+        bench_shape=(128, 128, 96),
+        ndim=3,
+        n_fields=16,
+        example_fields=("snapshot_1200",),
+        description="reverse time migration (3-D, mostly-zero wavefront)",
+        generator=g.gen_rtm,
+    ),
+}
+
+
+#: Curated field names per dataset (subsets of the real datasets' field
+#: lists; every name is a valid ``field=`` argument to :func:`generate`).
+FIELD_SETS: dict[str, tuple[str, ...]] = {
+    "hacc": ("xx", "yy", "zz", "vx", "vy", "vz"),
+    "cesm": ("CLDICE", "CLDLIQ", "RELHUM", "T", "PS", "U", "V", "FLDS"),
+    "hurricane": ("CLDICE", "QRAIN", "QSNOW", "QVAPOR", "QCLOUD", "U", "V", "W"),
+    "nyx": ("baryon_density", "dark_matter_density", "temperature", "velocity_x"),
+    "qmcpack": ("einspline",),
+    "rtm": tuple(f"snapshot_{s}" for s in range(400, 3600, 400)),
+}
+
+
+def dataset_names() -> list[str]:
+    """The six dataset keys, in the paper's Table 1 order."""
+    return list(DATASETS)
+
+
+def dataset_fields(dataset: str) -> tuple[str, ...]:
+    """The curated field names available for ``dataset``."""
+    if dataset not in FIELD_SETS:
+        raise KeyError(f"unknown dataset {dataset!r}; have {dataset_names()}")
+    return FIELD_SETS[dataset]
+
+
+def generate_all(
+    dataset: str,
+    shape: tuple[int, ...] | None = None,
+    seed: int = 0,
+    limit: int | None = None,
+) -> list[Field]:
+    """Generate every curated field of a dataset (optionally the first
+    ``limit``), e.g. to average metrics over fields like the paper does."""
+    names = dataset_fields(dataset)
+    if limit is not None:
+        names = names[:limit]
+    return [generate(dataset, field=f, shape=shape, seed=seed) for f in names]
+
+
+def generate(
+    dataset: str,
+    field: str | None = None,
+    shape: tuple[int, ...] | None = None,
+    seed: int = 0,
+) -> Field:
+    """Generate one synthetic field.
+
+    Parameters
+    ----------
+    dataset:
+        Registry key (see :func:`dataset_names`).
+    field:
+        Field name; defaults to the dataset's first example field.
+    shape:
+        Override the default ``bench_shape``.
+    seed:
+        Deterministic seed (same arguments -> identical field).
+    """
+    if dataset not in DATASETS:
+        raise KeyError(f"unknown dataset {dataset!r}; have {dataset_names()}")
+    spec = DATASETS[dataset]
+    field = field or spec.example_fields[0]
+    shape = tuple(shape) if shape is not None else spec.bench_shape
+    if len(shape) != spec.ndim:
+        raise ValueError(f"{dataset} is {spec.ndim}-D; got shape {shape}")
+    data = spec.generator(shape, field, seed)
+    return Field(dataset=dataset, name=field, data=data)
+
+
+def log_transform(data: np.ndarray, epsilon: float | None = None) -> np.ndarray:
+    """Log-transform for point-wise relative error bounds (Liang et al.).
+
+    The paper compresses the *log-transformed* HACC data so an absolute bound
+    on the transformed values realizes a point-wise relative bound on the
+    originals (§4.1).  Signs are preserved via a symmetric log:
+    ``sign(v) * log1p(|v| / epsilon)``.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if epsilon is None:
+        nonzero = np.abs(data[data != 0])
+        epsilon = float(nonzero.min()) if nonzero.size else 1.0
+    return (np.sign(data) * np.log1p(np.abs(data) / epsilon)).astype(np.float32)

@@ -1,0 +1,27 @@
+"""Exception types raised by the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormatError(ReproError):
+    """A compressed stream is malformed, truncated, or has a bad magic/version."""
+
+
+class ConfigError(ReproError):
+    """Invalid user-supplied configuration (error bound, mode, chunk shape...)."""
+
+
+class UnsupportedDataError(ReproError):
+    """The input array's dtype/shape is not supported by a codec."""
+
+
+class DecompressionError(ReproError):
+    """Internal inconsistency detected while decoding a stream."""

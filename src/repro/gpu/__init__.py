@@ -1,0 +1,48 @@
+"""GPU execution-model substrate.
+
+The paper's contribution is as much about *CUDA architecture* as about the
+compression algorithm: warp-level ballots, shared-memory bank conflicts,
+global-memory coalescing, warp divergence and kernel fusion.  Without real
+CUDA hardware this package provides:
+
+* :mod:`repro.gpu.device` — device catalog (A100, RTX A4000, a Xeon CPU node)
+  with the resource numbers the cost model needs.
+* :mod:`repro.gpu.warp` — functional warp primitives (``__ballot_sync``,
+  ``__any_sync``, ``__shfl_xor_sync``...) the kernels are written against.
+* :mod:`repro.gpu.memory` — transaction-level models of shared-memory bank
+  conflicts and global-memory coalescing.
+* :mod:`repro.gpu.kernels` — the paper's kernels (pred-quant v1/v2, fused and
+  split bitshuffle+mark, prefix-sum encode) expressed with warp primitives and
+  executed functionally, with hazard counters.
+* :mod:`repro.gpu.cost` — a roofline kernel-time model turning operation and
+  transaction counts into seconds on a device.
+"""
+
+from repro.gpu.device import GPUSpec, CPUSpec, A100, A4000, XEON_6238R, get_device
+from repro.gpu.warp import ballot_sync, any_sync, all_sync, shfl_xor_sync, WARP_SIZE
+from repro.gpu.memory import (
+    bank_conflict_degree,
+    coalesced_transactions,
+    SharedMemoryCounter,
+)
+from repro.gpu.cost import KernelProfile, kernel_time, pipeline_time
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "A100",
+    "A4000",
+    "XEON_6238R",
+    "get_device",
+    "ballot_sync",
+    "any_sync",
+    "all_sync",
+    "shfl_xor_sync",
+    "WARP_SIZE",
+    "bank_conflict_degree",
+    "coalesced_transactions",
+    "SharedMemoryCounter",
+    "KernelProfile",
+    "kernel_time",
+    "pipeline_time",
+]

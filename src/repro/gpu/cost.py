@@ -1,0 +1,88 @@
+"""Roofline kernel-time model.
+
+Every kernel is summarized by a :class:`KernelProfile` (bytes moved, device
+ops, efficiency/hazard factors, fixed serial work); :func:`kernel_time` turns
+a profile into seconds on a :class:`~repro.gpu.device.GPUSpec` as
+
+    t = launches * launch_overhead
+        + max(bytes / (BW_eff * mem_eff),  ops / (peak_ops * compute_eff) * divergence)
+        + serial_time
+
+the classical roofline with a serial tail.  The per-kernel efficiency
+constants live in :mod:`repro.perf.calibration`, fitted once against the
+paper's reported throughputs; everything *data-dependent* (bytes written by
+the encoder, outlier counts, divergence fractions) is measured from the real
+compression run, so dataset-to-dataset variation is mechanistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpu.device import GPUSpec
+
+__all__ = ["KernelProfile", "kernel_time", "pipeline_time"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Resource usage of one kernel launch (or a fused group of launches).
+
+    Attributes
+    ----------
+    name:
+        Kernel name as reported in breakdowns (matches Fig. 10 labels).
+    bytes_read / bytes_written:
+        Global-memory traffic in bytes.
+    ops:
+        Device operations (integer/bit ops count like FLOPs here).
+    mem_eff:
+        Kernel-specific multiplier on the device's achievable bandwidth
+        (coalescing quality; < 1 for strided or irregular access).
+    compute_eff:
+        Sustained fraction of peak arithmetic throughput.
+    divergence:
+        Serialization multiplier (>= 1) from warp divergence.
+    serial_us:
+        Fixed serial work (e.g. Huffman codebook construction).
+    n_launches:
+        Kernel launches charged with the device's launch overhead.
+    """
+
+    name: str
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    ops: float = 0.0
+    mem_eff: float = 1.0
+    compute_eff: float = 0.1
+    divergence: float = 1.0
+    serial_us: float = 0.0
+    n_launches: int = 1
+
+    def scaled(self, **overrides) -> "KernelProfile":
+        """Copy with selected fields replaced (convenience for variants)."""
+        return replace(self, **overrides)
+
+
+def kernel_time(profile: KernelProfile, device: GPUSpec) -> float:
+    """Execution time of one kernel on ``device``, in seconds."""
+    t_mem = 0.0
+    total_bytes = profile.bytes_read + profile.bytes_written
+    if total_bytes:
+        t_mem = total_bytes / (device.effective_bandwidth * profile.mem_eff)
+    t_comp = 0.0
+    if profile.ops:
+        peak = device.fp32_tflops * 1e12 * profile.compute_eff
+        t_comp = profile.ops / peak * profile.divergence
+    return (
+        profile.n_launches * device.kernel_launch_us * 1e-6
+        + max(t_mem, t_comp)
+        + profile.serial_us * 1e-6
+    )
+
+
+def pipeline_time(profiles: list[KernelProfile], device: GPUSpec) -> dict[str, float]:
+    """Per-kernel times plus the ``"total"`` for a whole compression pipeline."""
+    times = {p.name: kernel_time(p, device) for p in profiles}
+    times["total"] = sum(times.values())
+    return times

@@ -1,0 +1,118 @@
+"""Device catalog: the evaluation platforms of §4.1.
+
+The numbers are public specifications plus two calibration constants per
+device (kernel launch overhead, achievable-bandwidth fraction) fitted to the
+paper's reported throughputs — see ``repro/perf/calibration.py`` for the
+anchor table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "CPUSpec", "A100", "A4000", "XEON_6238R", "get_device"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Resource model of one CUDA GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name used in reports.
+    sm_count:
+        Streaming multiprocessors.
+    mem_bandwidth_gbps:
+        Peak DRAM bandwidth (GB/s).
+    fp32_tflops:
+        Peak single-precision throughput.
+    shared_mem_per_block_kb:
+        Shared-memory budget per thread block (the 32x33 u32 tile + flag
+        buffers must fit).
+    l2_mb:
+        L2 cache size, used by the cost model's small-input correction.
+    kernel_launch_us:
+        Fixed host-side cost per kernel launch.
+    mem_efficiency:
+        Fraction of peak bandwidth a well-coalesced streaming kernel
+        achieves (calibration constant).
+    pcie_gbps:
+        Effective per-GPU host interconnect bandwidth for the overall
+        throughput metric (the paper measures 11.4 GB/s per A100 with 4 GPUs
+        sharing a 32-lane PCIe 4.0 switch, §4.6).
+    """
+
+    name: str
+    sm_count: int
+    mem_bandwidth_gbps: float
+    fp32_tflops: float
+    shared_mem_per_block_kb: int = 48
+    l2_mb: float = 40.0
+    kernel_launch_us: float = 5.0
+    mem_efficiency: float = 0.78
+    pcie_gbps: float = 11.4
+    warp_size: int = 32
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable streaming bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbps * 1e9 * self.mem_efficiency
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Resource model of a multi-core CPU node (for FZ-OMP / SZ-OMP)."""
+
+    name: str
+    cores: int
+    mem_bandwidth_gbps: float
+    fp32_gflops_per_core: float
+    #: threads beyond this see little speedup (paper footnote 5: scaling
+    #: flattens past 32 threads)
+    saturation_threads: int = 32
+
+
+#: NVIDIA Ampere A100 (108 SMs, 40 GB HBM2) — the HPC-cluster GPU of §4.1.
+A100 = GPUSpec(
+    name="A100",
+    sm_count=108,
+    mem_bandwidth_gbps=1555.0,
+    fp32_tflops=19.5,
+    l2_mb=40.0,
+    kernel_launch_us=2.5,
+    pcie_gbps=11.4,
+)
+
+#: NVIDIA RTX A4000 (40 SMs per the paper's Table of platforms, 16 GB).
+A4000 = GPUSpec(
+    name="A4000",
+    sm_count=40,
+    mem_bandwidth_gbps=448.0,
+    fp32_tflops=19.2,
+    l2_mb=4.0,
+    kernel_launch_us=3.0,
+    pcie_gbps=12.0,
+)
+
+#: Intel Xeon Gold 6238R node (2x28 cores; paper uses 32 threads).
+XEON_6238R = CPUSpec(
+    name="Xeon-6238R",
+    cores=56,
+    mem_bandwidth_gbps=131.0,
+    fp32_gflops_per_core=70.0,
+)
+
+_CATALOG: dict[str, GPUSpec | CPUSpec] = {
+    "a100": A100,
+    "a4000": A4000,
+    "xeon": XEON_6238R,
+}
+
+
+def get_device(name: str) -> GPUSpec | CPUSpec:
+    """Look up a device by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _CATALOG:
+        raise KeyError(f"unknown device {name!r}; have {sorted(_CATALOG)}")
+    return _CATALOG[key]

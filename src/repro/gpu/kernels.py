@@ -1,0 +1,175 @@
+"""The paper's GPU kernels, written against the warp/shared-memory substrate.
+
+These are *functional* kernel implementations: they compute the same results
+as the fast vectorized pipeline in :mod:`repro.core` (asserted by tests) while
+exercising the CUDA mechanics the paper optimizes — ``__ballot_sync`` votes,
+shared-memory tile staging with/without the 32x33 padding, fused vs split
+kernels — and recording the transaction counts the ablation benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitshuffle import TILE_WORDS
+from repro.core.encoder import BLOCK_WORDS
+from repro.gpu.memory import SharedMemoryCounter
+from repro.gpu.warp import WARP_SIZE, ballot_sync
+
+__all__ = [
+    "FusedKernelOutput",
+    "fused_bitshuffle_mark_kernel",
+    "split_bitshuffle_then_mark",
+    "measure_divergence",
+    "shared_tile_access_cycles",
+]
+
+
+@dataclass(frozen=True)
+class FusedKernelOutput:
+    """Result of the fused bitshuffle + mark kernel over a stream of tiles.
+
+    Attributes
+    ----------
+    shuffled:
+        Bitshuffled uint32 stream (identical to :func:`repro.core.bitshuffle`).
+    byteflags:
+        One flag per 16-byte data block (the ByteFlagArr of §3.4).
+    bitflags:
+        The packed bit-flag array built with warp ballots.
+    global_bytes_read / global_bytes_written:
+        Global-memory traffic actually incurred (this is where fusion wins:
+        the split variant re-reads every tile from global memory).
+    shared:
+        Shared-memory transaction counter (bank-conflict accounting).
+    """
+
+    shuffled: np.ndarray
+    byteflags: np.ndarray
+    bitflags: np.ndarray
+    global_bytes_read: int
+    global_bytes_written: int
+    shared: SharedMemoryCounter
+
+
+def shared_tile_access_cycles(padded: bool, counter: SharedMemoryCounter) -> None:
+    """Record one tile's shared-memory accesses under a given layout.
+
+    A tile is staged as a 32x32 array of uint32 with row pitch 33 (padded) or
+    32 (unpadded).  The kernel performs, per warp:
+
+    * 32 row-wise accesses (load + ballot-write phases) — conflict-free in
+      both layouts;
+    * 32 column-wise accesses (the transposed read-back of Fig. 5) — a 32-way
+      conflict without padding, conflict-free with it.
+
+    Only addresses matter for the bank model, so this charges one
+    representative warp per row/column times 32 warps.
+    """
+    pitch = 33 if padded else 32
+    lanes = np.arange(WARP_SIZE)
+    for y in range(32):
+        counter.access(y * pitch + lanes, label="row")
+    for x in range(32):
+        counter.access(lanes * pitch + x, label="column")
+
+
+def fused_bitshuffle_mark_kernel(
+    codes: np.ndarray, padded: bool = True
+) -> FusedKernelOutput:
+    """Fused bitshuffle + zero-block-mark kernel (§3.4's pseudocode).
+
+    One thread block handles one 4 KiB tile: stage to shared memory, 32
+    ``__ballot_sync`` rounds per warp to bit-transpose, transposed write-back
+    through shared memory, then (still in the same kernel) the byte-flag scan
+    of the tile that is already resident in shared memory, and a final ballot
+    per 32 byte-flags to build the bit-flag array.
+
+    Parameters
+    ----------
+    codes:
+        Flat ``uint16`` quantization codes (padded internally to whole tiles).
+    padded:
+        Use the 32x33 shared layout (True) or the naive 32x32 one (False);
+        only the recorded bank-conflict cycles differ, never the results.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint16)
+    pad = (-codes.size) % (2 * TILE_WORDS)
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint16)])
+    words = codes.view(np.uint32)
+    tiles = words.reshape(-1, 32, 32)  # (tile, warp=row, lane)
+    n_tiles = tiles.shape[0]
+
+    shared = SharedMemoryCounter()
+    for _ in range(n_tiles):
+        shared_tile_access_cycles(padded, shared)
+
+    # --- bitshuffle via warp ballots -----------------------------------
+    # Iteration i: every warp votes on bit i of its lane's word; the vote
+    # result is the bit-transposed word i of that warp's row.
+    voted = np.empty_like(tiles)
+    for i in range(32):
+        predicate = (tiles >> np.uint32(i)) & np.uint32(1)
+        voted[:, :, i] = ballot_sync(predicate)
+    # Transposed write-back (coalesced store of Fig. 5).
+    shuffled_tiles = np.ascontiguousarray(voted.swapaxes(1, 2))
+    shuffled = shuffled_tiles.reshape(-1)
+
+    # --- mark phase on the in-shared-memory tile ------------------------
+    blocks = shuffled.reshape(-1, BLOCK_WORDS)
+    byteflags = (blocks != 0).any(axis=1)
+    # ballots turn every 32 byte-flags into one bit-flag word
+    flag_words = ballot_sync(byteflags.reshape(-1, WARP_SIZE))
+    bitflags = flag_words.view(np.uint8)[: (byteflags.size + 7) // 8].copy()
+
+    tile_bytes = n_tiles * TILE_WORDS * 4
+    return FusedKernelOutput(
+        shuffled=shuffled,
+        byteflags=byteflags,
+        bitflags=bitflags,
+        global_bytes_read=tile_bytes,
+        global_bytes_written=tile_bytes + byteflags.size + bitflags.size,
+        shared=shared,
+    )
+
+
+def split_bitshuffle_then_mark(
+    codes: np.ndarray, padded: bool = True
+) -> FusedKernelOutput:
+    """The unfused variant (Fig. 10's bitshuffle-mark-v1): two kernels.
+
+    Identical results; the mark kernel must re-read every tile from global
+    memory, so global traffic rises by one full pass over the shuffled data
+    (plus the flag write of the first kernel being deferred).
+    """
+    fused = fused_bitshuffle_mark_kernel(codes, padded=padded)
+    tile_bytes = fused.shuffled.size * 4
+    return FusedKernelOutput(
+        shuffled=fused.shuffled,
+        byteflags=fused.byteflags,
+        bitflags=fused.bitflags,
+        # kernel 1 writes the shuffled tiles; kernel 2 reads them again
+        global_bytes_read=fused.global_bytes_read + tile_bytes,
+        global_bytes_written=fused.global_bytes_written,
+        shared=fused.shared,
+    )
+
+
+def measure_divergence(outlier_mask: np.ndarray) -> float:
+    """Warp-divergence factor of the v1 pred-quant kernel's outlier branch.
+
+    A warp whose lanes disagree on the outlier predicate executes both sides
+    of the branch (§4.5: "different branches incur warp divergence, which is
+    resolved sequentially").  Returns the mean per-warp path multiplier:
+    1.0 when every warp is uniform, up to 2.0 when every warp is mixed.
+    """
+    mask = np.asarray(outlier_mask, dtype=bool).reshape(-1)
+    pad = (-mask.size) % WARP_SIZE
+    if pad:
+        mask = np.concatenate([mask, np.zeros(pad, dtype=bool)])
+    warps = mask.reshape(-1, WARP_SIZE)
+    mixed = warps.any(axis=1) & ~warps.all(axis=1)
+    return 1.0 + float(mixed.mean())

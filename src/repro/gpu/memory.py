@@ -1,0 +1,107 @@
+"""Transaction-level models of CUDA shared and global memory.
+
+Two effects dominate the paper's memory optimizations:
+
+* **Shared-memory bank conflicts** (§3.3): shared memory has 32 banks, each
+  serving one 4-byte word per cycle; if several lanes of a warp touch
+  *different words in the same bank*, the accesses serialize.  The paper's
+  32x33 padding makes column accesses conflict-free; the models here let the
+  ablation benches measure exactly that.
+* **Global-memory coalescing** (§3.3, Fig. 4 vs Fig. 5): a warp's global
+  access is broken into 128-byte segment transactions; a strided store (the
+  "simplistic" bitshuffle write-back) touches many segments per warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "N_BANKS",
+    "SEGMENT_BYTES",
+    "bank_conflict_degree",
+    "coalesced_transactions",
+    "SharedMemoryCounter",
+]
+
+#: Shared-memory banks on all modern NVIDIA architectures.
+N_BANKS = 32
+#: Global-memory transaction granularity.
+SEGMENT_BYTES = 128
+
+
+def bank_conflict_degree(word_addresses: np.ndarray) -> int:
+    """Serialization factor of one warp's shared-memory access.
+
+    Parameters
+    ----------
+    word_addresses:
+        The 32 lanes' 4-byte-word indices into shared memory.
+
+    Returns
+    -------
+    int
+        Number of shared-memory cycles the access takes: the maximum, over
+        banks, of the number of *distinct words* accessed in that bank.
+        1 means conflict-free; lanes reading the *same* word broadcast and
+        do not conflict.
+    """
+    addr = np.asarray(word_addresses).reshape(-1)
+    if addr.size == 0:
+        return 0
+    banks = addr % N_BANKS
+    worst = 1
+    for b in np.unique(banks):
+        distinct = np.unique(addr[banks == b]).size
+        worst = max(worst, int(distinct))
+    return worst
+
+
+def coalesced_transactions(byte_addresses: np.ndarray) -> int:
+    """Number of 128-byte segment transactions for one warp's global access."""
+    addr = np.asarray(byte_addresses).reshape(-1)
+    if addr.size == 0:
+        return 0
+    return int(np.unique(addr // SEGMENT_BYTES).size)
+
+
+@dataclass
+class SharedMemoryCounter:
+    """Accumulates shared-memory traffic for a kernel execution.
+
+    The functional kernels call :meth:`access` with each warp's word
+    addresses; the counter tracks total accesses and the cycles they cost
+    under the bank model, so fused-vs-split and padded-vs-unpadded variants
+    can be compared quantitatively.
+    """
+
+    accesses: int = 0
+    cycles: int = 0
+    conflicts: int = 0
+    worst_degree: int = 1
+    _by_label: dict = field(default_factory=dict)
+
+    def access(self, word_addresses: np.ndarray, label: str = "") -> int:
+        """Record one warp-wide access; returns its serialization degree."""
+        degree = bank_conflict_degree(word_addresses)
+        self.accesses += 1
+        self.cycles += degree
+        if degree > 1:
+            self.conflicts += 1
+        self.worst_degree = max(self.worst_degree, degree)
+        if label:
+            stats = self._by_label.setdefault(label, [0, 0])
+            stats[0] += 1
+            stats[1] += degree
+        return degree
+
+    def by_label(self) -> dict[str, tuple[int, int]]:
+        """Per-label (accesses, cycles) breakdown."""
+        return {k: (v[0], v[1]) for k, v in self._by_label.items()}
+
+    @property
+    def conflict_factor(self) -> float:
+        """Average serialization factor (1.0 = conflict-free)."""
+        return self.cycles / self.accesses if self.accesses else 1.0

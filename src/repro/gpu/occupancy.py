@@ -1,0 +1,99 @@
+"""CUDA occupancy model.
+
+Occupancy — resident warps per SM relative to the hardware maximum — is what
+the paper's shared-memory budget decision trades against: the bitshuffle
+kernel's 32x33 u32 tile (4.2 KiB) plus flag buffers is sized so several
+blocks still fit per SM.  This calculator reproduces the standard occupancy
+arithmetic (warp, shared-memory and register limits) so that trade-off is
+inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import GPUSpec
+
+__all__ = ["OccupancyReport", "occupancy", "SM_LIMITS"]
+
+
+@dataclass(frozen=True)
+class SMLimits:
+    """Per-SM hardware limits (Ampere values)."""
+
+    max_warps: int = 64
+    max_blocks: int = 32
+    shared_kb: float = 164.0  # A100 opt-in maximum
+    registers: int = 65536
+
+
+#: Per-device SM limits (A4000 = GA104: 48 warps, 100 KiB shared).
+SM_LIMITS: dict[str, SMLimits] = {
+    "A100": SMLimits(max_warps=64, max_blocks=32, shared_kb=164.0),
+    "A4000": SMLimits(max_warps=48, max_blocks=16, shared_kb=100.0),
+}
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy of one kernel configuration on one device.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Resident thread blocks per SM (the binding limit applied).
+    warps_per_sm:
+        Resident warps.
+    occupancy:
+        ``warps_per_sm / max_warps`` in [0, 1].
+    limiter:
+        Which resource binds: ``"warps"``, ``"shared"``, ``"registers"``
+        or ``"blocks"``.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+
+def occupancy(
+    device: GPUSpec,
+    threads_per_block: int,
+    shared_bytes_per_block: int = 0,
+    registers_per_thread: int = 32,
+) -> OccupancyReport:
+    """Occupancy of a kernel configuration on ``device``.
+
+    Parameters
+    ----------
+    threads_per_block:
+        Block size (e.g. 1024 for the 32x32 bitshuffle block).
+    shared_bytes_per_block:
+        Static + dynamic shared memory per block (the 32x33 tile is 4224
+        bytes; flag buffers add ~300).
+    registers_per_thread:
+        Register pressure (compiler-reported; 32 is a typical default).
+    """
+    if threads_per_block < 1 or threads_per_block > 1024:
+        raise ValueError("threads_per_block must be in [1, 1024]")
+    limits = SM_LIMITS.get(device.name, SMLimits())
+    warps_per_block = (threads_per_block + device.warp_size - 1) // device.warp_size
+
+    candidates = {
+        "warps": limits.max_warps // warps_per_block,
+        "blocks": limits.max_blocks,
+        "registers": limits.registers // max(registers_per_thread * threads_per_block, 1),
+    }
+    if shared_bytes_per_block:
+        candidates["shared"] = int(limits.shared_kb * 1024) // shared_bytes_per_block
+
+    limiter = min(candidates, key=lambda k: candidates[k])
+    blocks = max(candidates[limiter], 0)
+    warps = blocks * warps_per_block
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / limits.max_warps,
+        limiter=limiter,
+    )

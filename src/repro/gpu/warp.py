@@ -1,0 +1,126 @@
+"""Functional warp-level primitives.
+
+CUDA's warp intrinsics operate across the 32 lanes of a warp; here a "warp"
+is the last axis (length 32) of a NumPy array, so one call processes every
+warp of a grid simultaneously.  The semantics mirror the CUDA functions the
+paper's kernels use (§3.3: ``__ballot_sync`` implements the bitshuffle vote;
+§3.4: ``__ballot_sync`` builds the bit-flag array from byte flags).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WARP_SIZE",
+    "ballot_sync",
+    "any_sync",
+    "all_sync",
+    "shfl_xor_sync",
+    "shfl_up_sync",
+    "warp_inclusive_scan",
+    "warp_reduce_sum",
+    "lane_id",
+]
+
+#: CUDA warp width.
+WARP_SIZE = 32
+
+_LANE_WEIGHTS = (np.uint64(1) << np.arange(WARP_SIZE, dtype=np.uint64))
+
+
+def _check_warp_axis(arr: np.ndarray) -> None:
+    if arr.shape[-1] != WARP_SIZE:
+        raise ValueError(
+            f"warp primitives need a trailing axis of {WARP_SIZE}, got {arr.shape}"
+        )
+
+
+def lane_id(shape: tuple[int, ...]) -> np.ndarray:
+    """Lane index (0..31) of every thread in a warp-shaped array."""
+    if shape[-1] != WARP_SIZE:
+        raise ValueError("last axis must be the warp axis")
+    return np.broadcast_to(np.arange(WARP_SIZE), shape)
+
+
+def ballot_sync(predicate: np.ndarray) -> np.ndarray:
+    """``__ballot_sync``: pack each warp's 32 lane predicates into a uint32.
+
+    Bit ``i`` of the result is lane ``i``'s predicate.  Input shape
+    ``(..., 32)``; output shape ``(...)`` with dtype ``uint32``.
+    """
+    predicate = np.asarray(predicate)
+    _check_warp_axis(predicate)
+    bits = (predicate != 0).astype(np.uint64)
+    packed = (bits * _LANE_WEIGHTS).sum(axis=-1, dtype=np.uint64)
+    return packed.astype(np.uint32)
+
+
+def any_sync(predicate: np.ndarray) -> np.ndarray:
+    """``__any_sync``: true per warp if any lane's predicate is true."""
+    predicate = np.asarray(predicate)
+    _check_warp_axis(predicate)
+    return (predicate != 0).any(axis=-1)
+
+
+def all_sync(predicate: np.ndarray) -> np.ndarray:
+    """``__all_sync``: true per warp if every lane's predicate is true."""
+    predicate = np.asarray(predicate)
+    _check_warp_axis(predicate)
+    return (predicate != 0).all(axis=-1)
+
+
+def shfl_xor_sync(values: np.ndarray, lane_mask: int) -> np.ndarray:
+    """``__shfl_xor_sync``: each lane reads the value of ``lane ^ lane_mask``.
+
+    The butterfly exchange underlying warp-level reductions and scans.
+    """
+    values = np.asarray(values)
+    _check_warp_axis(values)
+    if not 0 <= lane_mask < WARP_SIZE:
+        raise ValueError("lane_mask must be in [0, 32)")
+    src = np.arange(WARP_SIZE) ^ lane_mask
+    return values[..., src]
+
+
+def shfl_up_sync(values: np.ndarray, delta: int) -> np.ndarray:
+    """``__shfl_up_sync``: lane ``i`` reads lane ``i - delta``.
+
+    Lanes with ``i < delta`` keep their own value (CUDA semantics: the
+    shuffle is inactive there and the destination register is unchanged —
+    modelled as identity, which is what the scan idiom relies on).
+    """
+    values = np.asarray(values)
+    _check_warp_axis(values)
+    if not 0 <= delta < WARP_SIZE:
+        raise ValueError("delta must be in [0, 32)")
+    src = np.arange(WARP_SIZE) - delta
+    src = np.where(src < 0, np.arange(WARP_SIZE), src)
+    return values[..., src]
+
+
+def warp_inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive per-warp prefix sum via the classic shfl-up ladder.
+
+    Five ``__shfl_up_sync`` rounds (delta 1, 2, 4, 8, 16) with masked adds —
+    the idiom every CUDA block scan builds on, including the scan feeding
+    the encoder's offsets.
+    """
+    values = np.asarray(values)
+    _check_warp_axis(values)
+    acc = values.astype(np.int64, copy=True)
+    lanes = np.arange(WARP_SIZE)
+    for delta in (1, 2, 4, 8, 16):
+        shifted = shfl_up_sync(acc, delta)
+        acc = np.where(lanes >= delta, acc + shifted, acc)
+    return acc
+
+
+def warp_reduce_sum(values: np.ndarray) -> np.ndarray:
+    """Per-warp sum via the xor-butterfly reduction (5 shuffle rounds)."""
+    values = np.asarray(values)
+    _check_warp_axis(values)
+    acc = values.astype(np.int64, copy=True)
+    for mask in (16, 8, 4, 2, 1):
+        acc = acc + shfl_xor_sync(acc, mask)
+    return acc[..., 0]

@@ -1,0 +1,6 @@
+"""Experiment harness: one registered experiment per paper table/figure."""
+
+from repro.harness.runner import ExperimentResult, run_experiment, EXPERIMENTS
+from repro.harness.report import render_table
+
+__all__ = ["ExperimentResult", "run_experiment", "EXPERIMENTS", "render_table"]

@@ -1,0 +1,135 @@
+"""Full-factorial sweep runner with CSV output.
+
+The benchmark harness regenerates the paper's specific figures; this module
+is the general tool behind it: sweep any cross-product of (dataset, field,
+codec, error bound / rate) and collect measured ratio + quality plus modeled
+throughput into rows, written as CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines import CuSZ, CuSZRLE, CuSZx, CuZFP, MGARDGPU
+from repro.core.pipeline import FZGPU
+from repro.datasets import generate
+from repro.gpu.device import GPUSpec
+from repro.metrics import psnr
+from repro.perf import measure_throughput, overall_throughput
+
+__all__ = ["SweepConfig", "run_sweep", "rows_to_csv", "write_csv"]
+
+_CODECS = {
+    "fz-gpu": lambda: FZGPU(),
+    "cusz": lambda: CuSZ(),
+    "cusz-rle": lambda: CuSZRLE(),
+    "cuszx": lambda: CuSZx(),
+    "mgard": lambda: MGARDGPU(),
+}
+
+#: Codecs the throughput model covers.
+_MODELED = {"fz-gpu", "cusz", "cusz-ncb", "cuszx", "mgard", "cuzfp"}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep's cross-product definition.
+
+    Attributes
+    ----------
+    datasets:
+        Dataset names (registry keys); pair with optional ``fields``.
+    codecs:
+        Codec names from ``fz-gpu | cusz | cusz-rle | cuszx | mgard | cuzfp``.
+    ebs:
+        Error bounds for the error-bounded codecs (range-relative).
+    zfp_rates:
+        Rates used when ``cuzfp`` is in ``codecs``.
+    shapes:
+        Optional per-dataset shape overrides.
+    device:
+        GPU model for the throughput columns (None skips them).
+    measure_quality:
+        Decompress and compute PSNR (slower; off for ratio-only sweeps).
+    """
+
+    datasets: Sequence[str]
+    codecs: Sequence[str]
+    ebs: Sequence[float] = (1e-2, 1e-3, 1e-4)
+    zfp_rates: Sequence[float] = (2.0, 4.0, 8.0)
+    shapes: dict | None = None
+    device: GPUSpec | None = None
+    measure_quality: bool = True
+
+
+def _sweep_one(name: str, data: np.ndarray, codec_name: str, cfg: SweepConfig):
+    rows = []
+    if codec_name == "cuzfp":
+        settings = [("rate", r) for r in cfg.zfp_rates]
+    else:
+        settings = [("eb", e) for e in cfg.ebs]
+    for kind, value in settings:
+        if codec_name == "cuzfp":
+            codec = CuZFP(rate=value)
+            res = codec.compress(data)
+        else:
+            codec = _CODECS[codec_name]()
+            res = codec.compress(data, eb=value, mode="rel")
+        row = {
+            "dataset": name,
+            "codec": codec_name,
+            kind: value,
+            "ratio": res.ratio,
+            "bitrate": res.bitrate,
+        }
+        if cfg.measure_quality:
+            row["psnr"] = psnr(data, codec.decompress(res.stream))
+        if cfg.device is not None and codec_name in _MODELED:
+            kwargs = {"rate": value} if kind == "rate" else {"eb": value}
+            rep = measure_throughput(codec_name, data, cfg.device, **kwargs)
+            row["gbps"] = rep.throughput_gbps
+            row["overall_gbps"] = overall_throughput(
+                rep.throughput_gbps, res.ratio, cfg.device.pcie_gbps
+            )
+        rows.append(row)
+    return rows
+
+
+def run_sweep(cfg: SweepConfig) -> list[dict]:
+    """Run the full cross-product; returns one dict per configuration."""
+    rows: list[dict] = []
+    for name in cfg.datasets:
+        shape = (cfg.shapes or {}).get(name)
+        data = generate(name, shape=shape).data
+        for codec_name in cfg.codecs:
+            if codec_name not in _CODECS and codec_name != "cuzfp":
+                raise ValueError(f"unknown codec {codec_name!r}")
+            rows.extend(_sweep_one(name, data, codec_name, cfg))
+    return rows
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Serialize sweep rows as CSV text (union of all columns)."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def write_csv(rows: list[dict], path: str | pathlib.Path) -> None:
+    """Write sweep rows to a CSV file."""
+    pathlib.Path(path).write_text(rows_to_csv(rows))

@@ -1,0 +1,15 @@
+"""Lorenzo predictor: n-dimensional first-order prediction on chunked grids."""
+
+from repro.lorenzo.predictor import (
+    lorenzo_delta,
+    lorenzo_reconstruct,
+    lorenzo_delta_chunked,
+    lorenzo_reconstruct_chunked,
+)
+
+__all__ = [
+    "lorenzo_delta",
+    "lorenzo_reconstruct",
+    "lorenzo_delta_chunked",
+    "lorenzo_reconstruct_chunked",
+]

@@ -1,0 +1,26 @@
+"""Compression quality metrics (§4.2): PSNR, SSIM, ratio/bitrate, histograms."""
+
+from repro.metrics.error import (
+    max_abs_error,
+    nrmse,
+    psnr,
+    check_error_bound,
+    ErrorReport,
+    error_report,
+)
+from repro.metrics.ssim import ssim
+from repro.metrics.ratio import compression_ratio, bitrate
+from repro.metrics.distribution import histogram_overlap
+
+__all__ = [
+    "max_abs_error",
+    "nrmse",
+    "psnr",
+    "check_error_bound",
+    "ErrorReport",
+    "error_report",
+    "ssim",
+    "compression_ratio",
+    "bitrate",
+    "histogram_overlap",
+]

@@ -1,0 +1,36 @@
+"""Value-distribution comparison (the bottom row of Fig. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["histogram_overlap", "value_histogram"]
+
+
+def value_histogram(
+    data: np.ndarray, bins: int = 128, value_range: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalized value histogram ``(density, edges)``."""
+    counts, edges = np.histogram(
+        np.asarray(data).ravel(), bins=bins, range=value_range, density=False
+    )
+    total = counts.sum()
+    density = counts / total if total else counts.astype(float)
+    return density, edges
+
+
+def histogram_overlap(orig: np.ndarray, recon: np.ndarray, bins: int = 128) -> float:
+    """Overlap coefficient of the two value distributions, in [0, 1].
+
+    1.0 means the reconstructed data's distribution matches the original's
+    exactly at this binning — the property Fig. 12's second row inspects.
+    """
+    orig = np.asarray(orig).ravel()
+    recon = np.asarray(recon).ravel()
+    lo = float(min(orig.min(), recon.min()))
+    hi = float(max(orig.max(), recon.max()))
+    if lo == hi:
+        return 1.0
+    h1, _ = value_histogram(orig, bins, (lo, hi))
+    h2, _ = value_histogram(recon, bins, (lo, hi))
+    return float(np.minimum(h1, h2).sum())

@@ -1,0 +1,91 @@
+"""Pointwise error metrics between original and reconstructed fields."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "nrmse",
+    "psnr",
+    "check_error_bound",
+    "ErrorReport",
+    "error_report",
+]
+
+
+def _pair(orig: np.ndarray, recon: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    orig = np.asarray(orig, dtype=np.float64)
+    recon = np.asarray(recon, dtype=np.float64)
+    if orig.shape != recon.shape:
+        raise ValueError(f"shape mismatch: {orig.shape} vs {recon.shape}")
+    return orig, recon
+
+
+def max_abs_error(orig: np.ndarray, recon: np.ndarray) -> float:
+    """Largest absolute pointwise error."""
+    orig, recon = _pair(orig, recon)
+    return float(np.abs(orig - recon).max())
+
+
+def nrmse(orig: np.ndarray, recon: np.ndarray) -> float:
+    """Root-mean-square error normalized by the original's value range."""
+    orig, recon = _pair(orig, recon)
+    rmse = float(np.sqrt(((orig - recon) ** 2).mean()))
+    rng = float(orig.max() - orig.min())
+    return rmse / rng if rng > 0 else rmse
+
+
+def psnr(orig: np.ndarray, recon: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (range-based, the SZ convention).
+
+    ``psnr = 20 * log10(range / rmse)``; returns ``inf`` for an exact
+    reconstruction.
+    """
+    orig, recon = _pair(orig, recon)
+    rmse = float(np.sqrt(((orig - recon) ** 2).mean()))
+    if rmse == 0.0:
+        return float("inf")
+    rng = float(orig.max() - orig.min())
+    if rng == 0.0:
+        rng = float(np.abs(orig).max()) or 1.0
+    return 20.0 * np.log10(rng / rmse)
+
+
+def check_error_bound(
+    orig: np.ndarray, recon: np.ndarray, eb_abs: float, rtol: float = 1e-5
+) -> bool:
+    """True when every point satisfies the absolute error bound.
+
+    The comparison allows one float32 ULP of the data's magnitude on top of
+    the bound: reconstructions are float32, so storing the (float64-exact)
+    dequantized value rounds by up to ``|value| * 2**-24``.
+    """
+    ulp_slack = float(np.abs(np.asarray(orig)).max()) * 2.0**-23
+    return max_abs_error(orig, recon) <= eb_abs * (1.0 + rtol) + ulp_slack
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """All distortion numbers the evaluation reports for one run."""
+
+    max_abs: float
+    nrmse: float
+    psnr: float
+    bound_satisfied: bool | None
+
+
+def error_report(
+    orig: np.ndarray, recon: np.ndarray, eb_abs: float | None = None
+) -> ErrorReport:
+    """Compute the full distortion report in one pass."""
+    return ErrorReport(
+        max_abs=max_abs_error(orig, recon),
+        nrmse=nrmse(orig, recon),
+        psnr=psnr(orig, recon),
+        bound_satisfied=(
+            check_error_bound(orig, recon, eb_abs) if eb_abs is not None else None
+        ),
+    )

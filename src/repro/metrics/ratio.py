@@ -1,0 +1,20 @@
+"""Compression-ratio / bitrate helpers (§4.2 definitions)."""
+
+from __future__ import annotations
+
+__all__ = ["compression_ratio", "bitrate"]
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Original size over compressed size."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bitrate(original_bytes: int, compressed_bytes: int, value_bits: int = 32) -> float:
+    """Average bits per value: ``value_bits / compression_ratio``.
+
+    All evaluation datasets are single precision, so ``value_bits`` is 32.
+    """
+    return value_bits / compression_ratio(original_bytes, compressed_bytes)

@@ -1,0 +1,64 @@
+"""Structural Similarity Index (SSIM) for 2-D scientific field slices.
+
+The standard Wang et al. formulation with uniform local windows (the
+evaluation applies it to 2-D slices of the reconstructed fields, Fig. 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["ssim"]
+
+
+def ssim(
+    orig: np.ndarray,
+    recon: np.ndarray,
+    window: int = 7,
+    k1: float = 0.01,
+    k2: float = 0.03,
+) -> float:
+    """Mean local SSIM between two 2-D arrays.
+
+    Parameters
+    ----------
+    orig, recon:
+        2-D arrays of identical shape.
+    window:
+        Side of the square local window.
+    k1, k2:
+        Stabilization constants relative to the data range (standard values).
+
+    Returns
+    -------
+    float
+        Mean SSIM in [-1, 1]; 1.0 means structurally identical.
+    """
+    orig = np.asarray(orig, dtype=np.float64)
+    recon = np.asarray(recon, dtype=np.float64)
+    if orig.shape != recon.shape:
+        raise ValueError(f"shape mismatch: {orig.shape} vs {recon.shape}")
+    if orig.ndim != 2:
+        raise ValueError("ssim expects 2-D slices")
+    if min(orig.shape) < window:
+        raise ValueError(f"field smaller than the {window}x{window} window")
+
+    data_range = float(orig.max() - orig.min())
+    if data_range == 0.0:
+        data_range = float(np.abs(orig).max()) or 1.0
+    c1 = (k1 * data_range) ** 2
+    c2 = (k2 * data_range) ** 2
+
+    def f(a):
+        return ndimage.uniform_filter(a, size=window, mode="reflect")
+
+    mu_x = f(orig)
+    mu_y = f(recon)
+    sigma_x = f(orig * orig) - mu_x * mu_x
+    sigma_y = f(recon * recon) - mu_y * mu_y
+    sigma_xy = f(orig * recon) - mu_x * mu_y
+
+    num = (2 * mu_x * mu_y + c1) * (2 * sigma_xy + c2)
+    den = (mu_x**2 + mu_y**2 + c1) * (sigma_x + sigma_y + c2)
+    return float((num / den).mean())

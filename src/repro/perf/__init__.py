@@ -1,0 +1,24 @@
+"""Performance models: kernel pipelines per compressor over the GPU substrate.
+
+Ratios, PSNR and SSIM in this repository are *measured* from the real codecs;
+throughput cannot be (there is no CUDA device here), so this package charges
+each compressor's kernel pipeline to the roofline cost model of
+:mod:`repro.gpu.cost`.  Everything data-dependent — encoder output sizes,
+zero-block fractions, outlier counts, divergence fractions, Huffman stream
+sizes — is taken from the actual compression run; the per-kernel efficiency
+constants are calibrated once against the paper's reported numbers
+(:mod:`repro.perf.calibration`), so dataset-to-dataset and device-to-device
+*shapes* are produced mechanistically.
+"""
+
+from repro.perf.model import PerfReport, measure_throughput
+from repro.perf.transfer import overall_throughput
+from repro.perf.calibration import CALIBRATION, PAPER_ANCHORS
+
+__all__ = [
+    "PerfReport",
+    "measure_throughput",
+    "overall_throughput",
+    "CALIBRATION",
+    "PAPER_ANCHORS",
+]

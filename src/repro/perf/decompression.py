@@ -1,0 +1,96 @@
+"""Decompression throughput model (§4.4).
+
+The paper: "the decompression pipeline is highly symmetrical to the
+compression pipeline, exhibiting throughput nearly identical to that of
+compression."  The decompression kernels are the stage inverses —
+
+    decode-scatter -> bit-unshuffle -> Lorenzo reconstruct + dequantize
+
+— with the same byte traffic per stage mirrored (reads and writes swap) and
+one asymmetry: the Lorenzo reconstruction is a *scan* (prefix sums along
+each axis within a chunk), slightly more work than the forward difference.
+cuSZ's decompression is instead dominated by sequential Huffman decoding
+(the problem Rivera et al. attack), which we reflect with a lower decode
+efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoder import BLOCK_BYTES
+from repro.core.pipeline import CompressionResult
+from repro.gpu.cost import KernelProfile
+from repro.perf.calibration import CALIBRATION
+
+__all__ = ["fzgpu_decompression_profiles", "cusz_decompression_profiles"]
+
+
+def fzgpu_decompression_profiles(n: int, result: CompressionResult) -> list[KernelProfile]:
+    """FZ-GPU decompression pipeline: mirror of the compression kernels."""
+    code_bytes = 2.0 * n
+    flag_bytes = result.n_blocks / 8.0
+    literal_bytes = float(result.n_nonzero_blocks * BLOCK_BYTES)
+    ce = CALIBRATION["fz.encode"]
+    cb = CALIBRATION["fz.bitshuffle_mark"]
+    cq = CALIBRATION["fz.pred_quant_v2"]
+    return [
+        KernelProfile(
+            "decode-scatter",
+            bytes_read=literal_bytes + flag_bytes,
+            bytes_written=code_bytes,
+            ops=ce["ops"] * n,
+            compute_eff=ce["compute_eff"],
+            mem_eff=ce["mem_eff"],
+            n_launches=2,  # prefix-sum + scatter
+        ),
+        KernelProfile(
+            "bit-unshuffle",
+            bytes_read=code_bytes,
+            bytes_written=code_bytes,
+            ops=cb["ops"] * n,
+            compute_eff=cb["compute_eff"],
+            mem_eff=cb["mem_eff"],
+        ),
+        KernelProfile(
+            "lorenzo-reconstruct",
+            bytes_read=code_bytes,
+            bytes_written=4.0 * n,
+            # the in-chunk scan costs slightly more than the forward diff
+            ops=cq["ops"] * 1.3 * n,
+            compute_eff=cq["compute_eff"],
+            mem_eff=cq["mem_eff"],
+        ),
+    ]
+
+
+def cusz_decompression_profiles(n: int, extras: dict) -> list[KernelProfile]:
+    """cuSZ decompression: sequential-prefix Huffman decode dominates."""
+    ch = CALIBRATION["cusz.huffman_encode"]
+    cq = CALIBRATION["fz.pred_quant_v2"]
+    huff_bytes = float(extras.get("huffman_bytes", n))
+    return [
+        KernelProfile(
+            "huffman-decode",
+            bytes_read=huff_bytes,
+            bytes_written=2.0 * n,
+            # decoding cannot start a symbol before the previous one ends:
+            # worse parallelism than encoding (Rivera et al. 2022)
+            ops=ch["ops"] * 1.5 * n,
+            compute_eff=ch["compute_eff"] * 0.7,
+            mem_eff=ch["mem_eff"],
+            n_launches=2,
+        ),
+        KernelProfile(
+            "outlier-scatter",
+            bytes_read=16.0 * extras.get("n_outliers", 0),
+            bytes_written=8.0 * extras.get("n_outliers", 0),
+            mem_eff=CALIBRATION["cusz.outlier"]["mem_eff"],
+        ),
+        KernelProfile(
+            "lorenzo-reconstruct",
+            bytes_read=2.0 * n,
+            bytes_written=4.0 * n,
+            ops=cq["ops"] * 1.3 * n,
+            compute_eff=cq["compute_eff"],
+            mem_eff=cq["mem_eff"],
+        ),
+    ]

@@ -1,0 +1,183 @@
+"""Throughput estimation: run the real codec, time its kernel pipeline.
+
+:func:`measure_throughput` is the single entry point the benchmark harness
+uses: it compresses the field with the requested compressor (obtaining the
+real ratio and the data-dependent statistics), builds the compressor's kernel
+pipeline and charges it to the device cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import CuSZ, CuSZx, MGARDGPU
+from repro.core.pipeline import FZGPU
+from repro.core.quantize import prequantize
+from repro.gpu.cost import pipeline_time
+from repro.gpu.device import CPUSpec, GPUSpec
+from repro.gpu.kernels import measure_divergence
+from repro.lorenzo import lorenzo_delta_chunked
+from repro.perf import pipelines as pl
+from repro.perf.calibration import CALIBRATION
+
+__all__ = ["PerfReport", "measure_throughput", "cpu_throughput"]
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Throughput estimate for one (compressor, field, device) combination.
+
+    Attributes
+    ----------
+    compressor / device:
+        Display names.
+    ratio / bitrate:
+        Measured (real) compression ratio and bits per value.
+    kernel_times:
+        Seconds per kernel plus ``"total"``.
+    throughput_gbps:
+        Compression throughput: original bytes / total kernel time.
+    psnr_eb:
+        The absolute error bound used (None for fixed-rate cuZFP).
+    extras:
+        Codec statistics forwarded from the compression run.
+    """
+
+    compressor: str
+    device: str
+    ratio: float
+    kernel_times: dict[str, float]
+    throughput_gbps: float
+    psnr_eb: float | None
+    extras: dict
+
+    @property
+    def bitrate(self) -> float:
+        return 32.0 / self.ratio
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_times["total"]
+
+
+def _divergence_for(data: np.ndarray, eb_abs: float, radius: int = 512) -> float:
+    """Measured v1 warp divergence: outlier-branch disagreement per warp."""
+    q = prequantize(data, eb_abs)
+    delta = lorenzo_delta_chunked(q)
+    return measure_divergence(np.abs(delta.ravel()) >= radius)
+
+
+def measure_throughput(
+    compressor: str,
+    data: np.ndarray,
+    device: GPUSpec,
+    eb: float = 1e-3,
+    mode: str = "rel",
+    rate: float | None = None,
+    direction: str = "compress",
+    **variant_opts,
+) -> PerfReport:
+    """Compress ``data`` for real and estimate the run's time on ``device``.
+
+    Parameters
+    ----------
+    compressor:
+        One of ``"fz-gpu"``, ``"cusz"``, ``"cusz-ncb"``, ``"cuszx"``,
+        ``"cuzfp"``, ``"mgard"``.
+    eb / mode:
+        Error bound for the error-bounded codecs.
+    rate:
+        Bits per value for cuZFP (required for it, ignored otherwise).
+    direction:
+        ``"compress"`` (default) or ``"decompress"`` — the latter charges
+        the decompression kernel pipeline instead (§4.4 symmetry; only
+        FZ-GPU and cuSZ have decompression models).
+    variant_opts:
+        Forwarded to the FZ-GPU pipeline builder for Fig. 10 ablation
+        variants (``pred_quant_version``, ``fused_bitshuffle``).
+    """
+    n = int(np.asarray(data).size)
+    name = compressor.lower()
+    if direction not in ("compress", "decompress"):
+        raise ValueError("direction must be 'compress' or 'decompress'")
+    if direction == "decompress" and name not in ("fz-gpu", "cusz", "cusz-ncb"):
+        raise ValueError(f"no decompression model for {compressor!r}")
+
+    if name == "fz-gpu":
+        result = FZGPU().compress(data, eb, mode)
+        if direction == "decompress":
+            from repro.perf.decompression import fzgpu_decompression_profiles
+
+            profiles = fzgpu_decompression_profiles(n, result)
+        else:
+            div = (
+                _divergence_for(data, result.eb_abs)
+                if variant_opts.get("pred_quant_version") == 1
+                else 1.5
+            )
+            profiles = pl.fzgpu_profiles(n, result, divergence_v1=div, **variant_opts)
+        ratio, eb_abs, extras = result.ratio, result.eb_abs, {
+            "n_nonzero_blocks": result.n_nonzero_blocks,
+            "n_blocks": result.n_blocks,
+        }
+    elif name in ("cusz", "cusz-ncb"):
+        ncb = name == "cusz-ncb"
+        res = CuSZ(ncb=ncb).compress(data, eb=eb, mode=mode)
+        if direction == "decompress":
+            from repro.perf.decompression import cusz_decompression_profiles
+
+            profiles = cusz_decompression_profiles(n, res.extras)
+        else:
+            div = _divergence_for(data, res.eb_abs)
+            profiles = pl.cusz_profiles(n, res.extras, ncb=ncb, divergence=div)
+        ratio, eb_abs, extras = res.ratio, res.eb_abs, res.extras
+    elif name == "cuszx":
+        res = CuSZx().compress(data, eb=eb, mode=mode)
+        profiles = pl.cuszx_profiles(n, res.extras, res.compressed_bytes)
+        ratio, eb_abs, extras = res.ratio, res.eb_abs, res.extras
+    elif name == "cuzfp":
+        if rate is None:
+            raise ValueError("cuZFP needs a fixed rate (bits/value)")
+        # Fixed-rate output size is deterministic — no need to run the coder:
+        # every 4^d block consumes exactly rate * 4**d bits (§2.1).
+        profiles = pl.cuzfp_profiles(n, rate)
+        ratio, eb_abs, extras = 32.0 / rate, None, {"rate": rate}
+    elif name == "mgard":
+        res = MGARDGPU().compress(data, eb=eb, mode=mode)
+        profiles = pl.mgard_profiles(n, res.extras, res.compressed_bytes)
+        ratio, eb_abs, extras = res.ratio, res.eb_abs, res.extras
+    else:
+        raise ValueError(f"unknown compressor {compressor!r}")
+
+    times = pipeline_time(profiles, device)
+    gbps = 4.0 * n / times["total"] / 1e9
+    return PerfReport(
+        compressor=compressor,
+        device=device.name,
+        ratio=ratio,
+        kernel_times=times,
+        throughput_gbps=gbps,
+        psnr_eb=eb_abs,
+        extras=dict(extras),
+    )
+
+
+def cpu_throughput(n: int, cpu: CPUSpec, algorithm: str = "fz-omp", threads: int = 32) -> float:
+    """FZ-OMP / SZ-OMP throughput (GB/s) on a CPU node model.
+
+    Bandwidth-bound chunked pipeline; scaling saturates at the node's memory
+    system (paper footnote 5: little gain past 32 threads).
+    """
+    c = CALIBRATION["cpu.fz_omp"]
+    eff_threads = min(threads, cpu.saturation_threads)
+    thread_scale = eff_threads / cpu.saturation_threads
+    bw = cpu.mem_bandwidth_gbps * 1e9 * c["mem_eff"] * thread_scale
+    t = c["bytes_per_elem"] * n / bw
+    gbps = 4.0 * n / t / 1e9
+    if algorithm == "sz-omp":
+        gbps /= CALIBRATION["cpu.sz_omp_slowdown"]["factor"]
+    elif algorithm != "fz-omp":
+        raise ValueError(f"unknown CPU algorithm {algorithm!r}")
+    return gbps

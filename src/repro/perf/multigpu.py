@@ -1,0 +1,85 @@
+"""Multi-GPU scaling model (§4.1, §4.6).
+
+The paper treats multi-GPU compression as embarrassingly parallel — data is
+partitioned coarsely, one chunk per GPU, with no inter-chunk dependency —
+but the *host interconnect is shared*: the four A100s hang off one 32-lane
+PCIe 4.0 switch, so per-GPU bandwidth collapses from 32 GB/s to a measured
+11.4 GB/s when all four move data at once (aggregate ~45 GB/s).
+
+:func:`multi_gpu_throughput` composes those two facts: kernel time scales
+perfectly with GPU count, transfer time contends on the switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MultiGPUReport", "multi_gpu_throughput", "PCIE_SWITCH_GBPS"]
+
+#: Aggregate bandwidth of the host's 32-lane PCIe 4.0 switch (measured ~45
+#: GB/s with 4 GPUs in the paper's benchmarking, §4.6).
+PCIE_SWITCH_GBPS = 45.0
+
+#: A single GPU with the switch to itself gets its full 16-lane share.
+_SINGLE_GPU_GBPS = 32.0
+
+
+def interconnect_share(n_gpus: int, switch_gbps: float = PCIE_SWITCH_GBPS) -> float:
+    """Per-GPU effective host bandwidth when ``n_gpus`` transfer at once."""
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    return min(_SINGLE_GPU_GBPS, switch_gbps / n_gpus)
+
+
+@dataclass(frozen=True)
+class MultiGPUReport:
+    """Aggregate throughput of an n-GPU compression + transfer pipeline."""
+
+    n_gpus: int
+    per_gpu_compression_gbps: float
+    per_gpu_interconnect_gbps: float
+    aggregate_compression_gbps: float
+    aggregate_overall_gbps: float
+
+    _ratio: float = 1.0
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Aggregate overall throughput relative to perfect n-GPU scaling."""
+        bw1 = interconnect_share(1)
+        single = 1.0 / (
+            1.0 / (bw1 * self._ratio) + 1.0 / self.per_gpu_compression_gbps
+        )
+        return self.aggregate_overall_gbps / (single * self.n_gpus)
+
+
+def multi_gpu_throughput(
+    compression_gbps: float,
+    ratio: float,
+    n_gpus: int,
+    switch_gbps: float = PCIE_SWITCH_GBPS,
+) -> MultiGPUReport:
+    """Model an ``n_gpus`` compression + host-transfer pipeline.
+
+    Parameters
+    ----------
+    compression_gbps:
+        Single-GPU compression throughput (from the kernel model).
+    ratio:
+        Compression ratio (compressed bytes cross the switch).
+    n_gpus:
+        GPUs compressing and shipping concurrently.
+    """
+    if compression_gbps <= 0 or ratio <= 0:
+        raise ValueError("throughput and ratio must be positive")
+    bw = interconnect_share(n_gpus, switch_gbps)
+    # per-GPU overall throughput: harmonic composition as in Fig. 11
+    per_overall = 1.0 / (1.0 / (bw * ratio) + 1.0 / compression_gbps)
+    return MultiGPUReport(
+        n_gpus=n_gpus,
+        per_gpu_compression_gbps=compression_gbps,
+        per_gpu_interconnect_gbps=bw,
+        aggregate_compression_gbps=compression_gbps * n_gpus,
+        aggregate_overall_gbps=per_overall * n_gpus,
+        _ratio=ratio,
+    )

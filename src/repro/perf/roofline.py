@@ -1,0 +1,109 @@
+"""Roofline analysis of kernel pipelines.
+
+Classifies each kernel of a pipeline as memory- or compute-bound on a given
+device by comparing its *operational intensity* (device ops per byte of
+global traffic) against the device's ridge point, and reports the utilization
+of whichever resource binds.  This is the standard way to reason about where
+the paper's optimizations act: removing the v1 quantizer's divergence only
+helps a compute-bound kernel; fusing kernels only helps memory-bound ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cost import KernelProfile, kernel_time
+from repro.gpu.device import GPUSpec
+
+__all__ = ["RooflinePoint", "roofline_report", "ridge_point"]
+
+
+def ridge_point(device: GPUSpec) -> float:
+    """Operational intensity (ops/byte) where compute and memory roofs meet."""
+    return device.fp32_tflops * 1e12 / (device.mem_bandwidth_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the device roofline.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel name.
+    intensity:
+        Device ops per byte of global traffic (inf for traffic-free kernels).
+    bound:
+        ``"memory"``, ``"compute"``, ``"latency"`` (launch/serial dominated)
+        or ``"balanced"``.
+    utilization:
+        Fraction of the binding resource's peak actually sustained (the
+        kernel's efficiency constant adjusted for hazards).
+    time_fraction:
+        Share of the pipeline's total time.
+    """
+
+    kernel: str
+    intensity: float
+    bound: str
+    utilization: float
+    time_fraction: float
+
+
+def _classify(profile: KernelProfile, device: GPUSpec) -> tuple[str, float, float]:
+    total_bytes = profile.bytes_read + profile.bytes_written
+    intensity = profile.ops / total_bytes if total_bytes else float("inf")
+
+    t_mem = (
+        total_bytes / (device.effective_bandwidth * profile.mem_eff)
+        if total_bytes
+        else 0.0
+    )
+    t_comp = (
+        profile.ops
+        / (device.fp32_tflops * 1e12 * profile.compute_eff)
+        * profile.divergence
+        if profile.ops
+        else 0.0
+    )
+    t_fixed = profile.n_launches * device.kernel_launch_us * 1e-6 + profile.serial_us * 1e-6
+    body = max(t_mem, t_comp)
+
+    if t_fixed > body:
+        return "latency", 0.0, intensity
+    if body == 0.0:
+        return "latency", 0.0, intensity
+    if t_mem > 1.25 * t_comp:
+        bound = "memory"
+        util = total_bytes / (device.mem_bandwidth_gbps * 1e9) / t_mem
+    elif t_comp > 1.25 * t_mem:
+        bound = "compute"
+        util = profile.ops / (device.fp32_tflops * 1e12) / t_comp
+    else:
+        bound = "balanced"
+        util = max(
+            total_bytes / (device.mem_bandwidth_gbps * 1e9),
+            profile.ops / (device.fp32_tflops * 1e12),
+        ) / body
+    return bound, util, intensity
+
+
+def roofline_report(
+    profiles: list[KernelProfile], device: GPUSpec
+) -> list[RooflinePoint]:
+    """Roofline positions of every kernel in a pipeline."""
+    times = [kernel_time(p, device) for p in profiles]
+    total = sum(times) or 1.0
+    points = []
+    for profile, t in zip(profiles, times):
+        bound, util, intensity = _classify(profile, device)
+        points.append(
+            RooflinePoint(
+                kernel=profile.name,
+                intensity=intensity,
+                bound=bound,
+                utilization=min(util, 1.0),
+                time_fraction=t / total,
+            )
+        )
+    return points

@@ -1,0 +1,35 @@
+"""Overall CPU-GPU data-transfer throughput (§4.6, Fig. 11).
+
+The paper's composite metric:
+
+    T_overall = ( (BW * CR)^-1 + T_compr^-1 )^-1
+
+where ``BW`` is the effective host-interconnect bandwidth per GPU (11.4 GB/s
+measured with 4 A100s sharing a 32-lane PCIe 4.0 switch), ``CR`` the
+compression ratio and ``T_compr`` the compression throughput.  Moving
+compressed data costs ``1/(BW*CR)`` per original byte; compressing costs
+``1/T_compr``; the two stages pipeline harmonically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["overall_throughput"]
+
+
+def overall_throughput(
+    compression_gbps: float, ratio: float, interconnect_gbps: float = 11.4
+) -> float:
+    """Overall data-transfer throughput in GB/s of *original* data.
+
+    Parameters
+    ----------
+    compression_gbps:
+        Compression throughput ``T_compr``.
+    ratio:
+        Compression ratio ``CR``.
+    interconnect_gbps:
+        Effective per-GPU host bandwidth ``BW``.
+    """
+    if compression_gbps <= 0 or ratio <= 0 or interconnect_gbps <= 0:
+        raise ValueError("all throughput inputs must be positive")
+    return 1.0 / (1.0 / (interconnect_gbps * ratio) + 1.0 / compression_gbps)

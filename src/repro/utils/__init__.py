@@ -1,0 +1,33 @@
+"""Shared low-level helpers: bit manipulation, chunked array views, validation."""
+
+from repro.utils.bits import (
+    pack_bitflags,
+    unpack_bitflags,
+    popcount32,
+    bit_transpose_32x32,
+)
+from repro.utils.chunking import (
+    pad_to_multiple,
+    block_view,
+    unblock_view,
+    chunk_shape_for,
+)
+from repro.utils.validation import (
+    ensure_float32,
+    ensure_positive,
+    ensure_ndim,
+)
+
+__all__ = [
+    "pack_bitflags",
+    "unpack_bitflags",
+    "popcount32",
+    "bit_transpose_32x32",
+    "pad_to_multiple",
+    "block_view",
+    "unblock_view",
+    "chunk_shape_for",
+    "ensure_float32",
+    "ensure_positive",
+    "ensure_ndim",
+]

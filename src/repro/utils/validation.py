@@ -1,0 +1,56 @@
+"""Argument validation helpers shared by public API entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, UnsupportedDataError
+
+__all__ = ["ensure_float32", "ensure_positive", "ensure_ndim"]
+
+
+def ensure_float32(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Return ``data`` as a C-contiguous float32 array.
+
+    Float64 inputs are downcast (scientific fields in SDRBench are
+    single-precision; the paper's compressors all operate on f32).  Integer
+    or complex inputs are rejected, as are NaN/Inf values: an error-*bounded*
+    compressor cannot bound the error of a non-finite value, so passing one
+    through silently would corrupt the guarantee.
+    """
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        out = np.ascontiguousarray(data)
+    elif data.dtype == np.float64:
+        out = np.ascontiguousarray(data, dtype=np.float32)
+    else:
+        raise UnsupportedDataError(
+            f"{name} must be float32/float64, got dtype={data.dtype}"
+        )
+    if out.size and not np.isfinite(out).all():
+        n_bad = int(np.count_nonzero(~np.isfinite(out)))
+        raise UnsupportedDataError(
+            f"{name} contains {n_bad} non-finite values (NaN/Inf); an "
+            f"error-bounded compressor cannot represent them — mask or "
+            f"replace them first"
+        )
+    return out
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def ensure_ndim(data: np.ndarray, low: int = 1, high: int = 3, name: str = "data") -> np.ndarray:
+    """Validate dimensionality is within ``[low, high]``."""
+    if not (low <= data.ndim <= high):
+        raise UnsupportedDataError(
+            f"{name} must have between {low} and {high} dimensions, got {data.ndim}"
+        )
+    if data.size == 0:
+        raise UnsupportedDataError(f"{name} must be non-empty")
+    return data

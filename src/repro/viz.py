@@ -1,0 +1,94 @@
+"""Terminal visualization of 2-D field slices.
+
+Fig. 12's top row visually compares reconstructed slices across compressors;
+this offline environment has no plotting stack, so this module renders
+slices as Unicode intensity maps — enough to eyeball whether a reconstruction
+preserves the storm structure, and used by ``examples/visual_quality.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "side_by_side", "difference_map"]
+
+#: Intensity ramp from empty to full.
+_RAMP = " .:-=+*#%@"
+
+
+def _resample(slice2d: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Block-average a 2-D array down to ``rows x cols`` cells."""
+    slice2d = np.asarray(slice2d, dtype=np.float64)
+    h, w = slice2d.shape
+    row_edges = np.linspace(0, h, rows + 1).astype(int)
+    col_edges = np.linspace(0, w, cols + 1).astype(int)
+    out = np.empty((rows, cols))
+    for i in range(rows):
+        r0, r1 = row_edges[i], max(row_edges[i + 1], row_edges[i] + 1)
+        for j in range(cols):
+            c0, c1 = col_edges[j], max(col_edges[j + 1], col_edges[j] + 1)
+            out[i, j] = slice2d[r0:r1, c0:c1].mean()
+    return out
+
+
+def ascii_heatmap(
+    slice2d: np.ndarray,
+    rows: int = 20,
+    cols: int = 60,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D slice as a character intensity map.
+
+    Parameters
+    ----------
+    slice2d:
+        The field slice.
+    rows / cols:
+        Output character-grid size.
+    vmin / vmax:
+        Color-scale limits; default to the slice's own range.  Pass the
+        original slice's limits when rendering reconstructions so the maps
+        are directly comparable.
+    """
+    slice2d = np.asarray(slice2d)
+    if slice2d.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D slice")
+    cells = _resample(slice2d, min(rows, slice2d.shape[0]), min(cols, slice2d.shape[1]))
+    lo = float(slice2d.min()) if vmin is None else vmin
+    hi = float(slice2d.max()) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(((cells - lo) / span) * (len(_RAMP) - 1), 0, len(_RAMP) - 1)
+    chars = np.array(list(_RAMP))[idx.astype(int)]
+    return "\n".join("".join(row) for row in chars)
+
+
+def side_by_side(maps: dict[str, str], gap: str = "   ") -> str:
+    """Join several equal-height heatmaps horizontally with titles."""
+    if not maps:
+        return ""
+    split = {k: v.splitlines() for k, v in maps.items()}
+    height = max(len(v) for v in split.values())
+    widths = {k: max((len(line) for line in v), default=0) for k, v in split.items()}
+    header = gap.join(k.center(widths[k]) for k in split)
+    lines = [header]
+    for i in range(height):
+        lines.append(
+            gap.join(
+                (split[k][i] if i < len(split[k]) else "").ljust(widths[k])
+                for k in split
+            )
+        )
+    return "\n".join(lines)
+
+
+def difference_map(
+    orig: np.ndarray, recon: np.ndarray, rows: int = 20, cols: int = 60
+) -> str:
+    """Heatmap of |recon - orig| on the original's color scale."""
+    orig = np.asarray(orig, dtype=np.float64)
+    recon = np.asarray(recon, dtype=np.float64)
+    if orig.shape != recon.shape:
+        raise ValueError("shape mismatch")
+    diff = np.abs(recon - orig)
+    return ascii_heatmap(diff, rows, cols, vmin=0.0, vmax=float(orig.max() - orig.min()) or 1.0)

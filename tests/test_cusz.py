@@ -1,0 +1,78 @@
+"""Tests for the cuSZ baseline codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import compress as fz_compress, decompress as fz_decompress
+from repro.baselines import CuSZ
+from repro.errors import FormatError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(500,), (40, 50), (10, 12, 14)])
+    def test_error_bound(self, rng, shape):
+        data = np.cumsum(rng.standard_normal(int(np.prod(shape)))).astype(
+            np.float32
+        ).reshape(shape)
+        codec = CuSZ()
+        r = codec.compress(data, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_outliers_preserve_bound(self, rng):
+        """Wild jumps exceed the radius but outliers keep the bound exact."""
+        data = rng.standard_normal(2000).astype(np.float32)
+        data[::100] += 1e4  # spikes -> huge Lorenzo residuals
+        codec = CuSZ(radius=512)
+        r = codec.compress(data, 1e-4, "rel")
+        assert r.extras["n_outliers"] > 0
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_no_outliers_on_smooth(self, smooth_2d):
+        r = CuSZ().compress(smooth_2d, 1e-3, "rel")
+        assert r.extras["n_outliers"] == 0
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = CuSZ().compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            CuSZ().decompress(b"XXXX" + r.stream[4:])
+
+
+class TestPaperProperties:
+    def test_same_psnr_as_fzgpu(self, smooth_2d):
+        """§4.3: same lossy stage => identical reconstruction at same eb."""
+        fz = fz_compress(smooth_2d, 1e-3, "rel")
+        fz_recon = fz_decompress(fz.stream)
+        cusz = CuSZ()
+        cs = cusz.compress(smooth_2d, 1e-3, "rel")
+        cs_recon = cusz.decompress(cs.stream)
+        assert fz.eb_abs == pytest.approx(cs.eb_abs)
+        np.testing.assert_allclose(fz_recon, cs_recon, atol=1e-7)
+
+    def test_ratio_capped_at_32(self, rng):
+        """Huffman needs >= 1 bit/symbol: CR <= 32 even on constant data."""
+        data = np.zeros((256, 256), dtype=np.float32)
+        r = CuSZ().compress(data, 1e-2, "abs")
+        assert r.ratio <= 32.5
+
+    def test_ncb_variant_same_stream(self, smooth_2d):
+        a = CuSZ(ncb=False).compress(smooth_2d, 1e-3)
+        b = CuSZ(ncb=True).compress(smooth_2d, 1e-3)
+        assert a.stream[20:] == b.stream[20:]  # payload identical
+        assert CuSZ(ncb=True).name == "cuSZ-ncb"
+
+    def test_extras_populated(self, smooth_2d):
+        r = CuSZ().compress(smooth_2d, 1e-3)
+        assert r.extras["codebook_symbols"] == 1024
+        assert r.extras["n_codes"] == smooth_2d.size
+        assert r.extras["huffman_bytes"] > 0
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            CuSZ(radius=1)
+        with pytest.raises(ValueError):
+            CuSZ(radius=100000)

@@ -1,0 +1,113 @@
+"""Tests for the cuSZ+RLE variant (Tian et al. 2021)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CuSZ, CuSZRLE
+from repro.errors import FormatError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(600,), (40, 50), (12, 14, 16)])
+    def test_error_bound(self, rng, shape):
+        data = np.cumsum(rng.standard_normal(int(np.prod(shape)))).astype(
+            np.float32
+        ).reshape(shape)
+        codec = CuSZRLE()
+        r = codec.compress(data, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_same_quality_as_cusz(self, smooth_2d):
+        """Identical lossy stage: reconstructions match cuSZ exactly."""
+        a = CuSZ()
+        b = CuSZRLE()
+        ra = a.compress(smooth_2d, eb=1e-3, mode="rel")
+        rb = b.compress(smooth_2d, eb=1e-3, mode="rel")
+        np.testing.assert_allclose(
+            a.decompress(ra.stream), b.decompress(rb.stream), atol=1e-7
+        )
+
+    def test_outliers_handled(self, rng):
+        data = rng.standard_normal(3000).astype(np.float32)
+        data[::250] += 1e5
+        codec = CuSZRLE()
+        r = codec.compress(data, 1e-4, "rel")
+        assert r.extras["n_outliers"] > 0
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_long_runs_split(self):
+        data = np.zeros(100_000, dtype=np.float32)  # one run >> 255
+        codec = CuSZRLE()
+        r = codec.compress(data, 1e-2, "abs")
+        recon = codec.decompress(r.stream)
+        np.testing.assert_allclose(recon, 0, atol=1e-2)
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = CuSZRLE().compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            CuSZRLE().decompress(b"XXXX" + r.stream[4:])
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            CuSZRLE(radius=1)
+
+
+class TestHighEbAdvantage:
+    def test_beats_plain_cusz_on_smooth_high_eb(self, sparse_3d):
+        """§5: RLE wins over Huffman when codes collapse onto long runs."""
+        rle = CuSZRLE().compress(sparse_3d, eb=1e-2, mode="rel")
+        plain = CuSZ().compress(sparse_3d, eb=1e-2, mode="rel")
+        assert rle.ratio > plain.ratio
+        assert rle.extras["mean_run"] > 4.0
+
+    def test_ratio_not_capped_at_32(self, sparse_3d):
+        """RLE escapes Huffman's 1-bit-per-value floor on constant data."""
+        r = CuSZRLE().compress(np.zeros((128, 128), dtype=np.float32), 1e-2, "abs")
+        assert r.ratio > 32
+
+
+class TestBitshuffleLZ:
+    """The §3.4 rejected design: bitshuffle + LZ."""
+
+    def test_roundtrip(self, smooth_2d):
+        from repro.baselines.bitshuffle_lz import BitshuffleLZ
+
+        codec = BitshuffleLZ()
+        r = codec.compress(smooth_2d, eb=1e-3, mode="rel")
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_same_lossy_stage_as_fzgpu(self, smooth_2d):
+        from repro import FZGPU
+        from repro.baselines.bitshuffle_lz import BitshuffleLZ
+
+        a = FZGPU()
+        b = BitshuffleLZ()
+        ra = a.compress(smooth_2d, 1e-3, "rel")
+        rb = b.compress(smooth_2d, eb=1e-3, mode="rel")
+        np.testing.assert_allclose(
+            a.decompress(ra.stream), b.decompress(rb.stream), atol=1e-7
+        )
+
+    def test_3d(self, sparse_3d):
+        from repro.baselines.bitshuffle_lz import BitshuffleLZ
+
+        codec = BitshuffleLZ()
+        r = codec.compress(sparse_3d, eb=1e-2, mode="rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == sparse_3d.shape
+        # LZ exploits the long zero runs bitshuffle creates
+        assert r.ratio > 10
+
+    def test_corrupt(self, smooth_2d):
+        from repro.baselines.bitshuffle_lz import BitshuffleLZ
+        from repro.errors import FormatError
+
+        r = BitshuffleLZ().compress(smooth_2d, eb=1e-3)
+        with pytest.raises(FormatError):
+            BitshuffleLZ().decompress(b"XXXX" + r.stream[4:])

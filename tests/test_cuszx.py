@@ -1,0 +1,72 @@
+"""Tests for the cuSZx baseline codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CuSZx
+from repro.baselines.cuszx import BLOCK_VALUES
+from repro.errors import FormatError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(100,), (256,), (1000,), (40, 50), (9, 10, 11)])
+    def test_error_bound(self, rng, shape):
+        data = np.cumsum(rng.standard_normal(int(np.prod(shape)))).astype(
+            np.float32
+        ).reshape(shape)
+        codec = CuSZx()
+        r = codec.compress(data, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_constant_field_all_constant_blocks(self):
+        data = np.full(BLOCK_VALUES * 10, 3.25, dtype=np.float32)
+        codec = CuSZx()
+        r = codec.compress(data, 1e-3, "abs")
+        assert r.extras["constant_fraction"] == 1.0
+        recon = codec.decompress(r.stream)
+        np.testing.assert_allclose(recon, 3.25, atol=1e-3)
+
+    def test_constant_blocks_give_high_ratio(self):
+        data = np.zeros(BLOCK_VALUES * 1000, dtype=np.float32)
+        r = CuSZx().compress(data, 1e-3, "abs")
+        # per block: 1 flag bit + 2 width bits + 4-byte mean
+        assert r.ratio > 100
+
+    def test_mixed_blocks(self, rng):
+        data = np.zeros(BLOCK_VALUES * 8, dtype=np.float32)
+        data[BLOCK_VALUES : 2 * BLOCK_VALUES] = rng.uniform(
+            -10, 10, BLOCK_VALUES
+        ).astype(np.float32)
+        codec = CuSZx()
+        r = codec.compress(data, 1e-3, "abs")
+        assert r.extras["n_constant"] == 7
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= 1e-3 * (1 + 1e-5)
+
+    def test_width_selection(self, rng):
+        """Blocks with a small dynamic range use narrow widths."""
+        small = (np.cumsum(rng.uniform(-1, 1, BLOCK_VALUES * 4)) * 1e-2).astype(np.float32)
+        r = CuSZx().compress(small, 1e-3, "abs")
+        assert r.extras["mean_width"] <= 2.0
+
+    def test_rough_data_low_ratio(self, rough_1d):
+        """cuSZx's weakness (§4.3): rough data compresses poorly."""
+        r = CuSZx().compress(rough_1d, 1e-4, "rel")
+        assert r.ratio < 5
+
+    def test_partial_tail_block(self, rng):
+        data = rng.uniform(-1, 1, BLOCK_VALUES + 37).astype(np.float32)
+        codec = CuSZx()
+        r = codec.compress(data, 1e-2, "abs")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= 1e-2 * (1 + 1e-5)
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = CuSZx().compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            CuSZx().decompress(b"XXXX" + r.stream[4:])

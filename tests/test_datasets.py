@@ -1,0 +1,145 @@
+"""Tests for the synthetic SDRBench dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import compress
+from repro.datasets import DATASETS, dataset_names, generate, log_transform
+from repro.datasets.generators import powerlaw_field
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert dataset_names() == ["hacc", "cesm", "hurricane", "nyx", "qmcpack", "rtm"]
+
+    def test_paper_shapes_match_table1(self):
+        assert DATASETS["cesm"].paper_shape == (1800, 3600)
+        assert DATASETS["nyx"].paper_shape == (512, 512, 512)
+        assert DATASETS["hurricane"].paper_shape == (100, 500, 500)
+        assert DATASETS["rtm"].paper_shape == (449, 449, 235)
+        assert DATASETS["hacc"].paper_shape == (280_953_867,)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            generate("exaalt")
+
+    def test_wrong_shape_ndim(self):
+        with pytest.raises(ValueError):
+            generate("cesm", shape=(100,))
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ["hacc", "cesm", "hurricane", "nyx", "qmcpack", "rtm"])
+    def test_generates_finite_float32(self, name):
+        f = generate(name, shape=tuple(max(s // 4, 16) for s in DATASETS[name].bench_shape))
+        assert f.data.dtype == np.float32
+        assert np.isfinite(f.data).all()
+        assert f.data.std() > 0
+
+    def test_deterministic(self):
+        a = generate("cesm", shape=(64, 64), seed=7)
+        b = generate("cesm", shape=(64, 64), seed=7)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_seeds_differ(self):
+        a = generate("cesm", shape=(64, 64), seed=1)
+        b = generate("cesm", shape=(64, 64), seed=2)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_fields_differ(self):
+        a = generate("hacc", field="xx", shape=(4096,))
+        b = generate("hacc", field="vx", shape=(4096,))
+        assert not np.array_equal(a.data, b.data)
+
+    def test_rtm_mostly_zero(self):
+        f = generate("rtm", shape=(64, 64, 48))
+        assert (f.data == 0).mean() > 0.5
+
+    def test_rtm_timestep_grows_wavefront(self):
+        early = generate("rtm", field="snapshot_400", shape=(64, 64, 48))
+        late = generate("rtm", field="snapshot_2800", shape=(64, 64, 48))
+        assert (early.data != 0).mean() < (late.data != 0).mean()
+
+
+class TestCompressionRegimes:
+    """Each generator must land in its dataset's compression regime."""
+
+    def test_rough_datasets_compress_worst(self):
+        ratios = {}
+        for name in ("hacc", "qmcpack", "cesm", "rtm"):
+            shape = tuple(max(s // 2, 32) for s in DATASETS[name].bench_shape)
+            f = generate(name, shape=shape)
+            ratios[name] = compress(f.data, 1e-3, "rel").ratio
+        assert ratios["hacc"] < ratios["cesm"]
+        assert ratios["qmcpack"] < ratios["cesm"]
+        assert ratios["rtm"] > ratios["hacc"]
+
+    def test_rtm_beats_huffman_cap_at_high_eb(self):
+        f = generate("rtm")
+        r = compress(f.data, 1e-2, "rel")
+        assert r.ratio > 32  # §4.3: cuSZ is capped at 32, FZ-GPU is not
+
+
+class TestPowerlaw:
+    def test_normalized(self, rng):
+        f = powerlaw_field((64, 64), slope=2.0, rng=rng)
+        assert abs(f.mean()) < 1e-9
+        assert f.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_higher_slope_is_smoother(self, rng):
+        rough = powerlaw_field((256,), slope=0.5, rng=np.random.default_rng(0))
+        smooth = powerlaw_field((256,), slope=3.0, rng=np.random.default_rng(0))
+        # total variation of the smooth field is far lower
+        assert np.abs(np.diff(smooth)).mean() < 0.5 * np.abs(np.diff(rough)).mean()
+
+
+class TestLogTransform:
+    def test_preserves_sign_and_zero(self):
+        data = np.array([-10.0, 0.0, 10.0], dtype=np.float32)
+        out = log_transform(data, epsilon=1.0)
+        assert out[0] < 0 and out[1] == 0 and out[2] > 0
+
+    def test_compresses_dynamic_range(self):
+        data = np.array([1e-3, 1.0, 1e6], dtype=np.float32)
+        out = log_transform(data, epsilon=1e-3)
+        assert out.max() / out[1] < data.max() / data[1]
+
+    def test_monotone(self, rng):
+        data = np.sort(rng.uniform(-100, 100, 50)).astype(np.float32)
+        out = log_transform(data, epsilon=0.5)
+        assert (np.diff(out) >= 0).all()
+
+
+class TestFieldSets:
+    def test_field_counts_within_table1(self):
+        from repro.datasets import DATASETS, FIELD_SETS
+
+        for name, fields in FIELD_SETS.items():
+            assert 1 <= len(fields) <= DATASETS[name].n_fields
+
+    def test_dataset_fields_lookup(self):
+        from repro.datasets import dataset_fields
+
+        assert dataset_fields("hacc") == ("xx", "yy", "zz", "vx", "vy", "vz")
+        with pytest.raises(KeyError):
+            dataset_fields("lammps")
+
+    def test_generate_all_distinct(self):
+        from repro.datasets import generate_all
+
+        fields = generate_all("nyx", shape=(16, 16, 16), limit=3)
+        assert len(fields) == 3
+        assert len({f.name for f in fields}) == 3
+        # fields differ from each other
+        assert not np.array_equal(fields[0].data, fields[1].data)
+
+    def test_generate_all_full_rtm_sweep(self):
+        from repro.datasets import generate_all
+
+        fields = generate_all("rtm", shape=(32, 32, 24))
+        assert len(fields) == 8
+        nonzero = [(f.data != 0).mean() for f in fields]
+        # later snapshots have larger wavefronts
+        assert nonzero[0] < nonzero[-1]

@@ -1,0 +1,102 @@
+"""Tests for the zero-block sparsification encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoder import (
+    BLOCK_BYTES,
+    BLOCK_WORDS,
+    EncodedBlocks,
+    block_offsets,
+    decode_zero_blocks,
+    encode_zero_blocks,
+)
+
+
+def _stream(rng, n_blocks: int, zero_prob: float) -> np.ndarray:
+    blocks = rng.integers(0, 2**32, size=(n_blocks, BLOCK_WORDS), dtype=np.uint32)
+    zero = rng.random(n_blocks) < zero_prob
+    blocks[zero] = 0
+    return blocks.reshape(-1)
+
+
+class TestEncode:
+    def test_all_zero_stream(self):
+        words = np.zeros(BLOCK_WORDS * 100, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        assert enc.n_blocks == 100
+        assert enc.n_nonzero == 0
+        assert enc.literals.size == 0
+        assert enc.nbytes == (100 + 7) // 8
+        assert enc.zero_fraction == 1.0
+
+    def test_all_nonzero_stream(self, rng):
+        words = rng.integers(1, 2**32, size=BLOCK_WORDS * 10, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        assert enc.n_nonzero == 10
+        assert enc.literals.size == words.size
+
+    def test_max_stage_ratio_is_128x_of_floats(self):
+        """One flag bit covers 16 code bytes == 32 original float bytes."""
+        original_float_bytes = BLOCK_BYTES * 2
+        assert original_float_bytes * 8 == 256  # bits of float data per flag bit
+        # stage ratio vs the code stream (what §3.1 quotes as the 128 cap):
+        assert BLOCK_BYTES * 8 == 128
+
+    def test_roundtrip_mixed(self, rng):
+        words = _stream(rng, 1000, zero_prob=0.7)
+        enc = encode_zero_blocks(words)
+        np.testing.assert_array_equal(decode_zero_blocks(enc), words)
+
+    def test_block_with_single_set_bit_is_literal(self):
+        words = np.zeros(BLOCK_WORDS * 4, dtype=np.uint32)
+        words[BLOCK_WORDS * 2 + 1] = 1  # one bit inside block 2
+        enc = encode_zero_blocks(words)
+        assert enc.n_nonzero == 1
+        np.testing.assert_array_equal(decode_zero_blocks(enc), words)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            encode_zero_blocks(np.zeros(BLOCK_WORDS + 1, dtype=np.uint32))
+
+    def test_nbytes_accounting(self, rng):
+        words = _stream(rng, 64, zero_prob=0.5)
+        enc = encode_zero_blocks(words)
+        assert enc.nbytes == 8 + enc.n_nonzero * BLOCK_BYTES
+
+    @given(st.integers(1, 200), st.floats(0, 1))
+    def test_roundtrip_property(self, n_blocks, zero_prob):
+        rng = np.random.default_rng(n_blocks)
+        words = _stream(rng, n_blocks, zero_prob)
+        enc = encode_zero_blocks(words)
+        np.testing.assert_array_equal(decode_zero_blocks(enc), words)
+
+
+class TestDecodeValidation:
+    def test_flag_count_mismatch_detected(self, rng):
+        words = _stream(rng, 16, zero_prob=0.5)
+        enc = encode_zero_blocks(words)
+        bad = EncodedBlocks(enc.bitflags, enc.literals, enc.n_blocks, enc.n_nonzero + 1)
+        with pytest.raises(ValueError):
+            decode_zero_blocks(bad)
+
+    def test_truncated_literals_detected(self, rng):
+        words = _stream(rng, 16, zero_prob=0.0)
+        enc = encode_zero_blocks(words)
+        bad = EncodedBlocks(enc.bitflags, enc.literals[:-1], enc.n_blocks, enc.n_nonzero)
+        with pytest.raises(ValueError):
+            decode_zero_blocks(bad)
+
+
+class TestOffsets:
+    def test_block_offsets_are_literal_slots(self, rng):
+        flags = np.array([1, 0, 1, 1, 0, 1])
+        off = block_offsets(flags)
+        np.testing.assert_array_equal(off, [0, 1, 1, 2, 3, 3])
+        # literal k of the encoded stream belongs to block with offset k
+        set_blocks = np.flatnonzero(flags)
+        np.testing.assert_array_equal(off[set_blocks], np.arange(len(set_blocks)))

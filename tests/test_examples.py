@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as integration tests of the public API — each one
+asserts its own correctness claims internally (error bounds, ratio caps,
+relative-error guarantees).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_all_five_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "inmemory_cache",
+        "rtm_timesteps",
+        "compare_compressors",
+        "hacc_relative_error",
+    } <= names

@@ -1,0 +1,94 @@
+"""Tests for the compressed stream container format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import encode_zero_blocks
+from repro.core.format import (
+    HEADER_BYTES,
+    MAGIC,
+    StreamHeader,
+    pack_stream,
+    unpack_stream,
+)
+from repro.errors import FormatError
+
+
+def _header(**overrides) -> StreamHeader:
+    base = dict(
+        ndim=2,
+        shape=(100, 120),
+        padded_shape=(112, 128),
+        eb=1e-3,
+        chunk=(16, 16),
+        n_blocks=448,
+        n_nonzero=100,
+        n_saturated=0,
+    )
+    base.update(overrides)
+    return StreamHeader(**base)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = _header()
+        packed = h.pack()
+        assert len(packed) == HEADER_BYTES
+        assert packed[:4] == MAGIC
+        h2 = StreamHeader.unpack(packed)
+        assert h2 == h
+
+    def test_roundtrip_1d_3d(self):
+        for h in [
+            _header(ndim=1, shape=(999,), padded_shape=(1024,), chunk=(256,), n_blocks=128),
+            _header(ndim=3, shape=(9, 9, 9), padded_shape=(16, 16, 16), chunk=(8, 8, 8)),
+        ]:
+            assert StreamHeader.unpack(h.pack()) == h
+
+    def test_large_dims(self):
+        h = _header(ndim=1, shape=(2**40,), padded_shape=(2**40,), chunk=(256,))
+        assert StreamHeader.unpack(h.pack()).shape == (2**40,)
+
+    def test_bad_magic(self):
+        buf = bytearray(_header().pack())
+        buf[0] = ord("X")
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(bytes(buf))
+
+    def test_bad_version(self):
+        buf = bytearray(_header().pack())
+        buf[4] = 99
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(bytes(buf))
+
+    def test_truncated_header(self):
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(b"FZGP")
+
+    def test_bad_ndim(self):
+        buf = bytearray(_header().pack())
+        buf[5] = 7
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(bytes(buf))
+
+
+class TestStream:
+    def test_pack_unpack_roundtrip(self, rng):
+        words = rng.integers(0, 4, size=4 * 256, dtype=np.uint32)  # mostly small
+        enc = encode_zero_blocks(words)
+        h = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero)
+        stream = pack_stream(h, enc)
+        h2, enc2 = unpack_stream(stream)
+        assert h2 == h
+        np.testing.assert_array_equal(enc2.bitflags, enc.bitflags)
+        np.testing.assert_array_equal(enc2.literals, enc.literals)
+
+    def test_truncated_payload_detected(self, rng):
+        words = rng.integers(1, 2**31, size=256, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        h = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero)
+        stream = pack_stream(h, enc)
+        with pytest.raises(FormatError):
+            unpack_stream(stream[:-5])

@@ -1,0 +1,99 @@
+"""Stream-corruption fuzzing: decoders must fail loudly and predictably.
+
+Every codec's ``decompress`` must, for arbitrary corruption of a valid
+stream, either return an array (corruption confined to payload values) or
+raise a library/validation error — never an unhandled low-level exception
+(struct.error, IndexError deep inside NumPy, infinite loop...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FZGPU
+from repro.baselines import CuSZ, CuSZRLE, CuSZx, MGARDGPU, CuZFP
+from repro.errors import ReproError
+
+# Acceptable failure modes: the library's own errors plus the validation
+# errors NumPy raises for impossible reshapes/sizes.
+ACCEPTABLE = (ReproError, ValueError, OverflowError, MemoryError)
+
+
+def _codecs():
+    rng = np.random.default_rng(7)
+    data = np.cumsum(rng.standard_normal((24, 40)), axis=0).astype(np.float32)
+    out = []
+    for codec, kwargs in [
+        (FZGPU(), dict(eb=1e-3, mode="rel")),
+        (CuSZ(), dict(eb=1e-3, mode="rel")),
+        (CuSZRLE(), dict(eb=1e-3, mode="rel")),
+        (CuSZx(), dict(eb=1e-3, mode="rel")),
+        (MGARDGPU(), dict(eb=1e-3, mode="rel")),
+        (CuZFP(rate=8), dict()),
+    ]:
+        stream = codec.compress(data, **kwargs).stream
+        out.append((codec, stream))
+    return out
+
+
+_CODEC_STREAMS = _codecs()
+
+
+@pytest.mark.parametrize(
+    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
+)
+@given(
+    pos_frac=st.floats(0.0, 1.0),
+    n_flips=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_byte_corruption(codec, stream, pos_frac, n_flips, seed):
+    rng = np.random.default_rng(seed)
+    buf = bytearray(stream)
+    start = int(pos_frac * (len(buf) - 1))
+    for _ in range(n_flips):
+        idx = min(start + int(rng.integers(0, 16)), len(buf) - 1)
+        buf[idx] ^= int(rng.integers(1, 256))
+    try:
+        out = codec.decompress(bytes(buf))
+    except ACCEPTABLE:
+        return
+    # if it decoded, the result must at least be a float32 array
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize(
+    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
+)
+@given(cut_frac=st.floats(0.0, 0.999))
+@settings(max_examples=15, deadline=None)
+def test_truncation(codec, stream, cut_frac):
+    cut = int(cut_frac * len(stream))
+    try:
+        out = codec.decompress(stream[:cut])
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+
+
+@pytest.mark.parametrize(
+    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
+)
+def test_garbage_input(codec, stream):
+    rng = np.random.default_rng(0)
+    garbage = bytes(rng.integers(0, 256, 512, dtype=np.uint8))
+    with pytest.raises(ACCEPTABLE):
+        codec.decompress(garbage)
+
+
+@pytest.mark.parametrize(
+    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
+)
+def test_empty_input(codec, stream):
+    with pytest.raises(ACCEPTABLE):
+        codec.decompress(b"")

@@ -1,0 +1,72 @@
+"""Tests for the multi-threaded CPU implementation (FZ-OMP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FZGPU
+from repro.cpu import FZOMP
+from repro.errors import FormatError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_error_bound(self, smooth_2d, threads):
+        codec = FZOMP(threads=threads)
+        r = codec.compress(smooth_2d, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == smooth_2d.shape
+        assert np.abs(recon - smooth_2d).max() <= r.eb_abs * (1 + 1e-5)
+
+    @pytest.mark.parametrize("shape", [(100,), (10000,), (64, 64), (20, 30, 40)])
+    def test_shapes(self, rng, shape):
+        data = rng.uniform(-1, 1, size=shape).astype(np.float32)
+        codec = FZOMP(threads=4)
+        recon = codec.decompress(codec.compress(data, 1e-2).stream)
+        assert recon.shape == shape
+
+    def test_identical_to_single_threaded(self, rng):
+        """Chunk-aligned shards reproduce the serial pipeline bit-exactly."""
+        data = np.cumsum(rng.standard_normal((64, 48)), axis=0).astype(np.float32)
+        serial = FZGPU()
+        sr = serial.compress(data, 1e-3, "rel")
+        serial_recon = serial.decompress(sr.stream)
+        parallel = FZOMP(threads=4)
+        pr = parallel.compress(data, 1e-3, "rel")
+        np.testing.assert_array_equal(parallel.decompress(pr.stream), serial_recon)
+
+    def test_global_range_used_for_relative_bound(self, rng):
+        """The relative bound must come from the global range, not per shard."""
+        data = np.zeros((64, 32), dtype=np.float32)
+        data[:32] = rng.uniform(0, 1, (32, 32))
+        data[32:] = rng.uniform(0, 100, (32, 32))
+        codec = FZOMP(threads=2)
+        r = codec.compress(data, 1e-3, "rel")
+        assert r.eb_abs == pytest.approx(1e-3 * float(data.max() - data.min()), rel=1e-5)
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_shard_results_exposed(self, smooth_2d):
+        r = FZOMP(threads=4).compress(smooth_2d, 1e-3)
+        assert len(r.shard_results) >= 1
+        assert r.n_saturated == 0
+        assert r.ratio > 1.0
+        assert r.bitrate == pytest.approx(32.0 / r.ratio)
+
+    def test_more_threads_than_chunks(self, rng):
+        data = rng.uniform(-1, 1, size=(17, 8)).astype(np.float32)  # 2 chunk rows
+        codec = FZOMP(threads=16)
+        recon = codec.decompress(codec.compress(data, 1e-2).stream)
+        assert recon.shape == data.shape
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            FZOMP(threads=0)
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = FZOMP().compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            FZOMP().decompress(b"XXXX" + r.stream[4:])
+        with pytest.raises(FormatError):
+            FZOMP().decompress(r.stream[:40])

@@ -1,0 +1,213 @@
+"""Tests for the GPU execution-model substrate (device, warp, memory, cost)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu import (
+    A100,
+    A4000,
+    KernelProfile,
+    SharedMemoryCounter,
+    all_sync,
+    any_sync,
+    ballot_sync,
+    bank_conflict_degree,
+    coalesced_transactions,
+    get_device,
+    kernel_time,
+    pipeline_time,
+    shfl_xor_sync,
+)
+from repro.gpu.warp import WARP_SIZE, lane_id
+
+
+class TestDevices:
+    def test_catalog(self):
+        assert get_device("a100") is A100
+        assert get_device("A4000") is A4000
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_paper_platform_numbers(self):
+        # §4.1: A100 has 108 SMs; the paper's A4000 figure is 40 SMs
+        assert A100.sm_count == 108
+        assert A4000.sm_count == 40
+        assert A100.mem_bandwidth_gbps > 3 * A4000.mem_bandwidth_gbps
+
+    def test_effective_bandwidth_below_peak(self):
+        assert A100.effective_bandwidth < A100.mem_bandwidth_gbps * 1e9
+
+
+class TestWarpPrimitives:
+    def test_ballot_packs_lane_bits(self):
+        pred = np.zeros(32, dtype=bool)
+        pred[0] = pred[5] = pred[31] = True
+        assert ballot_sync(pred) == (1 | (1 << 5) | (1 << 31))
+
+    def test_ballot_batched(self, rng):
+        pred = rng.integers(0, 2, size=(10, 32)).astype(bool)
+        out = ballot_sync(pred)
+        assert out.shape == (10,)
+        for w in range(10):
+            expected = sum(int(pred[w, i]) << i for i in range(32))
+            assert out[w] == expected
+
+    def test_ballot_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ballot_sync(np.zeros(16))
+
+    def test_any_all(self):
+        pred = np.zeros((3, 32), dtype=bool)
+        pred[1, 7] = True
+        pred[2, :] = True
+        np.testing.assert_array_equal(any_sync(pred), [False, True, True])
+        np.testing.assert_array_equal(all_sync(pred), [False, False, True])
+
+    def test_shfl_xor_butterfly(self):
+        vals = np.arange(32)
+        np.testing.assert_array_equal(shfl_xor_sync(vals, 1), np.arange(32) ^ 1)
+        np.testing.assert_array_equal(shfl_xor_sync(vals, 16), np.arange(32) ^ 16)
+
+    def test_shfl_xor_reduction(self, rng):
+        """Butterfly reduction sums a warp in log2(32) steps."""
+        vals = rng.integers(0, 100, size=(4, 32)).astype(np.int64)
+        acc = vals.copy()
+        for mask in (16, 8, 4, 2, 1):
+            acc = acc + shfl_xor_sync(acc, mask)
+        for w in range(4):
+            np.testing.assert_array_equal(acc[w], vals[w].sum())
+
+    def test_lane_id(self):
+        ids = lane_id((2, 32))
+        np.testing.assert_array_equal(ids[0], np.arange(32))
+
+    @given(hnp.arrays(np.bool_, (5, 32)))
+    def test_ballot_popcount_property(self, pred):
+        out = ballot_sync(pred)
+        for w in range(5):
+            assert int(out[w]).bit_count() == int(pred[w].sum())
+
+
+class TestMemoryModels:
+    def test_broadcast_is_conflict_free(self):
+        # all lanes reading the same word broadcast
+        assert bank_conflict_degree(np.zeros(32, dtype=np.int64)) == 1
+
+    def test_sequential_is_conflict_free(self):
+        assert bank_conflict_degree(np.arange(32)) == 1
+
+    def test_stride_32_is_32way_conflict(self):
+        # the unpadded column access of §3.3
+        assert bank_conflict_degree(np.arange(32) * 32) == 32
+
+    def test_stride_33_is_conflict_free(self):
+        # the padded (32x33) column access
+        assert bank_conflict_degree(np.arange(32) * 33) == 1
+
+    def test_stride_2_is_2way(self):
+        assert bank_conflict_degree(np.arange(32) * 2) == 2
+
+    def test_coalesced_single_transaction(self):
+        # 32 consecutive 4-byte words = 128 bytes = 1 segment
+        assert coalesced_transactions(np.arange(32) * 4) == 1
+
+    def test_strided_global_access_many_transactions(self):
+        # the "simplistic" bitshuffle store (Fig. 4): 128-byte strides
+        assert coalesced_transactions(np.arange(32) * 128) == 32
+
+    def test_counter_accumulates(self):
+        c = SharedMemoryCounter()
+        c.access(np.arange(32), label="row")
+        c.access(np.arange(32) * 32, label="col")
+        assert c.accesses == 2
+        assert c.cycles == 1 + 32
+        assert c.conflicts == 1
+        assert c.worst_degree == 32
+        assert c.conflict_factor == pytest.approx(16.5)
+        assert c.by_label()["col"] == (1, 32)
+
+
+class TestCostModel:
+    def test_memory_bound_kernel(self):
+        p = KernelProfile("k", bytes_read=1e9, mem_eff=1.0)
+        t = kernel_time(p, A100)
+        assert t == pytest.approx(1e9 / A100.effective_bandwidth, rel=1e-2)
+
+    def test_compute_bound_kernel(self):
+        p = KernelProfile("k", ops=1e12, compute_eff=0.5)
+        t = kernel_time(p, A100)
+        assert t == pytest.approx(1e12 / (19.5e12 * 0.5), rel=1e-2)
+
+    def test_divergence_slows_compute(self):
+        base = KernelProfile("k", ops=1e12, compute_eff=0.5)
+        slow = base.scaled(divergence=1.7)
+        assert kernel_time(slow, A100) == pytest.approx(
+            kernel_time(base, A100) * 1.7, rel=1e-2
+        )
+
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        p = KernelProfile("k", bytes_read=1e3)
+        assert kernel_time(p, A100) >= A100.kernel_launch_us * 1e-6
+
+    def test_serial_tail(self):
+        p = KernelProfile("k", serial_us=1500.0)
+        assert kernel_time(p, A100) >= 1.5e-3
+
+    def test_pipeline_sums(self):
+        ps = [KernelProfile("a", bytes_read=1e8), KernelProfile("b", bytes_read=2e8)]
+        times = pipeline_time(ps, A100)
+        assert times["total"] == pytest.approx(times["a"] + times["b"])
+
+    def test_a4000_slower_for_memory_bound(self):
+        p = KernelProfile("k", bytes_read=1e9)
+        assert kernel_time(p, A4000) > kernel_time(p, A100)
+
+    def test_a4000_similar_for_compute_bound(self):
+        """fp32 peaks are nearly equal (the cuZFP observation of §4.4)."""
+        p = KernelProfile("k", ops=1e13, compute_eff=0.3)
+        ratio = kernel_time(p, A4000) / kernel_time(p, A100)
+        assert 0.9 < ratio < 1.1
+
+
+class TestWarpScan:
+    def test_shfl_up_basic(self):
+        from repro.gpu.warp import shfl_up_sync
+
+        vals = np.arange(32)
+        out = shfl_up_sync(vals, 1)
+        assert out[0] == 0  # inactive lane keeps its own value
+        np.testing.assert_array_equal(out[1:], np.arange(31))
+
+    def test_shfl_up_invalid_delta(self):
+        from repro.gpu.warp import shfl_up_sync
+
+        with pytest.raises(ValueError):
+            shfl_up_sync(np.zeros(32), 32)
+
+    def test_inclusive_scan_matches_cumsum(self, rng):
+        from repro.gpu.warp import warp_inclusive_scan
+
+        vals = rng.integers(0, 100, size=(6, 32))
+        out = warp_inclusive_scan(vals)
+        np.testing.assert_array_equal(out, np.cumsum(vals, axis=-1))
+
+    def test_scan_feeds_encoder_offsets(self, rng):
+        """warp scan of flags - flags == the encoder's exclusive offsets."""
+        from repro.core.encoder import block_offsets
+        from repro.gpu.warp import warp_inclusive_scan
+
+        flags = rng.integers(0, 2, size=32)
+        inclusive = warp_inclusive_scan(flags[None])[0]
+        exclusive = inclusive - flags
+        np.testing.assert_array_equal(exclusive, block_offsets(flags))
+
+    def test_reduce_sum(self, rng):
+        from repro.gpu.warp import warp_reduce_sum
+
+        vals = rng.integers(0, 1000, size=(4, 32))
+        np.testing.assert_array_equal(warp_reduce_sum(vals), vals.sum(axis=-1))

@@ -1,0 +1,61 @@
+"""Extra harness coverage: eval_field protocol, fig12 options, CLI experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate
+from repro.harness.runner import EVAL_SHAPES, eval_field, run_experiment
+
+
+class TestEvalField:
+    def test_hacc_is_log_transformed(self):
+        raw = generate("hacc", shape=EVAL_SHAPES["hacc"])
+        prepared = eval_field("hacc", shape=EVAL_SHAPES["hacc"])
+        assert prepared.name.startswith("log(")
+        assert not np.array_equal(prepared.data, raw.data)
+        # log transform compresses the dynamic range
+        assert np.abs(prepared.data).max() < np.abs(raw.data).max()
+
+    def test_other_datasets_untouched(self):
+        raw = generate("cesm", shape=(64, 64))
+        prepared = eval_field("cesm", shape=(64, 64))
+        np.testing.assert_array_equal(prepared.data, raw.data)
+
+    def test_default_shape(self):
+        f = eval_field("rtm")
+        assert f.shape == generate("rtm").shape
+
+
+class TestFig12Options:
+    def test_custom_dataset_and_ratio(self):
+        res = run_experiment(
+            "fig12", dataset="cesm", field="CLDICE", target_ratio=8.0
+        )
+        assert len(res.rows) == 5
+        fz = next(r for r in res.rows if r["compressor"] == "FZ-GPU")
+        assert fz["ratio"] == pytest.approx(8.0, rel=0.3)
+
+    def test_slice_index(self):
+        res = run_experiment(
+            "fig12", dataset="rtm", field="snapshot_1200", target_ratio=20.0,
+            slice_index=10,
+        )
+        assert all(np.isfinite(r["ssim"]) for r in res.rows)
+
+
+class TestExperimentOptions:
+    def test_fig1_other_dataset(self):
+        res = run_experiment("fig1", dataset="rtm", eb=1e-3)
+        assert res.checks["fz_faster_than_cusz"]
+
+    def test_fig10_single_dataset(self):
+        res = run_experiment("fig10", datasets=["rtm"])
+        assert len(res.rows) == 3  # three stages
+        # hacc-specific check is vacuous here but must not crash
+        assert "pred_quant_speedup_band" in res.checks
+
+    def test_cpu_subset(self):
+        res = run_experiment("cpu", datasets=["rtm"])
+        assert len([r for r in res.rows if r["dataset"] == "rtm"]) == 1

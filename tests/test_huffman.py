@@ -1,0 +1,157 @@
+"""Tests for the canonical Huffman codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCodec,
+    build_code_lengths,
+    canonical_codes,
+)
+from repro.errors import DecompressionError, FormatError
+
+
+class TestCodeLengths:
+    def test_uniform_distribution_balanced(self):
+        lengths = build_code_lengths(np.full(8, 10))
+        np.testing.assert_array_equal(lengths, 3)
+
+    def test_skewed_distribution_short_code_for_frequent(self):
+        freqs = np.array([1000, 10, 10, 10])
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] == 1
+        assert all(lengths[1:] >= 2)
+
+    def test_absent_symbols_get_zero(self):
+        lengths = build_code_lengths(np.array([5, 0, 5, 0]))
+        assert lengths[1] == 0 and lengths[3] == 0
+        assert lengths[0] == 1 and lengths[2] == 1
+
+    def test_single_symbol(self):
+        lengths = build_code_lengths(np.array([0, 100, 0]))
+        np.testing.assert_array_equal(lengths, [0, 1, 0])
+
+    def test_empty(self):
+        assert not build_code_lengths(np.zeros(10, dtype=np.int64)).any()
+
+    def test_length_limiting(self):
+        # Fibonacci-like frequencies force deep optimal trees
+        freqs = np.ones(64, dtype=np.int64)
+        fib = [1, 1]
+        for _ in range(62):
+            fib.append(fib[-1] + fib[-2])
+        lengths = build_code_lengths(np.array(fib[:64]), max_len=MAX_CODE_LEN)
+        assert lengths.max() <= MAX_CODE_LEN
+
+    def test_kraft_inequality(self, rng):
+        freqs = rng.integers(0, 1000, size=200)
+        lengths = build_code_lengths(freqs)
+        present = lengths[lengths > 0].astype(np.float64)
+        assert (2.0 ** -present).sum() <= 1.0 + 1e-12
+
+    def test_negative_freq_rejected(self):
+        with pytest.raises(ValueError):
+            build_code_lengths(np.array([-1, 2]))
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self, rng):
+        freqs = rng.integers(0, 100, size=50)
+        lengths = build_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+        present = np.flatnonzero(lengths)
+        # no code may be a prefix of another
+        entries = [(int(codes[s]), int(lengths[s])) for s in present]
+        for c1, l1 in entries:
+            for c2, l2 in entries:
+                if (c1, l1) == (c2, l2):
+                    continue
+                if l1 <= l2:
+                    assert (c2 >> (l2 - l1)) != c1
+
+    def test_canonical_ordering(self):
+        lengths = np.array([2, 2, 2, 2], dtype=np.uint8)
+        codes = canonical_codes(lengths)
+        np.testing.assert_array_equal(codes, [0, 1, 2, 3])
+
+
+class TestCodecRoundtrip:
+    def test_basic(self, rng):
+        codec = HuffmanCodec(1024)
+        syms = rng.integers(0, 1024, size=5000)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_skewed(self, rng):
+        codec = HuffmanCodec(1024)
+        syms = np.clip(
+            np.rint(rng.standard_normal(20000) * 2).astype(np.int64) + 512, 0, 1023
+        )
+        stream = codec.encode(syms)
+        # skewed data must compress well below the 10-bit raw cost
+        assert len(stream) * 8 < 5 * syms.size
+        np.testing.assert_array_equal(codec.decode(stream), syms)
+
+    def test_single_value_stream(self):
+        codec = HuffmanCodec(16)
+        syms = np.full(1000, 7)
+        stream = codec.encode(syms)
+        np.testing.assert_array_equal(codec.decode(stream), syms)
+        # degenerate alphabet: ~1 bit per symbol
+        assert len(stream) < 200
+
+    def test_empty(self):
+        codec = HuffmanCodec(16)
+        assert codec.decode(codec.encode(np.zeros(0, dtype=np.int64))).size == 0
+
+    def test_all_symbols_once(self):
+        codec = HuffmanCodec(256)
+        syms = np.arange(256)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_out_of_range_rejected(self):
+        codec = HuffmanCodec(16)
+        with pytest.raises(ValueError):
+            codec.encode(np.array([16]))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([-1]))
+
+    def test_alphabet_mismatch_detected(self):
+        stream = HuffmanCodec(16).encode(np.array([1, 2, 3]))
+        with pytest.raises(FormatError):
+            HuffmanCodec(32).decode(stream)
+
+    def test_truncated_stream_detected(self):
+        stream = HuffmanCodec(16).encode(np.arange(16).repeat(100))
+        with pytest.raises((FormatError, DecompressionError)):
+            HuffmanCodec(16).decode(stream[: len(stream) // 2])
+
+    def test_encoded_bits_matches_stream(self, rng):
+        codec = HuffmanCodec(64)
+        syms = rng.integers(0, 64, size=3000)
+        bits = codec.encoded_bits(syms)
+        stream = codec.encode(syms)
+        payload_bytes = len(stream) - 20 - 64  # header + lengths table
+        assert payload_bytes == (bits + 7) // 8
+
+    def test_optimality_vs_entropy(self, rng):
+        """Huffman is within 1 bit/symbol of the empirical entropy."""
+        codec = HuffmanCodec(64)
+        syms = np.clip(rng.geometric(0.3, size=20000) - 1, 0, 63)
+        probs = np.bincount(syms, minlength=64) / syms.size
+        entropy = -(probs[probs > 0] * np.log2(probs[probs > 0])).sum()
+        bits_per_sym = codec.encoded_bits(syms) / syms.size
+        assert entropy <= bits_per_sym <= entropy + 1.0
+
+    @given(
+        hnp.arrays(np.int64, st.integers(0, 400), elements=st.integers(0, 63)),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, syms):
+        codec = HuffmanCodec(64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)

@@ -1,0 +1,83 @@
+"""Tests for the gap-array (segment-parallel) Huffman decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.huffman import HuffmanCodec
+from repro.baselines.huffman_gpu import GapArrayHuffman
+from repro.errors import DecompressionError, FormatError
+
+
+class TestGapArray:
+    def test_roundtrip(self, rng):
+        codec = GapArrayHuffman(256, segment_symbols=100)
+        syms = rng.integers(0, 256, size=5000)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_matches_base_codec_payload(self, rng):
+        """The gap array is appended; the symbol payload is unchanged."""
+        syms = rng.integers(0, 64, size=1000)
+        base = HuffmanCodec(64).encode(syms)
+        gap = GapArrayHuffman(64, segment_symbols=128).encode(syms)
+        assert gap.startswith(base)
+
+    @pytest.mark.parametrize("seg", [1, 7, 64, 4096, 10**6])
+    def test_segment_sizes(self, rng, seg):
+        codec = GapArrayHuffman(32, segment_symbols=seg)
+        syms = rng.integers(0, 32, size=777)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_empty(self):
+        codec = GapArrayHuffman(16)
+        assert codec.decode(codec.encode(np.zeros(0, dtype=np.int64))).size == 0
+
+    def test_single_symbol(self):
+        codec = GapArrayHuffman(16, segment_symbols=4)
+        syms = np.array([3])
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_overhead_accounting(self, rng):
+        codec = GapArrayHuffman(64, segment_symbols=100)
+        syms = rng.integers(0, 64, size=1000)
+        base = HuffmanCodec(64).encode(syms)
+        gap = codec.encode(syms)
+        assert len(gap) - len(base) == codec.gap_overhead_bytes(1000)
+
+    def test_smaller_segments_cost_more(self):
+        fine = GapArrayHuffman(64, segment_symbols=64)
+        coarse = GapArrayHuffman(64, segment_symbols=4096)
+        assert fine.gap_overhead_bytes(10**6) > coarse.gap_overhead_bytes(10**6)
+
+    def test_desynchronization_detected(self, rng):
+        """Corrupting a gap offset trips the segment-boundary invariant."""
+        codec = GapArrayHuffman(64, segment_symbols=50)
+        syms = rng.integers(0, 64, size=500)
+        stream = bytearray(codec.encode(syms))
+        # flip a bit inside the gap array (after the base stream)
+        (base_len,) = np.frombuffer(stream[-8:], "<u8")
+        stream[int(base_len) + 9] ^= 0x01
+        with pytest.raises((DecompressionError, FormatError)):
+            codec.decode(bytes(stream))
+
+    def test_alphabet_mismatch(self, rng):
+        stream = GapArrayHuffman(64).encode(rng.integers(0, 64, 100))
+        with pytest.raises(FormatError):
+            GapArrayHuffman(128).decode(stream)
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ValueError):
+            GapArrayHuffman(64, segment_symbols=0)
+
+    @given(
+        hnp.arrays(np.int64, st.integers(1, 600), elements=st.integers(0, 31)),
+        st.sampled_from([1, 13, 100]),
+    )
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, syms, seg):
+        codec = GapArrayHuffman(32, segment_symbols=seg)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)

@@ -1,0 +1,144 @@
+"""Cross-module integration tests.
+
+These tie the layers together: the functional GPU kernels against the fast
+pipeline, codecs against the metrics, the perf model against real codec
+statistics, and stream robustness under fault injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FZGPU, compress, decompress
+from repro.baselines import CuSZ, CuSZx, MGARDGPU
+from repro.core.bitshuffle import bitshuffle
+from repro.core.encoder import encode_zero_blocks
+from repro.core.format import unpack_stream
+from repro.core.quantize import dual_quantize
+from repro.datasets import generate
+from repro.errors import FormatError, ReproError
+from repro.gpu.kernels import fused_bitshuffle_mark_kernel
+from repro.metrics import check_error_bound, psnr, ssim
+
+
+class TestKernelPipelineEquivalence:
+    """The warp-level functional kernels and the fast pipeline must agree."""
+
+    def test_full_compression_via_gpu_kernels(self, smooth_2d):
+        eb = 1e-3 * float(smooth_2d.max() - smooth_2d.min())
+        codes, padded, _ = dual_quantize(smooth_2d, eb)
+        # fast path
+        fast = encode_zero_blocks(bitshuffle(codes))
+        # warp-level path
+        kern = fused_bitshuffle_mark_kernel(codes)
+        slow = encode_zero_blocks(kern.shuffled)
+        np.testing.assert_array_equal(fast.bitflags, slow.bitflags)
+        np.testing.assert_array_equal(fast.literals, slow.literals)
+        np.testing.assert_array_equal(fast.bitflags, kern.bitflags)
+
+    def test_stream_internals_match_header(self, smooth_2d):
+        r = compress(smooth_2d, 1e-3)
+        header, encoded = unpack_stream(r.stream)
+        assert header.shape == smooth_2d.shape
+        assert header.n_nonzero == r.n_nonzero_blocks
+        assert encoded.nbytes + 96 == r.compressed_bytes
+
+
+class TestCrossCodecProperties:
+    """Paper-level invariants that span codecs."""
+
+    @pytest.fixture(scope="class")
+    def field(self):
+        return generate("nyx", shape=(32, 32, 32)).data
+
+    def test_same_eb_same_quality_fz_cusz(self, field):
+        fz_r = compress(field, 1e-3, "rel")
+        fz_recon = decompress(fz_r.stream)
+        cz = CuSZ()
+        cz_r = cz.compress(field, eb=1e-3, mode="rel")
+        cz_recon = cz.decompress(cz_r.stream)
+        np.testing.assert_allclose(fz_recon, cz_recon, atol=1e-6)
+
+    def test_every_error_bounded_codec_honours_bound(self, field):
+        for codec in (CuSZ(), CuSZx(), MGARDGPU()):
+            r = codec.compress(field, eb=5e-3, mode="rel")
+            recon = codec.decompress(r.stream)
+            assert check_error_bound(field, recon, r.eb_abs), codec.name
+
+    def test_psnr_ordering_matches_eb_ordering(self, field):
+        codec = FZGPU()
+        psnrs = []
+        for eb in (1e-2, 1e-3, 1e-4):
+            r = codec.compress(field, eb, "rel")
+            psnrs.append(psnr(field, codec.decompress(r.stream)))
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_ssim_of_bounded_reconstruction_is_high(self, field):
+        codec = FZGPU()
+        r = codec.compress(field, 1e-4, "rel")
+        recon = codec.decompress(r.stream)
+        assert ssim(field[16], recon[16]) > 0.95
+
+
+class TestFaultInjection:
+    """Corrupted streams must fail loudly, never return silent garbage shapes."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        data = generate("cesm", shape=(64, 96)).data
+        return compress(data, 1e-3).stream
+
+    def test_truncations_raise(self, stream):
+        for cut in (0, 10, 95, 96, len(stream) // 2, len(stream) - 1):
+            with pytest.raises(ReproError):
+                decompress(stream[:cut])
+
+    def test_header_field_corruption_detected(self, stream):
+        # corrupt the n_nonzero field -> flag/literal mismatch
+        buf = bytearray(stream)
+        buf[80] ^= 0xFF
+        with pytest.raises((ReproError, ValueError)):
+            decompress(bytes(buf))
+
+    def test_flag_bit_corruption_detected(self, stream):
+        # flipping a flag bit desynchronizes flags from the literal count
+        buf = bytearray(stream)
+        buf[100] ^= 0x01
+        with pytest.raises((ReproError, ValueError)):
+            decompress(bytes(buf))
+
+    def test_literal_corruption_changes_data_within_block_only(self, stream):
+        """Payload corruption is localized: bounded blast radius by design."""
+        data = generate("cesm", shape=(64, 96)).data
+        clean = decompress(stream)
+        buf = bytearray(stream)
+        buf[-8] ^= 0xFF  # somewhere inside the last literal block
+        try:
+            dirty = decompress(bytes(buf))
+        except ReproError:
+            return  # also acceptable: detected
+        diff = np.abs(dirty - clean) > 0
+        # corruption cannot touch more than a few Lorenzo chunks
+        assert diff.mean() < 0.2
+
+
+class TestEndToEndOnAllDatasets:
+    @pytest.mark.parametrize(
+        "name", ["hacc", "cesm", "hurricane", "nyx", "qmcpack", "rtm"]
+    )
+    def test_bound_holds_everywhere(self, name):
+        shape = {
+            "hacc": (65536,),
+            "cesm": (96, 192),
+            "hurricane": (16, 64, 64),
+            "nyx": (32, 32, 32),
+            "qmcpack": (24, 32, 36),
+            "rtm": (32, 32, 24),
+        }[name]
+        data = generate(name, shape=shape).data
+        r = compress(data, 1e-3, "rel")
+        recon = decompress(r.stream)
+        if r.quantizer.n_saturated == 0:
+            assert check_error_bound(data, recon, r.eb_abs)
+        assert recon.shape == data.shape

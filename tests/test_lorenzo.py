@@ -1,0 +1,108 @@
+"""Tests for the Lorenzo predictor: exactness and textbook equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.lorenzo import (
+    lorenzo_delta,
+    lorenzo_delta_chunked,
+    lorenzo_reconstruct,
+    lorenzo_reconstruct_chunked,
+)
+from repro.lorenzo.predictor import lorenzo_predict_pointwise
+
+small_ints = st.integers(-1000, 1000)
+
+
+class TestDeltaReconstruct:
+    @pytest.mark.parametrize("shape", [(50,), (7, 9), (4, 5, 6)])
+    def test_roundtrip(self, rng, shape):
+        q = rng.integers(-(2**20), 2**20, size=shape)
+        np.testing.assert_array_equal(lorenzo_reconstruct(lorenzo_delta(q)), q)
+
+    def test_constant_field_gives_single_nonzero(self):
+        q = np.full((8, 8), 7)
+        delta = lorenzo_delta(q)
+        assert delta[0, 0] == 7
+        assert np.count_nonzero(delta) == 1
+
+    def test_linear_ramp_1d(self):
+        q = np.arange(10)
+        delta = lorenzo_delta(q)
+        np.testing.assert_array_equal(delta[1:], 1)
+
+    def test_planar_field_2d_residuals_vanish(self):
+        # A plane a*i + b*j + c is predicted exactly away from the borders.
+        i, j = np.mgrid[0:12, 0:10]
+        q = 3 * i + 5 * j + 2
+        delta = lorenzo_delta(q)
+        assert np.all(delta[1:, 1:] == 0)
+
+    def test_matches_pointwise_predictor(self, rng):
+        """delta == q - inclusion-exclusion corner prediction, all dims."""
+        for shape in [(20,), (6, 7), (4, 5, 3)]:
+            q = rng.integers(-500, 500, size=shape)
+            delta = lorenzo_delta(q)
+            pred = lorenzo_predict_pointwise(q)
+            np.testing.assert_array_equal(delta, np.asarray(q, dtype=np.int64) - pred)
+
+    @given(hnp.arrays(np.int64, st.integers(1, 40), elements=small_ints))
+    def test_roundtrip_property_1d(self, q):
+        np.testing.assert_array_equal(lorenzo_reconstruct(lorenzo_delta(q)), q)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 10), st.integers(1, 10)),
+            elements=small_ints,
+        )
+    )
+    def test_roundtrip_property_2d(self, q):
+        np.testing.assert_array_equal(lorenzo_reconstruct(lorenzo_delta(q)), q)
+
+
+class TestChunked:
+    @pytest.mark.parametrize(
+        "shape,chunk",
+        [((100,), None), ((1000,), (256,)), ((30, 20), (16, 16)), ((9, 10, 11), (8, 8, 8))],
+    )
+    def test_roundtrip_with_padding(self, rng, shape, chunk):
+        q = rng.integers(-(2**15), 2**15, size=shape)
+        delta = lorenzo_delta_chunked(q, chunk)
+        # shape is padded up to chunk multiples
+        assert all(s % c == 0 for s, c in zip(delta.shape, delta.shape))
+        recon = lorenzo_reconstruct_chunked(delta, chunk)
+        crop = tuple(slice(0, s) for s in shape)
+        np.testing.assert_array_equal(recon[crop], q)
+
+    def test_chunks_are_independent(self, rng):
+        """Changing one chunk's data must not change another chunk's deltas."""
+        q = rng.integers(-100, 100, size=(512,))
+        d1 = lorenzo_delta_chunked(q, (256,))
+        q2 = q.copy()
+        q2[:256] += 999  # perturb only the first chunk
+        d2 = lorenzo_delta_chunked(q2, (256,))
+        np.testing.assert_array_equal(d1[256:], d2[256:])
+
+    def test_chunk_start_predicted_from_zero(self):
+        q = np.full(512, 41)
+        delta = lorenzo_delta_chunked(q, (256,))
+        # each chunk re-starts the prediction: first element carries the value
+        assert delta[0] == 41 and delta[256] == 41
+        assert np.count_nonzero(delta) == 2
+
+    def test_unaligned_reconstruct_rejected(self):
+        with pytest.raises(ValueError):
+            lorenzo_reconstruct_chunked(np.zeros(100, dtype=np.int64), (256,))
+
+    def test_small_residual_magnitudes_on_smooth_data(self, smooth_2d):
+        """On smooth data Lorenzo residuals are much smaller than the values."""
+        q = np.rint(smooth_2d / 1e-3).astype(np.int64)
+        delta = lorenzo_delta_chunked(q)
+        # residual magnitudes shrink by an order of magnitude
+        assert np.abs(delta).mean() < 0.1 * np.abs(q).mean()

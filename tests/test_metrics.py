@@ -1,0 +1,113 @@
+"""Tests for the quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bitrate,
+    check_error_bound,
+    compression_ratio,
+    error_report,
+    histogram_overlap,
+    max_abs_error,
+    nrmse,
+    psnr,
+    ssim,
+)
+
+
+class TestErrorMetrics:
+    def test_identical_arrays(self, smooth_2d):
+        assert max_abs_error(smooth_2d, smooth_2d) == 0.0
+        assert nrmse(smooth_2d, smooth_2d) == 0.0
+        assert psnr(smooth_2d, smooth_2d) == np.inf
+
+    def test_known_psnr(self):
+        orig = np.zeros((100, 100))
+        orig[0, 0] = 1.0  # range = 1
+        recon = orig + 0.01  # rmse = 0.01
+        assert psnr(orig, recon) == pytest.approx(40.0, abs=0.1)
+
+    def test_max_abs(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.5, 1.0, 1.0])
+        assert max_abs_error(a, b) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_check_error_bound(self):
+        a = np.array([0.0, 1.0])
+        assert check_error_bound(a, a + 0.01, 0.01)
+        assert not check_error_bound(a, a + 0.02, 0.01)
+
+    def test_error_report(self, smooth_2d):
+        recon = smooth_2d + np.float32(0.001)
+        rep = error_report(smooth_2d, recon, eb_abs=0.002)
+        assert rep.bound_satisfied
+        assert rep.max_abs == pytest.approx(0.001, rel=1e-3)
+        assert rep.psnr > 40
+
+    def test_psnr_monotone_in_noise(self, smooth_2d, rng):
+        noise = rng.standard_normal(smooth_2d.shape).astype(np.float32)
+        p1 = psnr(smooth_2d, smooth_2d + 0.001 * noise)
+        p2 = psnr(smooth_2d, smooth_2d + 0.01 * noise)
+        assert p1 > p2
+
+
+class TestSSIM:
+    def test_identical(self, smooth_2d):
+        assert ssim(smooth_2d, smooth_2d) == pytest.approx(1.0, abs=1e-9)
+
+    def test_degrades_with_noise(self, smooth_2d, rng):
+        noise = rng.standard_normal(smooth_2d.shape).astype(np.float32)
+        s1 = ssim(smooth_2d, smooth_2d + 0.01 * noise)
+        s2 = ssim(smooth_2d, smooth_2d + 0.2 * noise)
+        assert 1.0 > s1 > s2
+
+    def test_structural_sensitivity(self, smooth_2d, rng):
+        """Destroying structure (permuting values) floors SSIM even though the
+        value histogram — and hence many scalar metrics — is unchanged."""
+        permuted = rng.permutation(smooth_2d.ravel()).reshape(smooth_2d.shape)
+        bounded = smooth_2d + np.float32(0.01)
+        assert ssim(smooth_2d, bounded) > 0.9
+        assert ssim(smooth_2d, permuted) < 0.3
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            ssim(rng.uniform(size=100), rng.uniform(size=100))
+
+    def test_window_larger_than_field(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 3)), np.zeros((3, 3)), window=7)
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert compression_ratio(100, 25) == 4.0
+
+    def test_bitrate(self):
+        assert bitrate(400, 100) == 8.0
+
+    def test_zero_compressed_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+
+class TestHistogramOverlap:
+    def test_identical(self, smooth_2d):
+        assert histogram_overlap(smooth_2d, smooth_2d) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = np.zeros(1000)
+        b = np.ones(1000)
+        assert histogram_overlap(a, b) < 0.1
+
+    def test_small_perturbation_high_overlap(self, smooth_2d, rng):
+        recon = smooth_2d + 0.001 * rng.standard_normal(smooth_2d.shape).astype(
+            np.float32
+        )
+        assert histogram_overlap(smooth_2d, recon) > 0.9

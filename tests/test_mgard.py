@@ -1,0 +1,107 @@
+"""Tests for the MGARD-GPU baseline: decomposition exactness, error budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MGARDGPU
+from repro.baselines.mgard import _interpolate, decompose, recompose
+from repro.errors import FormatError
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("shape", [(65,), (64,), (33, 41), (17, 18, 19)])
+    def test_exact_recomposition(self, rng, shape):
+        data = rng.standard_normal(shape)
+        details, coarsest = decompose(data, levels=3)
+        recon = recompose(details, coarsest)
+        np.testing.assert_allclose(recon, data, atol=1e-12)
+
+    def test_details_vanish_on_coarse_grid_points(self, rng):
+        data = rng.standard_normal((33, 33))
+        details, _ = decompose(data, levels=2)
+        for detail in details:
+            np.testing.assert_allclose(
+                detail[::2, ::2], 0, atol=1e-12
+            )  # surviving nodes carry no detail
+
+    def test_linear_field_zero_details(self):
+        i, j = np.mgrid[0:33, 0:17]
+        data = (2.0 * i + 3.0 * j).astype(np.float64)
+        details, _ = decompose(data, levels=3)
+        for detail in details:
+            # interior linear interpolation is exact on a linear field
+            assert np.abs(detail[1:-1, 1:-1]).max() < 1e-9
+
+    def test_level_count_clamped_by_size(self):
+        details, coarsest = decompose(np.zeros(9), levels=10)
+        assert len(details) < 10
+        assert min(coarsest.shape) >= 2
+
+    def test_interpolate_shapes(self, rng):
+        coarse = rng.standard_normal((5, 9))
+        fine = _interpolate(coarse, (10, 17))
+        assert fine.shape == (10, 17)
+        np.testing.assert_allclose(fine[::2, ::2], coarse)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("shape", [(500,), (40, 50), (10, 12, 14)])
+    def test_error_bound(self, rng, shape):
+        data = np.cumsum(rng.standard_normal(int(np.prod(shape)))).astype(
+            np.float32
+        ).reshape(shape)
+        codec = MGARDGPU()
+        r = codec.compress(data, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_over_preservation(self, smooth_2d):
+        """§4.3: MGARD's actual error is well below the requested bound."""
+        codec = MGARDGPU()
+        r = codec.compress(smooth_2d, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        actual = np.abs(recon - smooth_2d).max()
+        assert actual < 0.9 * r.eb_abs
+
+    def test_higher_psnr_than_cusz_at_same_eb(self, smooth_2d):
+        from repro.baselines import CuSZ
+
+        def psnr(orig, recon):
+            rmse = np.sqrt(((orig - recon) ** 2).mean())
+            return 20 * np.log10((orig.max() - orig.min()) / rmse)
+
+        mg = MGARDGPU()
+        cz = CuSZ()
+        mg_recon = mg.decompress(mg.compress(smooth_2d, 1e-3, "rel").stream)
+        cz_recon = cz.decompress(cz.compress(smooth_2d, 1e-3, "rel").stream)
+        assert psnr(smooth_2d, mg_recon) > psnr(smooth_2d, cz_recon)
+
+    def test_outlier_handling(self, rng):
+        data = rng.standard_normal(1000).astype(np.float32)
+        data[::97] *= 1e5
+        codec = MGARDGPU()
+        r = codec.compress(data, 1e-4, "rel")
+        assert r.extras["n_outliers"] > 0
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+    @pytest.mark.parametrize("backend", ["huffman", "rle+huffman", "deflate"])
+    def test_lossless_backends(self, smooth_2d, backend):
+        codec = MGARDGPU(lossless=backend)
+        r = codec.compress(smooth_2d, 1e-3, "rel")
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            MGARDGPU(levels=0)
+        with pytest.raises(ValueError):
+            MGARDGPU(lossless="zstd")
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = MGARDGPU().compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            MGARDGPU().decompress(b"XXXX" + r.stream[4:])

@@ -1,0 +1,122 @@
+"""Tests for the multi-GPU scaling and decompression performance models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FZGPU
+from repro.datasets import generate
+from repro.gpu import A100
+from repro.gpu.cost import pipeline_time
+from repro.perf import measure_throughput
+from repro.perf.decompression import (
+    cusz_decompression_profiles,
+    fzgpu_decompression_profiles,
+)
+from repro.perf.multigpu import (
+    PCIE_SWITCH_GBPS,
+    interconnect_share,
+    multi_gpu_throughput,
+)
+
+
+class TestInterconnectShare:
+    def test_single_gpu_full_lanes(self):
+        assert interconnect_share(1) == 32.0
+
+    def test_four_gpus_match_paper_measurement(self):
+        """§4.6: ~11.4 GB/s per GPU when all four transfer at once."""
+        assert interconnect_share(4) == pytest.approx(PCIE_SWITCH_GBPS / 4)
+        assert interconnect_share(4) == pytest.approx(11.25, abs=0.3)
+
+    def test_monotone_decrease(self):
+        shares = [interconnect_share(n) for n in range(1, 9)]
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interconnect_share(0)
+
+
+class TestMultiGPU:
+    def test_aggregate_grows_with_gpus(self):
+        reports = [multi_gpu_throughput(100.0, 10.0, n) for n in (1, 2, 4)]
+        overall = [r.aggregate_overall_gbps for r in reports]
+        assert overall[0] < overall[1] < overall[2]
+
+    def test_scaling_below_perfect_due_to_switch(self):
+        r = multi_gpu_throughput(100.0, 4.0, 4)
+        assert r.scaling_efficiency < 1.0
+
+    def test_high_ratio_restores_scaling(self):
+        """Strong compression shrinks transfers: contention stops mattering."""
+        low = multi_gpu_throughput(100.0, 2.0, 4).scaling_efficiency
+        high = multi_gpu_throughput(100.0, 100.0, 4).scaling_efficiency
+        assert high > low
+        assert high > 0.9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            multi_gpu_throughput(0.0, 1.0, 2)
+
+
+class TestDecompressionModel:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = generate("hurricane", shape=(24, 64, 64)).data
+        result = FZGPU().compress(data, 1e-3, "rel")
+        return data, result
+
+    def test_fz_decompression_nearly_symmetric(self, setup):
+        """§4.4: decompression throughput ~ compression throughput."""
+        data, result = setup
+        n = data.size
+        comp = measure_throughput("fz-gpu", data, A100, eb=1e-3)
+        dec_times = pipeline_time(fzgpu_decompression_profiles(n, result), A100)
+        dec_gbps = 4.0 * n / dec_times["total"] / 1e9
+        assert 0.5 < dec_gbps / comp.throughput_gbps < 1.5
+
+    def test_cusz_decode_slower_than_fz_decode(self, setup):
+        data, result = setup
+        n = data.size
+        from repro.baselines import CuSZ
+
+        extras = CuSZ().compress(data, eb=1e-3, mode="rel").extras
+        fz_t = pipeline_time(fzgpu_decompression_profiles(n, result), A100)["total"]
+        cz_t = pipeline_time(cusz_decompression_profiles(n, extras), A100)["total"]
+        assert cz_t > fz_t
+
+    def test_decompression_kernels_named(self, setup):
+        data, result = setup
+        profiles = fzgpu_decompression_profiles(data.size, result)
+        names = [p.name for p in profiles]
+        assert names == ["decode-scatter", "bit-unshuffle", "lorenzo-reconstruct"]
+
+
+class TestDirectionParameter:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate("hurricane", shape=(24, 64, 64)).data
+
+    def test_decompress_direction(self, data):
+        fz_c = measure_throughput("fz-gpu", data, A100, eb=1e-3)
+        fz_d = measure_throughput(
+            "fz-gpu", data, A100, eb=1e-3, direction="decompress"
+        )
+        assert "decode-scatter" in fz_d.kernel_times
+        assert 0.5 < fz_d.throughput_gbps / fz_c.throughput_gbps < 1.5
+
+    def test_cusz_decompress_direction(self, data):
+        rep = measure_throughput(
+            "cusz", data, A100, eb=1e-3, direction="decompress"
+        )
+        assert "huffman-decode" in rep.kernel_times
+
+    def test_invalid_direction(self, data):
+        with pytest.raises(ValueError):
+            measure_throughput("fz-gpu", data, A100, direction="sideways")
+
+    def test_unsupported_codec_direction(self, data):
+        with pytest.raises(ValueError):
+            measure_throughput("cuszx", data, A100, direction="decompress")

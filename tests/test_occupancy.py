@@ -1,0 +1,53 @@
+"""Tests for the CUDA occupancy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import A100, A4000
+from repro.gpu.occupancy import occupancy
+
+
+class TestOccupancy:
+    def test_bitshuffle_block_fits_multiple_per_sm(self):
+        """The paper's 32x32 block with its 32x33 tile leaves headroom."""
+        tile_bytes = 32 * 33 * 4 + 256 + 32  # buf + ByteFlagArr + BitFlagArr
+        rep = occupancy(A100, threads_per_block=1024, shared_bytes_per_block=tile_bytes)
+        assert rep.blocks_per_sm >= 2
+        assert rep.occupancy == 1.0  # warp-limited at full occupancy
+
+    def test_warp_limited(self):
+        rep = occupancy(A100, threads_per_block=1024)
+        assert rep.limiter in ("warps", "registers")
+        assert rep.warps_per_sm <= 64
+
+    def test_shared_memory_limited(self):
+        # a block hogging 100 KiB of shared memory binds on shared
+        rep = occupancy(A100, threads_per_block=128, shared_bytes_per_block=100 * 1024)
+        assert rep.limiter == "shared"
+        assert rep.blocks_per_sm == 1
+
+    def test_register_pressure_limits(self):
+        rep = occupancy(A100, threads_per_block=1024, registers_per_thread=255)
+        assert rep.limiter == "registers"
+        assert rep.occupancy < 0.5
+
+    def test_small_blocks_limited_by_block_slots(self):
+        rep = occupancy(A100, threads_per_block=32)
+        assert rep.limiter == "blocks"
+        assert rep.blocks_per_sm == 32
+
+    def test_a4000_tighter_limits(self):
+        tile = 32 * 33 * 4
+        a100 = occupancy(A100, 1024, tile)
+        a4000 = occupancy(A4000, 1024, tile)
+        assert a4000.warps_per_sm <= a100.warps_per_sm
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            occupancy(A100, threads_per_block=2048)
+
+    def test_occupancy_bounded(self):
+        for tpb in (32, 128, 256, 512, 1024):
+            rep = occupancy(A100, tpb, shared_bytes_per_block=4224)
+            assert 0.0 <= rep.occupancy <= 1.0

@@ -1,0 +1,181 @@
+"""Tests for the performance model: paper-shape assertions on small fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate
+from repro.gpu import A100, A4000, XEON_6238R
+from repro.perf import measure_throughput, overall_throughput
+from repro.perf.calibration import CALIBRATION, PAPER_ANCHORS
+from repro.perf.model import cpu_throughput
+
+# Small fields keep the real-compression part of the model cheap in tests.
+SHAPES = {
+    "cesm": (128, 256),
+    "hurricane": (24, 64, 64),
+    "hacc": (131072,),
+    "rtm": (48, 48, 32),
+}
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return {name: generate(name, shape=shape) for name, shape in SHAPES.items()}
+
+
+@pytest.fixture(scope="module")
+def reports(fields):
+    out = {}
+    for name, f in fields.items():
+        for comp in ("fz-gpu", "cusz", "cusz-ncb", "cuszx", "mgard"):
+            out[(name, comp)] = measure_throughput(comp, f.data, A100, eb=1e-3)
+    return out
+
+
+class TestThroughputShapes:
+    def test_fz_beats_cusz_everywhere(self, reports):
+        for name in SHAPES:
+            assert (
+                reports[(name, "fz-gpu")].throughput_gbps
+                > reports[(name, "cusz")].throughput_gbps
+            )
+
+    def test_cuszx_fastest_everywhere(self, reports):
+        for name in SHAPES:
+            assert (
+                reports[(name, "cuszx")].throughput_gbps
+                > reports[(name, "fz-gpu")].throughput_gbps
+            )
+
+    def test_mgard_slowest_everywhere(self, reports):
+        for name in SHAPES:
+            others = [
+                reports[(name, c)].throughput_gbps
+                for c in ("fz-gpu", "cusz", "cuszx")
+            ]
+            assert reports[(name, "mgard")].throughput_gbps < min(others)
+
+    def test_ncb_faster_than_full_cusz(self, reports):
+        for name in SHAPES:
+            assert (
+                reports[(name, "cusz-ncb")].throughput_gbps
+                > reports[(name, "cusz")].throughput_gbps
+            )
+
+    def test_fz_stability_across_datasets(self, reports):
+        """§4.4: FZ-GPU throughput is stable; cuSZ's varies with field size."""
+        fz = [reports[(n, "fz-gpu")].throughput_gbps for n in SHAPES]
+        assert np.std(fz) / np.mean(fz) < 0.5
+
+    def test_kernel_times_positive_and_sum(self, reports):
+        rep = reports[("hurricane", "fz-gpu")]
+        kt = rep.kernel_times
+        assert all(t >= 0 for t in kt.values())
+        assert kt["total"] == pytest.approx(
+            sum(v for k, v in kt.items() if k != "total")
+        )
+
+    def test_ratio_is_real_measured_ratio(self, fields, reports):
+        from repro import compress
+
+        real = compress(fields["cesm"].data, 1e-3, "rel").ratio
+        assert reports[("cesm", "fz-gpu")].ratio == pytest.approx(real)
+
+
+class TestDeviceScaling:
+    def test_a4000_slower_than_a100_for_fz(self, fields):
+        a100 = measure_throughput("fz-gpu", fields["hurricane"].data, A100, eb=1e-3)
+        a4000 = measure_throughput("fz-gpu", fields["hurricane"].data, A4000, eb=1e-3)
+        assert 0.3 < a4000.throughput_gbps / a100.throughput_gbps < 0.85
+
+    def test_cuzfp_similar_across_devices(self, fields):
+        """§4.4: cuZFP's throughput barely changes between A4000 and A100."""
+        a100 = measure_throughput("cuzfp", fields["hurricane"].data, A100, rate=8)
+        a4000 = measure_throughput("cuzfp", fields["hurricane"].data, A4000, rate=8)
+        assert 0.75 < a4000.throughput_gbps / a100.throughput_gbps <= 1.05
+
+    def test_mgard_does_not_scale(self, fields):
+        """§4.4: MGARD-GPU responds weakly to the GPU generation."""
+        a100 = measure_throughput("mgard", fields["cesm"].data, A100, eb=1e-2)
+        a4000 = measure_throughput("mgard", fields["cesm"].data, A4000, eb=1e-2)
+        assert 0.6 < a4000.throughput_gbps / a100.throughput_gbps <= 1.05
+
+
+class TestCuZFPModel:
+    def test_lower_rate_is_faster(self, fields):
+        slow = measure_throughput("cuzfp", fields["cesm"].data, A100, rate=16)
+        fast = measure_throughput("cuzfp", fields["cesm"].data, A100, rate=2)
+        assert fast.throughput_gbps > slow.throughput_gbps
+
+    def test_rate_required(self, fields):
+        with pytest.raises(ValueError):
+            measure_throughput("cuzfp", fields["cesm"].data, A100)
+
+
+class TestCPUModel:
+    def test_fz_omp_band(self):
+        gbps = cpu_throughput(10**6, XEON_6238R, "fz-omp")
+        assert 1.0 < gbps < 10.0
+
+    def test_sz_omp_slower(self):
+        fz = cpu_throughput(10**6, XEON_6238R, "fz-omp")
+        sz = cpu_throughput(10**6, XEON_6238R, "sz-omp")
+        assert fz / sz == pytest.approx(
+            CALIBRATION["cpu.sz_omp_slowdown"]["factor"]
+        )
+
+    def test_gpu_speedup_band(self, fields, reports):
+        """§4.4: FZ-GPU (A100) is ~30-40x faster than FZ-OMP.
+
+        Test fields are tiny, so launch overheads depress the GPU side; the
+        bench-scale fields land near the paper's 37x.
+        """
+        gpu = reports[("hurricane", "fz-gpu")].throughput_gbps
+        cpu = cpu_throughput(fields["hurricane"].data.size, XEON_6238R)
+        assert 4.0 < gpu / cpu < 80.0
+
+    def test_thread_scaling_saturates(self):
+        t16 = cpu_throughput(10**6, XEON_6238R, threads=16)
+        t32 = cpu_throughput(10**6, XEON_6238R, threads=32)
+        t64 = cpu_throughput(10**6, XEON_6238R, threads=64)
+        assert t32 > t16
+        assert t64 == t32
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            cpu_throughput(10**6, XEON_6238R, "zfp-omp")
+
+
+class TestOverallThroughput:
+    def test_formula(self):
+        # BW*CR = 114, Tc = 100 -> harmonic composition
+        t = overall_throughput(100.0, 10.0, 11.4)
+        assert t == pytest.approx(1.0 / (1 / 114.0 + 1 / 100.0))
+
+    def test_high_ratio_removes_transfer_bottleneck(self):
+        low = overall_throughput(100.0, 2.0, 11.4)
+        high = overall_throughput(100.0, 50.0, 11.4)
+        assert high > low
+        assert high < 100.0  # never exceeds compression throughput
+
+    def test_fz_wins_overall_vs_cuszx(self):
+        """§4.6: FZ-GPU's ratio advantage beats cuSZx's speed at 11.4 GB/s.
+
+        Needs a field large enough to amortize launch overheads.
+        """
+        f = generate("hurricane", shape=(32, 96, 96))
+        fz = measure_throughput("fz-gpu", f.data, A100, eb=1e-3)
+        cx = measure_throughput("cuszx", f.data, A100, eb=1e-3)
+        fz_overall = overall_throughput(fz.throughput_gbps, fz.ratio)
+        cx_overall = overall_throughput(cx.throughput_gbps, cx.ratio)
+        assert fz_overall > cx_overall
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            overall_throughput(0.0, 10.0)
+
+    def test_anchor_table_present(self):
+        assert PAPER_ANCHORS["a100_pcie_effective_gbps"] == 11.4
+        assert PAPER_ANCHORS["fz_over_cusz_avg_a100"] == 4.2

@@ -1,0 +1,182 @@
+"""End-to-end tests for the FZ-GPU compressor facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import FZGPU, compress, decompress
+from repro.core.pipeline import resolve_error_bound
+from repro.errors import ConfigError, FormatError, UnsupportedDataError
+
+REL_EBS = [1e-2, 5e-3, 1e-3, 5e-4, 1e-4]
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("eb", REL_EBS)
+    def test_bound_holds_smooth_2d(self, smooth_2d, eb):
+        r = compress(smooth_2d, eb, "rel")
+        recon = decompress(r.stream)
+        assert r.quantizer.n_saturated == 0
+        assert np.abs(recon - smooth_2d).max() <= r.eb_abs * (1 + 1e-5)
+
+    @pytest.mark.parametrize("eb", [1e-2, 1e-3])
+    def test_bound_holds_rough_1d(self, rough_1d, eb):
+        r = compress(rough_1d, eb, "rel")
+        recon = decompress(r.stream)
+        if r.quantizer.n_saturated == 0:
+            assert np.abs(recon - rough_1d).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_bound_holds_sparse_3d(self, sparse_3d):
+        r = compress(sparse_3d, 1e-3, "rel")
+        recon = decompress(r.stream)
+        assert np.abs(recon - sparse_3d).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_abs_mode(self, smooth_2d):
+        r = compress(smooth_2d, 0.01, "abs")
+        assert r.eb_abs == 0.01
+        recon = decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= 0.01 * (1 + 1e-5)
+
+    def test_resolve_rel_uses_range(self):
+        data = np.array([0.0, 10.0], dtype=np.float32)
+        assert resolve_error_bound(data, 1e-2, "rel") == pytest.approx(0.1)
+
+    def test_resolve_constant_field(self):
+        data = np.full(10, 5.0, dtype=np.float32)
+        assert resolve_error_bound(data, 1e-2, "rel") == pytest.approx(0.05)
+
+    def test_bad_mode(self, smooth_2d):
+        with pytest.raises(ConfigError):
+            compress(smooth_2d, 1e-3, "fixed-rate")
+
+
+class TestRatioBehaviour:
+    def test_larger_eb_larger_ratio(self, smooth_2d):
+        ratios = [compress(smooth_2d, eb, "rel").ratio for eb in REL_EBS]
+        # REL_EBS is descending, so ratios must be (weakly) descending too
+        assert all(a >= b * 0.99 for a, b in zip(ratios, ratios[1:]))
+
+    def test_sparse_data_exceeds_huffman_cap(self, sparse_3d):
+        """RTM-like data can beat the 32x Huffman cap (§4.3)."""
+        r = compress(sparse_3d, 1e-2, "rel")
+        assert r.ratio > 32
+
+    def test_bitrate_definition(self, smooth_2d):
+        r = compress(smooth_2d, 1e-3, "rel")
+        assert r.bitrate == pytest.approx(32.0 / r.ratio)
+
+    def test_stage_sizes_recorded(self, smooth_2d):
+        r = compress(smooth_2d, 1e-3, "rel")
+        s = r.stage_sizes
+        # smooth_2d is (96, 128), already aligned to 16x16 chunks
+        assert s["codes_bytes"] == 2 * smooth_2d.size
+        assert s["shuffled_bytes"] >= s["codes_bytes"]
+        assert s["flags_bytes"] + s["literals_bytes"] + 96 == r.compressed_bytes
+
+    def test_compression_actually_compresses_smooth(self, smooth_2d):
+        assert compress(smooth_2d, 1e-3, "rel").ratio > 2.0
+
+
+class TestRoundtripShapes:
+    @pytest.mark.parametrize(
+        "shape",
+        [(1,), (255,), (256,), (257,), (4096,), (16, 16), (17, 15), (100, 500),
+         (8, 8, 8), (7, 9, 11), (33, 32, 31)],
+    )
+    def test_exact_shape_restored(self, rng, shape):
+        data = rng.uniform(-1, 1, size=shape).astype(np.float32)
+        r = compress(data, 1e-2, "rel")
+        recon = decompress(r.stream)
+        assert recon.shape == shape
+        assert recon.dtype == np.float32
+
+    def test_4d_rejected(self, rng):
+        with pytest.raises(UnsupportedDataError):
+            compress(rng.uniform(size=(2, 2, 2, 2)).astype(np.float32), 1e-2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(UnsupportedDataError):
+            compress(np.zeros((0,), dtype=np.float32), 1e-2)
+
+    def test_corrupt_stream_rejected(self, smooth_2d):
+        r = compress(smooth_2d, 1e-3)
+        with pytest.raises(FormatError):
+            decompress(b"garbage" + r.stream[7:])
+
+    def test_stream_is_self_contained(self, smooth_2d):
+        """A fresh codec instance decodes streams from another instance."""
+        r = FZGPU().compress(smooth_2d, 1e-3)
+        recon = FZGPU().decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= r.eb_abs * (1 + 1e-5)
+
+    def test_custom_chunk_shape(self, rng):
+        data = rng.uniform(-1, 1, size=(64, 64)).astype(np.float32)
+        codec = FZGPU(chunk=(32, 32))
+        r = codec.compress(data, 1e-2)
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-5)
+
+
+class TestDeterminism:
+    def test_compression_is_deterministic(self, smooth_2d):
+        assert compress(smooth_2d, 1e-3).stream == compress(smooth_2d, 1e-3).stream
+
+    def test_idempotent_requantization(self, smooth_2d):
+        """Compressing a decompressed field again is lossless the second time."""
+        r1 = compress(smooth_2d, 1e-3)
+        recon1 = decompress(r1.stream)
+        r2 = compress(recon1, r1.eb_abs, "abs")
+        recon2 = decompress(r2.stream)
+        np.testing.assert_allclose(recon2, recon1, atol=r1.eb_abs * 1e-6)
+
+
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.tuples(st.integers(1, 40), st.integers(1, 40)),
+        elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False, width=32),
+    ),
+    eb=st.sampled_from([1e-2, 1e-3]),
+)
+@settings(max_examples=25)
+def test_property_error_bound_or_saturation(data, eb):
+    """For any finite field: either the bound holds or saturation is reported."""
+    r = compress(data, eb, "rel")
+    recon = decompress(r.stream)
+    if r.quantizer.n_saturated == 0:
+        assert np.abs(recon - data).max() <= r.eb_abs * (1 + 1e-4) + 1e-30
+
+
+class TestNonFiniteInput:
+    """NaN/Inf inputs are rejected explicitly (the bound is undefinable)."""
+
+    def test_nan_rejected(self, smooth_2d):
+        bad = smooth_2d.copy()
+        bad[3, 4] = np.nan
+        with pytest.raises(UnsupportedDataError):
+            compress(bad, 1e-3)
+
+    def test_inf_rejected(self, smooth_2d):
+        bad = smooth_2d.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(UnsupportedDataError):
+            compress(bad, 1e-3)
+
+    def test_baselines_reject_nan(self, smooth_2d):
+        from repro.baselines import CuSZ, CuSZx, MGARDGPU, CuZFP
+
+        bad = smooth_2d.copy()
+        bad[5, 5] = np.nan
+        for codec in (CuSZ(), CuSZx(), MGARDGPU(), CuZFP(rate=8)):
+            with pytest.raises(UnsupportedDataError):
+                codec.compress(bad)
+
+    def test_error_message_counts(self, smooth_2d):
+        bad = smooth_2d.copy()
+        bad[:2, :3] = np.nan
+        with pytest.raises(UnsupportedDataError, match="6 non-finite"):
+            compress(bad, 1e-3)

@@ -1,0 +1,95 @@
+"""Tests for the exclusive prefix-sum substrate (CUB ExclusiveSum stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.prefix_sum import blelloch_exclusive_sum, exclusive_sum, scan_levels
+
+
+class TestExclusiveSum:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            exclusive_sum(np.array([3, 1, 7, 0, 4])), [0, 3, 4, 11, 11]
+        )
+
+    def test_empty(self):
+        assert exclusive_sum(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        np.testing.assert_array_equal(exclusive_sum(np.array([9])), [0])
+
+    def test_first_element_always_zero(self, rng):
+        v = rng.integers(0, 10, size=100)
+        assert exclusive_sum(v)[0] == 0
+
+    def test_offsets_usage(self):
+        """offsets[i+1] != offsets[i]  <=>  flag i set (the paper's validity test)."""
+        flags = np.array([1, 0, 0, 1, 1, 0, 1])
+        off = exclusive_sum(flags)
+        changed = np.diff(np.append(off, off[-1] + flags[-1])) != 0
+        np.testing.assert_array_equal(changed, flags.astype(bool))
+
+
+class TestBlelloch:
+    def test_matches_reference_pow2(self, rng):
+        v = rng.integers(0, 100, size=64)
+        np.testing.assert_array_equal(blelloch_exclusive_sum(v), exclusive_sum(v))
+
+    def test_matches_reference_non_pow2(self, rng):
+        for n in [1, 2, 3, 5, 17, 100, 1000, 1023, 1025]:
+            v = rng.integers(0, 100, size=n)
+            np.testing.assert_array_equal(blelloch_exclusive_sum(v), exclusive_sum(v))
+
+    def test_empty(self):
+        assert blelloch_exclusive_sum(np.array([], dtype=np.int64)).size == 0
+
+    def test_scan_levels(self):
+        assert scan_levels(1) == 0
+        assert scan_levels(2) == 1
+        assert scan_levels(1024) == 10
+        assert scan_levels(1025) == 11
+
+    @given(hnp.arrays(np.int64, st.integers(1, 500), elements=st.integers(0, 1000)))
+    def test_equivalence_property(self, v):
+        np.testing.assert_array_equal(blelloch_exclusive_sum(v), exclusive_sum(v))
+
+
+class TestHierarchical:
+    def test_matches_reference(self, rng):
+        from repro.core.prefix_sum import hierarchical_exclusive_sum
+
+        for n in [1, 31, 32, 33, 1000, 1024, 5000]:
+            v = rng.integers(0, 100, size=n)
+            np.testing.assert_array_equal(
+                hierarchical_exclusive_sum(v), exclusive_sum(v)
+            )
+
+    def test_custom_block_size(self, rng):
+        from repro.core.prefix_sum import hierarchical_exclusive_sum
+
+        v = rng.integers(0, 10, size=777)
+        np.testing.assert_array_equal(
+            hierarchical_exclusive_sum(v, block_size=64), exclusive_sum(v)
+        )
+
+    def test_bad_block_size(self):
+        from repro.core.prefix_sum import hierarchical_exclusive_sum
+
+        with pytest.raises(ValueError):
+            hierarchical_exclusive_sum(np.arange(10), block_size=100)
+
+    def test_empty(self):
+        from repro.core.prefix_sum import hierarchical_exclusive_sum
+
+        assert hierarchical_exclusive_sum(np.array([], dtype=np.int64)).size == 0
+
+    @given(hnp.arrays(np.int64, st.integers(1, 3000), elements=st.integers(0, 50)))
+    def test_equivalence_property(self, v):
+        from repro.core.prefix_sum import hierarchical_exclusive_sum
+
+        np.testing.assert_array_equal(hierarchical_exclusive_sum(v), exclusive_sum(v))

@@ -1,0 +1,88 @@
+"""Tests for the point-wise relative error-bound wrapper (§4.1 recipe)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PointwiseRelativeFZ
+from repro.errors import ConfigError, FormatError
+
+
+@pytest.fixture
+def multiscale(rng):
+    """Values spanning six orders of magnitude, positive and negative."""
+    mags = 10.0 ** rng.uniform(-3, 3, 20000)
+    signs = rng.choice([-1.0, 1.0], 20000)
+    return (mags * signs).astype(np.float32)
+
+
+class TestPointwiseRelative:
+    def test_relative_bound_holds(self, multiscale):
+        codec = PointwiseRelativeFZ()
+        r = codec.compress(multiscale, rel_eb=1e-2)
+        recon = codec.decompress(r.stream)
+        nz = multiscale != 0
+        rel = np.abs(recon[nz] - multiscale[nz]) / np.abs(multiscale[nz])
+        assert rel.max() <= r.rel_bound * (1 + 1e-4)
+
+    def test_small_values_keep_relative_accuracy(self, multiscale):
+        """The whole point: tiny values are as accurate as huge ones."""
+        codec = PointwiseRelativeFZ()
+        r = codec.compress(multiscale, rel_eb=1e-2)
+        recon = codec.decompress(r.stream)
+        small = (np.abs(multiscale) > 0) & (np.abs(multiscale) < 0.01)
+        rel_small = np.abs(recon[small] - multiscale[small]) / np.abs(multiscale[small])
+        assert np.median(rel_small) < 2e-2
+
+    def test_zero_values_stay_near_zero(self, rng):
+        data = rng.uniform(1, 2, 2048).astype(np.float32)
+        data[::7] = 0.0
+        codec = PointwiseRelativeFZ(epsilon=0.5)
+        r = codec.compress(data, rel_eb=1e-2)
+        recon = codec.decompress(r.stream)
+        # zeros map to log 0; they reconstruct within eps * rel-ish
+        assert np.abs(recon[::7]).max() < 0.5 * 0.05
+
+    def test_signs_preserved(self, multiscale):
+        codec = PointwiseRelativeFZ()
+        r = codec.compress(multiscale, rel_eb=1e-2)
+        recon = codec.decompress(r.stream)
+        big = np.abs(multiscale) > 0.01
+        assert (np.sign(recon[big]) == np.sign(multiscale[big])).all()
+
+    def test_explicit_epsilon(self, multiscale):
+        codec = PointwiseRelativeFZ(epsilon=1e-3)
+        r = codec.compress(multiscale, rel_eb=1e-2)
+        assert r.epsilon == pytest.approx(1e-3)
+
+    def test_ratio_reported(self, multiscale):
+        r = PointwiseRelativeFZ().compress(multiscale, rel_eb=1e-2)
+        assert r.ratio > 1.0
+        assert r.bitrate == pytest.approx(32.0 / r.ratio)
+
+    def test_invalid_rel_eb(self, multiscale):
+        with pytest.raises(ConfigError):
+            PointwiseRelativeFZ().compress(multiscale, rel_eb=1.5)
+        with pytest.raises(ConfigError):
+            PointwiseRelativeFZ().compress(multiscale, rel_eb=0.0)
+
+    def test_saturation_raises_instead_of_silent_corruption(self, rng):
+        # absurdly tight bound on rough data -> saturation -> explicit error
+        rough = (10.0 ** rng.uniform(-6, 6, 65536)).astype(np.float32)
+        rough *= rng.choice([-1.0, 1.0], rough.size)
+        with pytest.raises(ConfigError):
+            PointwiseRelativeFZ().compress(rough, rel_eb=1e-6)
+
+    def test_corrupt_stream(self, multiscale):
+        r = PointwiseRelativeFZ().compress(multiscale, rel_eb=1e-2)
+        with pytest.raises(FormatError):
+            PointwiseRelativeFZ().decompress(b"XXXX" + r.stream[4:])
+
+    def test_2d_field(self, rng):
+        data = (10.0 ** rng.uniform(-2, 2, (64, 64))).astype(np.float32)
+        codec = PointwiseRelativeFZ()
+        r = codec.compress(data, rel_eb=5e-3)
+        recon = codec.decompress(r.stream)
+        rel = np.abs(recon - data) / np.abs(data)
+        assert rel.max() <= r.rel_bound * (1 + 1e-4)

@@ -1,0 +1,76 @@
+"""Tests for the roofline analysis of kernel pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FZGPU
+from repro.datasets import generate
+from repro.gpu import A100, A4000, KernelProfile
+from repro.perf.pipelines import cuzfp_profiles, fzgpu_profiles
+from repro.perf.roofline import ridge_point, roofline_report
+
+
+class TestRidge:
+    def test_a100_ridge(self):
+        # 19.5 TF / 1555 GB/s ~ 12.5 ops/byte
+        assert ridge_point(A100) == pytest.approx(12.54, abs=0.1)
+
+    def test_a4000_ridge_higher(self):
+        """Less bandwidth per flop: memory-bound region is wider on A4000."""
+        assert ridge_point(A4000) > ridge_point(A100)
+
+
+class TestClassification:
+    def test_pure_memory_kernel(self):
+        p = KernelProfile("m", bytes_read=1e9, mem_eff=0.8)
+        (pt,) = roofline_report([p], A100)
+        assert pt.bound == "memory"
+        assert pt.intensity == 0.0
+        assert 0 < pt.utilization <= 1.0
+
+    def test_pure_compute_kernel(self):
+        p = KernelProfile("c", ops=1e13, compute_eff=0.3)
+        (pt,) = roofline_report([p], A100)
+        assert pt.bound == "compute"
+        assert pt.intensity == float("inf")
+
+    def test_latency_bound_tiny_kernel(self):
+        p = KernelProfile("t", bytes_read=100.0)
+        (pt,) = roofline_report([p], A100)
+        assert pt.bound == "latency"
+
+    def test_time_fractions_sum_to_one(self):
+        ps = [
+            KernelProfile("a", bytes_read=1e8),
+            KernelProfile("b", ops=1e12, compute_eff=0.2),
+        ]
+        pts = roofline_report(ps, A100)
+        assert sum(p.time_fraction for p in pts) == pytest.approx(1.0)
+
+
+class TestPipelineRooflines:
+    def test_fz_pipeline_mix(self):
+        """FZ-GPU mixes memory- and compute-bound kernels (why it scales
+        partially between A4000 and A100).  Needs a field large enough that
+        launch latency is amortized.
+        """
+        data = generate("hurricane", shape=(64, 128, 128)).data
+        result = FZGPU().compress(data, 1e-3, "rel")
+        pts = roofline_report(fzgpu_profiles(data.size, result), A100)
+        bounds = {p.kernel: p.bound for p in pts}
+        assert bounds["pred-quant-v2"] == "memory"
+        assert bounds["bitshuffle-mark-v2"] == "compute"
+
+    def test_cuzfp_compute_bound(self):
+        """cuZFP's transform coder is compute-bound (the §4.4 cross-device
+        observation)."""
+        pts = roofline_report(cuzfp_profiles(10**7, rate=8.0), A100)
+        assert pts[0].bound == "compute"
+
+    def test_utilizations_bounded(self):
+        data = generate("cesm", shape=(64, 128)).data
+        result = FZGPU().compress(data, 1e-3, "rel")
+        for pt in roofline_report(fzgpu_profiles(data.size, result), A4000):
+            assert 0.0 <= pt.utilization <= 1.0

@@ -1,0 +1,53 @@
+"""Tests for the functional pipeline simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FZGPU, decompress
+from repro.gpu.simulator import simulate_compression
+
+
+class TestSimulatedPipeline:
+    def test_stream_identical_to_fast_pipeline(self, smooth_2d):
+        fast = FZGPU().compress(smooth_2d, 1e-3, "rel")
+        trace = simulate_compression(smooth_2d, 1e-3, "rel")
+        assert trace.stream == fast.stream
+
+    def test_simulated_stream_decompresses(self, sparse_3d):
+        trace = simulate_compression(sparse_3d, 1e-3, "rel")
+        recon = decompress(trace.stream)
+        assert recon.shape == sparse_3d.shape
+
+    def test_split_variant_same_stream_more_traffic(self, smooth_2d):
+        fused = simulate_compression(smooth_2d, 1e-3, fused=True)
+        split = simulate_compression(smooth_2d, 1e-3, fused=False)
+        assert fused.stream == split.stream
+        assert split.global_bytes_read > fused.global_bytes_read
+
+    def test_padding_toggles_bank_conflicts_only(self, smooth_2d):
+        padded = simulate_compression(smooth_2d, 1e-3, padded_shared=True)
+        naive = simulate_compression(smooth_2d, 1e-3, padded_shared=False)
+        assert padded.stream == naive.stream
+        assert padded.shared.conflict_factor == 1.0
+        assert naive.shared.conflict_factor > 10.0
+
+    def test_counters_populated(self, smooth_2d):
+        trace = simulate_compression(smooth_2d, 1e-3)
+        assert trace.n_blocks > 0
+        assert 0 <= trace.n_nonzero <= trace.n_blocks
+        assert trace.scan_levels >= 1
+        assert trace.divergence_v1 >= 1.0
+        assert 0.0 < trace.fused_traffic_saving < 1.0
+
+    def test_divergence_reflects_data_roughness(self, smooth_2d, rough_1d):
+        smooth_div = simulate_compression(smooth_2d, 1e-4).divergence_v1
+        rough_div = simulate_compression(rough_1d, 1e-4).divergence_v1
+        assert rough_div >= smooth_div
+
+    def test_all_zero_field(self):
+        trace = simulate_compression(np.zeros((64, 64), dtype=np.float32), 1e-2, "abs")
+        assert trace.n_nonzero == 0
+        recon = decompress(trace.stream)
+        np.testing.assert_array_equal(recon, 0)

@@ -1,0 +1,81 @@
+"""Tests for the sweep runner."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.gpu import A100
+from repro.harness.sweep import SweepConfig, rows_to_csv, run_sweep, write_csv
+
+
+@pytest.fixture(scope="module")
+def small_cfg():
+    return SweepConfig(
+        datasets=["cesm"],
+        codecs=["fz-gpu", "cuszx"],
+        ebs=(1e-2, 1e-3),
+        shapes={"cesm": (64, 128)},
+        device=A100,
+    )
+
+
+class TestSweep:
+    def test_row_count(self, small_cfg):
+        rows = run_sweep(small_cfg)
+        assert len(rows) == 2 * 2  # codecs x ebs
+
+    def test_columns(self, small_cfg):
+        rows = run_sweep(small_cfg)
+        for row in rows:
+            assert {"dataset", "codec", "eb", "ratio", "bitrate", "psnr", "gbps",
+                    "overall_gbps"} <= set(row)
+
+    def test_cuzfp_uses_rates(self):
+        cfg = SweepConfig(
+            datasets=["cesm"],
+            codecs=["cuzfp"],
+            zfp_rates=(8.0,),
+            shapes={"cesm": (32, 32)},
+            measure_quality=False,
+        )
+        rows = run_sweep(cfg)
+        assert len(rows) == 1
+        assert rows[0]["rate"] == 8.0
+        assert rows[0]["ratio"] == pytest.approx(32.0 / 8.0, rel=0.1)
+
+    def test_quality_optional(self):
+        cfg = SweepConfig(
+            datasets=["cesm"],
+            codecs=["fz-gpu"],
+            ebs=(1e-2,),
+            shapes={"cesm": (32, 32)},
+            measure_quality=False,
+        )
+        rows = run_sweep(cfg)
+        assert "psnr" not in rows[0]
+
+    def test_unknown_codec(self):
+        cfg = SweepConfig(datasets=["cesm"], codecs=["zstd"], shapes={"cesm": (32, 32)})
+        with pytest.raises(ValueError):
+            run_sweep(cfg)
+
+
+class TestCSV:
+    def test_roundtrip(self, small_cfg):
+        rows = run_sweep(small_cfg)
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert float(parsed[0]["ratio"]) == pytest.approx(rows[0]["ratio"])
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_write_file(self, tmp_path, small_cfg):
+        rows = run_sweep(small_cfg)
+        path = tmp_path / "sweep.csv"
+        write_csv(rows, path)
+        assert path.read_text().startswith("dataset,")

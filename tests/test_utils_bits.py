@@ -1,0 +1,119 @@
+"""Tests for repro.utils.bits: packing, popcount, 32x32 bit transpose."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.bits import (
+    bit_transpose_32x32,
+    pack_bitflags,
+    popcount32,
+    unpack_bitflags,
+)
+
+
+class TestBitflags:
+    def test_roundtrip_simple(self):
+        flags = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1, 0], dtype=np.uint8)
+        packed = pack_bitflags(flags)
+        assert packed.dtype == np.uint8
+        assert packed.size == 2
+        restored = unpack_bitflags(packed, flags.size)
+        np.testing.assert_array_equal(restored, flags.astype(bool))
+
+    def test_little_bit_order(self):
+        # flag 0 must land in bit 0 of byte 0 (ballot lane semantics)
+        flags = np.zeros(8, dtype=np.uint8)
+        flags[0] = 1
+        assert pack_bitflags(flags)[0] == 1
+        flags = np.zeros(8, dtype=np.uint8)
+        flags[7] = 1
+        assert pack_bitflags(flags)[0] == 128
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pack_bitflags(np.zeros((2, 2)))
+
+    def test_unpack_too_many_raises(self):
+        packed = pack_bitflags(np.ones(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_bitflags(packed, 9)
+
+    def test_empty(self):
+        packed = pack_bitflags(np.zeros(0, dtype=np.uint8))
+        assert unpack_bitflags(packed, 0).size == 0
+
+    @given(hnp.arrays(np.uint8, st.integers(1, 300), elements=st.integers(0, 1)))
+    def test_roundtrip_property(self, flags):
+        restored = unpack_bitflags(pack_bitflags(flags), flags.size)
+        np.testing.assert_array_equal(restored, flags.astype(bool))
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFF, 0x80000000], dtype=np.uint32)
+        np.testing.assert_array_equal(popcount32(words), [0, 1, 2, 32, 1])
+
+    def test_preserves_shape(self):
+        words = np.arange(12, dtype=np.uint32).reshape(3, 4)
+        assert popcount32(words).shape == (3, 4)
+
+    @given(hnp.arrays(np.uint32, st.integers(1, 64)))
+    def test_matches_python_bitcount(self, words):
+        expected = [int(w).bit_count() for w in words]
+        np.testing.assert_array_equal(popcount32(words), expected)
+
+
+class TestBitTranspose:
+    def test_identity_on_zero(self):
+        tiles = np.zeros((2, 32), dtype=np.uint32)
+        np.testing.assert_array_equal(bit_transpose_32x32(tiles), tiles)
+
+    def test_single_bit_moves_to_transposed_position(self):
+        # bit b of word w must become bit w of word b
+        row = np.zeros((1, 32), dtype=np.uint32)
+        row[0, 5] = np.uint32(1) << 17  # word 5, bit 17
+        out = bit_transpose_32x32(row)
+        expected = np.zeros((1, 32), dtype=np.uint32)
+        expected[0, 17] = np.uint32(1) << 5
+        np.testing.assert_array_equal(out, expected)
+
+    def test_all_ones_fixed_point(self):
+        row = np.full((1, 32), 0xFFFFFFFF, dtype=np.uint32)
+        np.testing.assert_array_equal(bit_transpose_32x32(row), row)
+
+    def test_involution_random(self, rng):
+        tiles = rng.integers(0, 2**32, size=(5, 32), dtype=np.uint32)
+        np.testing.assert_array_equal(
+            bit_transpose_32x32(bit_transpose_32x32(tiles)), tiles
+        )
+
+    def test_batched_shape(self, rng):
+        tiles = rng.integers(0, 2**32, size=(3, 7, 32), dtype=np.uint32)
+        out = bit_transpose_32x32(tiles)
+        assert out.shape == (3, 7, 32)
+        # batch elements are independent
+        np.testing.assert_array_equal(out[1, 2], bit_transpose_32x32(tiles[1, 2][None])[0])
+
+    def test_rejects_bad_last_axis(self):
+        with pytest.raises(ValueError):
+            bit_transpose_32x32(np.zeros((2, 16), dtype=np.uint32))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ValueError):
+            bit_transpose_32x32(np.zeros((2, 32), dtype=np.uint16))
+
+    def test_preserves_total_popcount(self, rng):
+        tiles = rng.integers(0, 2**32, size=(4, 32), dtype=np.uint32)
+        out = bit_transpose_32x32(tiles)
+        assert popcount32(tiles).sum() == popcount32(out).sum()
+
+    @given(hnp.arrays(np.uint32, (2, 32)))
+    def test_involution_property(self, tiles):
+        np.testing.assert_array_equal(
+            bit_transpose_32x32(bit_transpose_32x32(tiles)), tiles
+        )

@@ -1,0 +1,70 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_heatmap, difference_map, side_by_side
+
+
+class TestHeatmap:
+    def test_shape(self, smooth_2d):
+        out = ascii_heatmap(smooth_2d, rows=10, cols=40)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_constant_field_uniform(self):
+        out = ascii_heatmap(np.zeros((8, 8)), rows=4, cols=4)
+        assert len(set(out.replace("\n", ""))) == 1
+
+    def test_gradient_monotone(self):
+        data = np.tile(np.linspace(0, 1, 64), (8, 1))
+        out = ascii_heatmap(data, rows=1, cols=8)
+        ramp = " .:-=+*#%@"
+        ranks = [ramp.index(c) for c in out]
+        assert ranks == sorted(ranks)
+        assert ranks[0] < ranks[-1]
+
+    def test_explicit_scale(self, smooth_2d):
+        a = ascii_heatmap(smooth_2d, vmin=-100, vmax=100)
+        # the data spans ~[-2, 2]: on a +-100 scale everything is mid-ramp
+        assert len(set(a.replace("\n", ""))) <= 2
+
+    def test_small_input_clamped(self):
+        out = ascii_heatmap(np.ones((3, 5)), rows=20, cols=60)
+        assert len(out.splitlines()) == 3
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(10))
+
+
+class TestSideBySide:
+    def test_titles_and_alignment(self):
+        maps = {"a": "xx\nyy", "b": "zzz\nwww"}
+        out = side_by_side(maps)
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 3
+        assert lines[1].startswith("xx")
+
+    def test_empty(self):
+        assert side_by_side({}) == ""
+
+
+class TestDifferenceMap:
+    def test_identical_is_blank(self, smooth_2d):
+        out = difference_map(smooth_2d, smooth_2d)
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_large_error_visible(self, smooth_2d):
+        recon = smooth_2d.copy()
+        recon[10:40, 20:60] += np.float32(smooth_2d.max() - smooth_2d.min())
+        out = difference_map(smooth_2d, recon)
+        assert any(c in out for c in "#%@")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_map(np.zeros((4, 4)), np.zeros((5, 5)))

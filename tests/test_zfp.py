@@ -1,0 +1,193 @@
+"""Tests for the fixed-rate ZFP (cuZFP) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.zfp import (
+    CuZFP,
+    _from_negabinary,
+    _to_negabinary,
+    fwd_lift,
+    inv_lift,
+    sequency_permutation,
+)
+from repro.errors import FormatError
+
+
+class TestLifting:
+    # The zfp lifting pair loses at most a few ULPs of fixed point (the >> 1
+    # steps round); with values scaled to 2^30 this is ~2^-28 relative.
+    def test_near_inverse_1d(self, rng):
+        x = rng.integers(-(2**29), 2**29, size=(50, 4)).astype(np.int64)
+        y = fwd_lift(x, 1)
+        assert np.abs(inv_lift(y, 1) - x).max() <= 4
+
+    def test_near_inverse_3d(self, rng):
+        x = rng.integers(-(2**29), 2**29, size=(20, 4, 4, 4)).astype(np.int64)
+        y = x
+        for ax in (1, 2, 3):
+            y = fwd_lift(y, ax)
+        z = y
+        for ax in (3, 2, 1):
+            z = inv_lift(z, ax)
+        assert np.abs(z - x).max() <= 32
+
+    def test_constant_line_decorrelates_to_dc(self):
+        x = np.full((1, 4), 1000, dtype=np.int64)
+        y = fwd_lift(x, 1)
+        assert y[0, 0] != 0
+        np.testing.assert_array_equal(y[0, 1:], 0)
+
+    def test_linear_ramp_mostly_dc(self):
+        x = np.array([[0, 100, 200, 300]], dtype=np.int64)
+        y = fwd_lift(x, 1)
+        # energy concentrates into the low-sequency coefficients
+        assert abs(y[0, 2]) + abs(y[0, 3]) < abs(y[0, 0]) + abs(y[0, 1])
+
+    def test_no_int32_overflow(self, rng):
+        """Inputs within 2^30 stay within int32 after the transform."""
+        x = rng.integers(-(2**30) + 1, 2**30, size=(200, 4, 4)).astype(np.int64)
+        y = x
+        for ax in (1, 2):
+            y = fwd_lift(y, ax)
+        assert np.abs(y).max() < 2**31
+
+    @given(hnp.arrays(np.int64, (3, 4), elements=st.integers(-(2**30), 2**30)))
+    def test_near_inverse_property(self, x):
+        assert np.abs(inv_lift(fwd_lift(x, 1), 1) - x).max() <= 4
+
+
+class TestNegabinary:
+    def test_zero(self):
+        assert _to_negabinary(np.array([0]))[0] == 0
+
+    def test_small_values_small_codes(self):
+        vals = np.array([-2, -1, 0, 1, 2])
+        codes = _to_negabinary(vals)
+        assert codes.max() < 16
+
+    def test_roundtrip(self, rng):
+        v = rng.integers(-(2**30), 2**30, size=5000)
+        np.testing.assert_array_equal(_from_negabinary(_to_negabinary(v)), v)
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_is_permutation(self, ndim):
+        perm, inv = sequency_permutation(ndim)
+        assert sorted(perm.tolist()) == list(range(4**ndim))
+        np.testing.assert_array_equal(perm[inv], np.arange(4**ndim))
+
+    def test_dc_first(self):
+        for ndim in (1, 2, 3):
+            perm, _ = sequency_permutation(ndim)
+            assert perm[0] == 0  # the DC coefficient leads
+
+    def test_sequency_monotone(self):
+        perm, _ = sequency_permutation(2)
+        coords = np.indices((4, 4)).reshape(2, -1)
+        seq = coords.sum(axis=0)[perm]
+        assert (np.diff(seq) >= 0).all()
+
+
+class TestCodec:
+    def test_fixed_rate_size(self, smooth_2d):
+        """Fixed rate: compressed size is determined by rate alone."""
+        codec = CuZFP(rate=8)
+        r = codec.compress(smooth_2d)
+        n_blocks = (smooth_2d.shape[0] // 4) * (smooth_2d.shape[1] // 4)
+        expected_payload_bits = n_blocks * 8 * 16
+        assert r.compressed_bytes == pytest.approx(
+            expected_payload_bits / 8, abs=64
+        )
+
+    def test_quality_improves_with_rate(self, smooth_2d):
+        codec = CuZFP()
+        errs = []
+        for rate in [2, 4, 8, 16]:
+            r = codec.compress(smooth_2d, rate=rate)
+            recon = codec.decompress(r.stream)
+            errs.append(float(np.abs(recon - smooth_2d).max()))
+        assert errs[0] > errs[1] > errs[2] > errs[3]
+
+    def test_high_rate_near_lossless(self, smooth_2d):
+        codec = CuZFP(rate=28)
+        r = codec.compress(smooth_2d)
+        recon = codec.decompress(r.stream)
+        rel = np.abs(recon - smooth_2d).max() / np.abs(smooth_2d).max()
+        assert rel < 1e-5
+
+    @pytest.mark.parametrize("shape", [(64,), (17,), (12, 9), (8, 8, 8), (5, 6, 7)])
+    def test_shapes_restored(self, rng, shape):
+        data = rng.uniform(-1, 1, size=shape).astype(np.float32)
+        codec = CuZFP(rate=16)
+        recon = codec.decompress(codec.compress(data).stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() < 1e-2
+
+    def test_all_zero_block(self):
+        data = np.zeros((16, 16), dtype=np.float32)
+        codec = CuZFP(rate=4)
+        recon = codec.decompress(codec.compress(data).stream)
+        np.testing.assert_array_equal(recon, 0)
+
+    def test_mixed_zero_nonzero_blocks(self, rng):
+        data = np.zeros((16, 16), dtype=np.float32)
+        data[:4, :4] = rng.uniform(-1, 1, size=(4, 4)).astype(np.float32)
+        codec = CuZFP(rate=16)
+        recon = codec.decompress(codec.compress(data).stream)
+        np.testing.assert_array_equal(recon[8:, 8:], 0)
+        assert np.abs(recon[:4, :4] - data[:4, :4]).max() < 1e-2
+
+    def test_per_block_exponent_keeps_relative_accuracy(self):
+        """Different blocks at wildly different scales each stay accurate."""
+        data = np.empty((4, 8), dtype=np.float32)
+        data[:, :4] = np.float32(1e-20) * np.arange(1, 17).reshape(4, 4)
+        data[:, 4:] = np.float32(1e20) * np.arange(1, 17).reshape(4, 4)
+        codec = CuZFP(rate=24)
+        recon = codec.decompress(codec.compress(data).stream)
+        rel = np.abs(recon - data) / np.abs(data)
+        assert rel.max() < 1e-3  # block-floating-point keeps relative accuracy
+
+    def test_no_error_bound_mode(self, smooth_2d):
+        """cuZFP offers no error bound: result.eb_abs is None (§2.1)."""
+        assert CuZFP(rate=8).compress(smooth_2d).eb_abs is None
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            CuZFP(rate=0)
+        with pytest.raises(ValueError):
+            CuZFP(rate=64)
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = CuZFP(rate=8).compress(smooth_2d)
+        with pytest.raises(FormatError):
+            CuZFP().decompress(b"XXXX" + r.stream[4:])
+
+    def test_subnormal_block_flushed_to_zero(self):
+        data = np.full((4, 4), 1.7e-40, dtype=np.float32)  # pure subnormals
+        codec = CuZFP(rate=20)
+        recon = codec.decompress(codec.compress(data).stream)
+        np.testing.assert_array_equal(recon, 0)
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            (8, 8),
+            # normal-range floats: subnormal-only blocks flush to zero
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=32).filter(
+                lambda v: v == 0 or abs(v) > 1e-30
+            ),
+        )
+    )
+    @settings(max_examples=15)
+    def test_roundtrip_bounded_property(self, data):
+        codec = CuZFP(rate=20)
+        recon = codec.decompress(codec.compress(data).stream)
+        scale = max(np.abs(data).max(), 1e-6)
+        assert np.abs(recon - data).max() <= 1e-3 * scale

@@ -1,0 +1,90 @@
+"""Tests for the ZFP fixed-accuracy extension (error-bounded cuZFP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.zfp import CuZFP, ZFPFixedAccuracy
+from repro.errors import FormatError
+
+
+class TestFixedAccuracy:
+    @pytest.mark.parametrize("shape", [(500,), (48, 64), (12, 16, 20)])
+    def test_error_bound_holds(self, rng, shape):
+        data = np.cumsum(rng.standard_normal(int(np.prod(shape)))).astype(
+            np.float32
+        ).reshape(shape)
+        codec = ZFPFixedAccuracy()
+        r = codec.compress(data, eb=1e-3, mode="rel")
+        recon = codec.decompress(r.stream)
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= r.eb_abs
+
+    def test_abs_mode(self, smooth_2d):
+        codec = ZFPFixedAccuracy()
+        r = codec.compress(smooth_2d, eb=0.01, mode="abs")
+        assert r.eb_abs == 0.01
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= 0.01
+
+    def test_constructor_tolerance(self, smooth_2d):
+        codec = ZFPFixedAccuracy(tolerance=0.05)
+        r = codec.compress(smooth_2d)
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - smooth_2d).max() <= 0.05
+
+    def test_looser_tolerance_better_ratio(self, smooth_2d):
+        codec = ZFPFixedAccuracy()
+        tight = codec.compress(smooth_2d, eb=1e-4, mode="rel")
+        loose = codec.compress(smooth_2d, eb=1e-2, mode="rel")
+        assert loose.ratio > tight.ratio
+
+    def test_variable_rate_beats_fixed_rate_at_same_quality(self, sparse_3d):
+        """The §2.4 argument: per-block adaptivity beats one global rate.
+
+        On data whose information content varies wildly across blocks
+        (mostly-zero RTM-like fields), fixed accuracy spends bits only where
+        needed.
+        """
+        acc = ZFPFixedAccuracy()
+        r_acc = acc.compress(sparse_3d, eb=1e-3, mode="rel")
+        err_acc = np.abs(acc.decompress(r_acc.stream) - sparse_3d).max()
+        # fixed-rate at the same stream size
+        rate = 32.0 / r_acc.ratio
+        fixed = CuZFP(rate=max(rate, 0.5))
+        r_fix = fixed.compress(sparse_3d)
+        err_fix = np.abs(fixed.decompress(r_fix.stream) - sparse_3d).max()
+        assert err_acc < err_fix
+
+    def test_all_zero_field(self):
+        codec = ZFPFixedAccuracy()
+        data = np.zeros((64, 64), dtype=np.float32)
+        r = codec.compress(data, eb=1e-3, mode="abs")
+        np.testing.assert_array_equal(codec.decompress(r.stream), 0)
+        assert r.ratio > 40  # 9 bits per all-zero 4x4 block (64 bytes)
+
+    def test_sub_tolerance_blocks_zeroed(self):
+        data = np.full((16, 16), 1e-6, dtype=np.float32)
+        codec = ZFPFixedAccuracy()
+        r = codec.compress(data, eb=0.1, mode="abs")
+        recon = codec.decompress(r.stream)
+        assert np.abs(recon - data).max() <= 0.1
+
+    def test_missing_tolerance(self, smooth_2d):
+        with pytest.raises(ValueError):
+            ZFPFixedAccuracy().compress(smooth_2d)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            ZFPFixedAccuracy(tolerance=-1.0)
+
+    def test_corrupt_stream(self, smooth_2d):
+        r = ZFPFixedAccuracy().compress(smooth_2d, eb=1e-2, mode="rel")
+        with pytest.raises(FormatError):
+            ZFPFixedAccuracy().decompress(b"XXXX" + r.stream[4:])
+
+    def test_eb_abs_reported(self, smooth_2d):
+        r = ZFPFixedAccuracy().compress(smooth_2d, eb=1e-3, mode="rel")
+        assert r.eb_abs is not None
+        assert r.extras["mode"] == "fixed-accuracy"
