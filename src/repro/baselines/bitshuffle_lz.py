@@ -14,6 +14,7 @@ order of magnitude below the sparsification encoder.
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -21,10 +22,12 @@ import numpy as np
 from repro.baselines.base import Codec, CodecResult
 from repro.baselines.lz import lz_compress, lz_decompress
 from repro.core.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.format import MAX_ELEMENTS
 from repro.core.pipeline import resolve_error_bound
 from repro.core.quantize import dual_dequantize, dual_quantize
-from repro.errors import FormatError
+from repro.errors import DecompressionError, FormatError
 from repro.utils.chunking import chunk_shape_for
+from repro.utils.safeio import BoundedReader, check_consistent
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["BitshuffleLZ", "LZ4_GPU_GBPS"]
@@ -87,24 +90,59 @@ class BitshuffleLZ(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """LZ-decompress, bit-unshuffle and reconstruct."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
-            raise FormatError("not a bitshuffle+LZ stream")
+        """LZ-decompress, bit-unshuffle and reconstruct.
+
+        Bounds-checked and header-validated; malformed streams raise
+        :class:`~repro.errors.FormatError` /
+        :class:`~repro.errors.DecompressionError`, never ``struct.error``.
+        """
+        reader = BoundedReader(stream, name="bitshuffle+LZ stream")
         (
-            _m, _v, ndim, _r,
+            magic, version, ndim, _r,
             d0, d1, d2,
             p0, p1, p2,
             c0, c1, c2, _r2,
             eb_abs, n_words,
-        ) = struct.unpack_from(_HDR, stream)
+        ) = reader.read_struct(_HDR, "header")
+        if magic != _MAGIC:
+            raise FormatError("not a bitshuffle+LZ stream")
+        if version != 1:
+            raise FormatError(f"unsupported bitshuffle+LZ stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim} in bitshuffle+LZ stream")
+        if not (eb_abs > 0 and math.isfinite(eb_abs)):
+            raise FormatError(f"bad error bound {eb_abs} in bitshuffle+LZ stream")
         shape = (d0, d1, d2)[:ndim]
         padded = (p0, p1, p2)[:ndim]
         chunk = (c0, c1, c2)[:ndim]
+        if any(d <= 0 for d in shape) or any(c <= 0 for c in chunk):
+            raise FormatError(
+                f"non-positive shape {shape} / chunk {chunk} in bitshuffle+LZ stream"
+            )
+        if tuple(padded) != tuple(-(-d // c) * c for d, c in zip(shape, chunk)):
+            raise FormatError(
+                f"padded shape {padded} is not the chunk-aligned padding of "
+                f"{shape} by {chunk}"
+            )
+        if math.prod(padded) > MAX_ELEMENTS:
+            raise FormatError(
+                f"padded element count {math.prod(padded)} exceeds the cap "
+                f"{MAX_ELEMENTS}"
+            )
 
-        raw = lz_decompress(stream[_HDR_BYTES:])
+        raw = lz_decompress(reader.read_bytes(reader.remaining, "LZ payload"))
+        if len(raw) % 4:
+            raise FormatError(
+                f"LZ payload decodes to {len(raw)} bytes, not whole uint32 words"
+            )
         words = np.frombuffer(raw, dtype=np.uint32)
-        if words.size != n_words:
-            raise FormatError("bitshuffle+LZ payload length mismatch")
+        check_consistent(
+            words.size == n_words,
+            f"LZ payload decodes {words.size} words, header claims {n_words}",
+        )
         n_codes = int(np.prod(padded))
-        codes = bitunshuffle(words, n_codes)
+        try:
+            codes = bitunshuffle(words, n_codes)
+        except ValueError as exc:
+            raise DecompressionError(f"inconsistent bitshuffle+LZ stream: {exc}") from exc
         return dual_dequantize(codes, padded, shape, eb_abs, chunk)

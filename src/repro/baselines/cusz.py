@@ -17,12 +17,14 @@ FZ-GPU reconstruct identical data (the paper leans on this in §4.3/§4.7).
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
 
 from repro.baselines.base import Codec, CodecResult
 from repro.baselines.huffman import HuffmanCodec
+from repro.core.format import MAX_ELEMENTS
 from repro.core.pipeline import resolve_error_bound
 from repro.core.quantize import (
     decode_radius_shift,
@@ -33,6 +35,7 @@ from repro.core.quantize import (
 from repro.errors import FormatError
 from repro.lorenzo import lorenzo_delta_chunked, lorenzo_reconstruct_chunked
 from repro.utils.chunking import chunk_shape_for
+from repro.utils.safeio import BoundedReader, check_consistent
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["CuSZ", "DEFAULT_RADIUS"]
@@ -140,12 +143,18 @@ class CuSZ(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct via Huffman decode -> outlier merge -> Lorenzo -> dequant."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
-            raise FormatError("not a cuSZ stream")
+        """Reconstruct via Huffman decode -> outlier merge -> Lorenzo -> dequant.
+
+        All reads go through a :class:`BoundedReader` and the header geometry
+        is cross-validated before the code grid is materialized, so truncated
+        or crafted streams raise :class:`~repro.errors.FormatError` /
+        :class:`~repro.errors.DecompressionError` rather than low-level
+        ``struct.error`` / ``IndexError``.
+        """
+        reader = BoundedReader(stream, name="cuSZ stream")
         (
-            _m,
-            _v,
+            magic,
+            version,
             ndim,
             wide,
             _r,
@@ -163,19 +172,52 @@ class CuSZ(Codec):
             radius,
             n_outliers,
             huff_bytes,
-        ) = struct.unpack_from(_HDR, stream)
+        ) = reader.read_struct(_HDR, "header")
+        if magic != _MAGIC:
+            raise FormatError("not a cuSZ stream")
+        if version != 1:
+            raise FormatError(f"unsupported cuSZ stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim} in cuSZ stream")
+        if wide not in (0, 1):
+            raise FormatError(f"bad wide-outlier flag {wide} in cuSZ stream")
+        if not (eb_abs > 0 and math.isfinite(eb_abs)):
+            raise FormatError(f"bad error bound {eb_abs} in cuSZ stream")
+        if not 1 < radius <= 0x7FFF:
+            raise FormatError(f"bad radius {radius} in cuSZ stream")
         shape = (d0, d1, d2)[:ndim]
         padded = (p0, p1, p2)[:ndim]
         chunk = (c0, c1, c2)[:ndim]
+        if any(d <= 0 for d in shape) or any(c <= 0 for c in chunk):
+            raise FormatError(
+                f"non-positive shape {shape} / chunk {chunk} in cuSZ stream"
+            )
+        if tuple(padded) != tuple(-(-d // c) * c for d, c in zip(shape, chunk)):
+            raise FormatError(
+                f"padded shape {padded} is not the chunk-aligned padding of "
+                f"{shape} by {chunk}"
+            )
+        n_codes = math.prod(padded)
+        if n_codes > MAX_ELEMENTS:
+            raise FormatError(
+                f"padded element count {n_codes} exceeds the cap {MAX_ELEMENTS}"
+            )
 
-        off = _HDR_BYTES
         huff = HuffmanCodec(2 * radius)
-        codes = huff.decode(stream[off : off + huff_bytes]).astype(np.uint16)
-        off += huff_bytes
-        idx_t, val_t, width = ("<u8", "<i8", 8) if wide else ("<u4", "<i4", 4)
-        out_idx = np.frombuffer(stream, dtype=idx_t, count=n_outliers, offset=off)
-        off += n_outliers * width
-        out_val = np.frombuffer(stream, dtype=val_t, count=n_outliers, offset=off)
+        codes = huff.decode(reader.read_bytes(huff_bytes, "Huffman payload"))
+        check_consistent(
+            codes.size == n_codes,
+            f"Huffman stream decodes {codes.size} codes, grid needs {n_codes}",
+        )
+        codes = codes.astype(np.uint16)
+        idx_t, val_t = ("<u8", "<i8") if wide else ("<u4", "<i4")
+        out_idx = reader.read_array(idx_t, n_outliers, "outlier indices")
+        out_val = reader.read_array(val_t, n_outliers, "outlier values")
+        reader.expect_exhausted("cuSZ payload")
+        check_consistent(
+            bool(out_idx.size == 0 or int(out_idx.max()) < n_codes),
+            "outlier index out of range in cuSZ stream",
+        )
 
         delta = decode_radius_shift(codes, out_idx, out_val, radius).reshape(padded)
         q = lorenzo_reconstruct_chunked(delta, chunk)

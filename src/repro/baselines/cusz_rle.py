@@ -10,6 +10,7 @@ and lengths are then Huffman-coded (the published variant's second stage).
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from repro.baselines.base import Codec, CodecResult
 from repro.baselines.cusz import DEFAULT_RADIUS
 from repro.baselines.huffman import HuffmanCodec
+from repro.core.format import MAX_ELEMENTS
 from repro.core.pipeline import resolve_error_bound
 from repro.core.quantize import (
     decode_radius_shift,
@@ -27,6 +29,7 @@ from repro.core.quantize import (
 from repro.errors import FormatError
 from repro.lorenzo import lorenzo_delta_chunked, lorenzo_reconstruct_chunked
 from repro.utils.chunking import chunk_shape_for
+from repro.utils.safeio import BoundedReader, check_consistent
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["CuSZRLE"]
@@ -135,31 +138,78 @@ class CuSZRLE(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct: Huffman -> runs -> codes -> Lorenzo -> dequantize."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
-            raise FormatError("not a cuSZ+RLE stream")
+        """Reconstruct: Huffman -> runs -> codes -> Lorenzo -> dequantize.
+
+        Bounds-checked end to end: truncation and crafted headers raise
+        :class:`~repro.errors.FormatError`, and run/grid inconsistencies
+        raise :class:`~repro.errors.DecompressionError`.
+        """
+        reader = BoundedReader(stream, name="cuSZ+RLE stream")
         (
-            _m, _v, ndim, wide, _r,
+            magic, version, ndim, wide, _r,
             d0, d1, d2,
             p0, p1, p2,
             c0, c1, c2, _r2,
             eb_abs, radius, n_out, n_runs, vbytes, lbytes,
-        ) = struct.unpack_from(_HDR, stream)
+        ) = reader.read_struct(_HDR, "header")
+        if magic != _MAGIC:
+            raise FormatError("not a cuSZ+RLE stream")
+        if version != 1:
+            raise FormatError(f"unsupported cuSZ+RLE stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim} in cuSZ+RLE stream")
+        if wide not in (0, 1):
+            raise FormatError(f"bad wide-outlier flag {wide} in cuSZ+RLE stream")
+        if not (eb_abs > 0 and math.isfinite(eb_abs)):
+            raise FormatError(f"bad error bound {eb_abs} in cuSZ+RLE stream")
+        if not 1 < radius <= 0x7FFF:
+            raise FormatError(f"bad radius {radius} in cuSZ+RLE stream")
         shape = (d0, d1, d2)[:ndim]
         padded = (p0, p1, p2)[:ndim]
         chunk = (c0, c1, c2)[:ndim]
+        if any(d <= 0 for d in shape) or any(c <= 0 for c in chunk):
+            raise FormatError(
+                f"non-positive shape {shape} / chunk {chunk} in cuSZ+RLE stream"
+            )
+        if tuple(padded) != tuple(-(-d // c) * c for d, c in zip(shape, chunk)):
+            raise FormatError(
+                f"padded shape {padded} is not the chunk-aligned padding of "
+                f"{shape} by {chunk}"
+            )
+        n_codes = math.prod(padded)
+        if n_codes > MAX_ELEMENTS:
+            raise FormatError(
+                f"padded element count {n_codes} exceeds the cap {MAX_ELEMENTS}"
+            )
+        # Each run covers at least one code, so more runs than codes is a lie.
+        if n_runs > n_codes:
+            raise FormatError(
+                f"run count {n_runs} exceeds the {n_codes}-code grid"
+            )
 
-        off = _HDR_BYTES
-        values = HuffmanCodec(2 * radius).decode(stream[off : off + vbytes])
-        off += vbytes
-        lengths = HuffmanCodec(_MAX_RUN + 1).decode(stream[off : off + lbytes])
-        off += lbytes
-        idx_t, val_t, width = ("<u8", "<i8", 8) if wide else ("<u4", "<i4", 4)
-        out_idx = np.frombuffer(stream, idx_t, n_out, off)
-        off += n_out * width
-        out_val = np.frombuffer(stream, val_t, n_out, off)
-        if values.size != n_runs or lengths.size != n_runs:
-            raise FormatError("run count mismatch in cuSZ+RLE stream")
+        values = HuffmanCodec(2 * radius).decode(
+            reader.read_bytes(vbytes, "run-value stream")
+        )
+        lengths = HuffmanCodec(_MAX_RUN + 1).decode(
+            reader.read_bytes(lbytes, "run-length stream")
+        )
+        idx_t, val_t = ("<u8", "<i8") if wide else ("<u4", "<i4")
+        out_idx = reader.read_array(idx_t, n_out, "outlier indices")
+        out_val = reader.read_array(val_t, n_out, "outlier values")
+        reader.expect_exhausted("cuSZ+RLE payload")
+        check_consistent(
+            values.size == n_runs and lengths.size == n_runs,
+            f"run streams decode {values.size}/{lengths.size} entries, "
+            f"header claims {n_runs} runs",
+        )
+        check_consistent(
+            int(lengths.sum()) == n_codes,
+            f"run lengths cover {int(lengths.sum())} codes, grid needs {n_codes}",
+        )
+        check_consistent(
+            bool(out_idx.size == 0 or int(out_idx.max()) < n_codes),
+            "outlier index out of range in cuSZ+RLE stream",
+        )
 
         codes = np.repeat(values, lengths).astype(np.uint16)
         delta = decode_radius_shift(codes, out_idx, out_val, radius).reshape(padded)

@@ -19,6 +19,7 @@ Stream layout::
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.baselines.base import Codec, CodecResult
 from repro.core.pipeline import resolve_error_bound
 from repro.errors import FormatError
 from repro.utils.bits import pack_bitflags, unpack_bitflags
+from repro.utils.safeio import BoundedReader
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["CuSZx", "BLOCK_VALUES"]
@@ -123,30 +125,46 @@ class CuSZx(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct the field (exact inverse of the encoder's quantizer)."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+        """Reconstruct the field (exact inverse of the encoder's quantizer).
+
+        Every read is bounds-checked through a :class:`BoundedReader`, so
+        truncated or crafted streams fail with
+        :class:`~repro.errors.FormatError` instead of a raw ``struct.error``
+        — and the block metadata is validated against the stream size before
+        the block-count-sized working buffers are allocated.
+        """
+        reader = BoundedReader(stream, name="cuSZx stream")
+        magic, version, ndim, _r, n, eb_abs = reader.read_struct(_HDR, "header")
+        if magic != _MAGIC:
             raise FormatError("not a cuSZx stream")
-        _m, _v, ndim, _r, n, eb_abs = struct.unpack_from(_HDR, stream)
-        off = _HDR_BYTES
-        d0, d1, d2 = struct.unpack_from("<3Q", stream, off)
-        off += 24
-        shape = (d0, d1, d2)[:ndim]
+        if version != 1:
+            raise FormatError(f"unsupported cuSZx stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim} in cuSZx stream")
+        if not (eb_abs > 0 and math.isfinite(eb_abs)):
+            raise FormatError(f"bad error bound {eb_abs} in cuSZx stream")
+        dims = reader.read_struct("<3Q", "shape")
+        shape = dims[:ndim]
+        if any(d <= 0 for d in shape) or math.prod(shape) != n:
+            raise FormatError(
+                f"cuSZx shape {shape} does not describe {n} values"
+            )
 
         nb = (n + BLOCK_VALUES - 1) // BLOCK_VALUES
         flag_bytes = (nb + 7) // 8
-        constant = unpack_bitflags(
-            np.frombuffer(stream, np.uint8, flag_bytes, off), nb
-        )
-        off += flag_bytes
         wc_bytes = (nb + 3) // 4
-        packed_w = np.frombuffer(stream, np.uint8, wc_bytes, off)
-        off += wc_bytes
+        # Reject a lying value count before any O(nb) allocation: the block
+        # metadata (flags + widths + means) alone must fit the remaining bytes.
+        reader.require(flag_bytes + wc_bytes + nb * 4, "block metadata")
+        constant = unpack_bitflags(
+            reader.read_array(np.uint8, flag_bytes, "constant flags"), nb
+        )
+        packed_w = reader.read_array(np.uint8, wc_bytes, "width codes")
         width_code = np.stack(
             [packed_w & 3, (packed_w >> 2) & 3, (packed_w >> 4) & 3, (packed_w >> 6) & 3],
             axis=1,
         ).reshape(-1)[:nb]
-        means = np.frombuffer(stream, "<f4", nb, off).astype(np.float64)
-        off += nb * 4
+        means = reader.read_array("<f4", nb, "block means").astype(np.float64)
 
         q = np.zeros((nb, BLOCK_VALUES), dtype=np.int64)
         for i, w in enumerate(_WIDTHS, start=1):
@@ -154,9 +172,9 @@ class CuSZx(Codec):
             count = int(np.count_nonzero(sel))
             if count == 0:
                 continue
-            raw = np.frombuffer(stream, f"<u{w}", count * BLOCK_VALUES, off)
-            off += count * BLOCK_VALUES * w
+            raw = reader.read_array(f"<u{w}", count * BLOCK_VALUES, f"width-{w} payload")
             q[sel] = raw.reshape(count, BLOCK_VALUES).astype(np.int64) - _CAPACITY[w]
+        reader.expect_exhausted("cuSZx payload")
 
         blocks = means[:, None] + q * (2.0 * eb_abs)
         blocks[constant] = means[constant, None]

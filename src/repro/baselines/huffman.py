@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecompressionError, FormatError
+from repro.utils.safeio import BoundedReader
 
 __all__ = ["HuffmanCodec", "MAX_CODE_LEN", "build_code_lengths", "canonical_codes"]
 
@@ -195,22 +196,48 @@ class HuffmanCodec:
     # -- decoding ---------------------------------------------------------
 
     def decode(self, stream: bytes) -> np.ndarray:
-        """Decode a stream produced by :meth:`encode` back to symbols."""
-        if len(stream) < _HDR_BYTES:
-            raise FormatError("huffman stream too short")
-        n_symbols, n_values, n_bits = struct.unpack_from(_HDR, stream)
+        """Decode a stream produced by :meth:`encode` back to symbols.
+
+        Truncated streams and crafted headers (alphabet mismatch, code
+        lengths over the cap, a Kraft-violating codebook, or a ``n_values``
+        count the bitstream cannot possibly hold) raise
+        :class:`~repro.errors.FormatError` *before* any output-sized
+        allocation; bitstreams that desynchronize mid-decode raise
+        :class:`~repro.errors.DecompressionError`.
+        """
+        reader = BoundedReader(stream, name="huffman stream")
+        n_symbols, n_values, n_bits = reader.read_struct(_HDR, "header")
         if n_symbols != self.n_symbols:
             raise FormatError(
                 f"alphabet mismatch: stream {n_symbols}, codec {self.n_symbols}"
             )
-        lengths = np.frombuffer(
-            stream, dtype=np.uint8, count=n_symbols, offset=_HDR_BYTES
-        )
-        payload = np.frombuffer(stream, dtype=np.uint8, offset=_HDR_BYTES + n_symbols)
+        lengths = reader.read_array(np.uint8, n_symbols, "code lengths")
+        payload = reader.read_array(np.uint8, reader.remaining, "payload")
+        if int(lengths.max(initial=0)) > MAX_CODE_LEN:
+            raise FormatError(
+                f"huffman code length {int(lengths.max())} exceeds the "
+                f"{MAX_CODE_LEN}-bit cap"
+            )
+        # Kraft inequality: a codebook that overfills the code space cannot
+        # come from a real tree and would corrupt the decode table.
+        kraft = int((1 << (MAX_CODE_LEN - lengths[lengths > 0].astype(np.int64))).sum())
+        if kraft > 1 << MAX_CODE_LEN:
+            raise FormatError("huffman code lengths violate the Kraft inequality")
+        if payload.size != (n_bits + 7) // 8:
+            raise FormatError(
+                f"huffman payload is {payload.size} bytes, {n_bits} bits "
+                f"need exactly {(n_bits + 7) // 8}"
+            )
         if n_values == 0:
+            if n_bits:
+                raise FormatError("huffman stream has bits but no values")
             return np.zeros(0, dtype=np.int64)
-        if payload.size * 8 < n_bits:
-            raise FormatError("huffman payload truncated")
+        # Every symbol costs at least one bit, so n_values > n_bits is a lie —
+        # reject it here, before np.empty(n_values) below.
+        if n_values > n_bits:
+            raise FormatError(
+                f"huffman stream declares {n_values} values in {n_bits} bits"
+            )
 
         codes = canonical_codes(lengths)
         sym_table, len_table = self._decode_tables(lengths, codes)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.baselines.huffman import MAX_CODE_LEN, HuffmanCodec, canonical_codes
 from repro.errors import DecompressionError, FormatError
+from repro.utils.safeio import BoundedReader
 
 __all__ = ["GapArrayHuffman", "DEFAULT_SEGMENT_SYMBOLS"]
 
@@ -89,26 +90,58 @@ class GapArrayHuffman:
         inter-segment state is needed — the GPU version launches them all
         concurrently; here they run in a loop, but each is self-contained.
         """
-        if len(stream) < 8 + struct.calcsize(_TRAILER):
+        trailer_bytes = struct.calcsize(_TRAILER) + 8
+        if len(stream) < trailer_bytes:
             raise FormatError("gap-array stream too short")
         (base_len,) = struct.unpack_from("<Q", stream, len(stream) - 8)
         seg_sym, n_segments = struct.unpack_from(
             _TRAILER, stream, len(stream) - 8 - struct.calcsize(_TRAILER)
         )
-        gap_off = base_len
-        gaps = np.frombuffer(stream, "<u8", n_segments, gap_off).astype(np.int64)
-        base = stream[:base_len]
+        if seg_sym < 1:
+            raise FormatError(f"bad segment size {seg_sym} in gap-array stream")
+        # Strict framing: base stream + gap array + trailer must account for
+        # every byte, which also bounds n_segments before the gaps are read.
+        if base_len + n_segments * 8 + trailer_bytes != len(stream):
+            raise FormatError(
+                f"gap-array stream is {len(stream)} bytes, framing implies "
+                f"{base_len + n_segments * 8 + trailer_bytes}"
+            )
+        gaps = np.frombuffer(stream, "<u8", n_segments, base_len).astype(np.int64)
+        base = BoundedReader(stream[:base_len], name="gap-array base stream")
 
         # parse base header pieces we need for independent segment decode
-        n_symbols, n_values, n_bits = struct.unpack_from("<IQQ", base)
+        n_symbols, n_values, n_bits = base.read_struct("<IQQ", "base header")
         if n_symbols != self.n_symbols:
             raise FormatError("alphabet mismatch in gap-array stream")
+        lengths = base.read_array(np.uint8, n_symbols, "code lengths")
+        payload = base.read_array(np.uint8, base.remaining, "payload")
+        if int(lengths.max(initial=0)) > MAX_CODE_LEN:
+            raise FormatError("huffman code length over the cap in gap-array stream")
+        kraft = int((1 << (MAX_CODE_LEN - lengths[lengths > 0].astype(np.int64))).sum())
+        if kraft > 1 << MAX_CODE_LEN:
+            raise FormatError("gap-array codebook violates the Kraft inequality")
+        if payload.size != (n_bits + 7) // 8:
+            raise FormatError(
+                f"gap-array payload is {payload.size} bytes, {n_bits} bits "
+                f"need exactly {(n_bits + 7) // 8}"
+            )
         if n_values == 0:
+            if n_bits or n_segments:
+                raise FormatError("empty gap-array stream carries bits or segments")
             return np.zeros(0, dtype=np.int64)
-        lengths = np.frombuffer(base, np.uint8, n_symbols, struct.calcsize("<IQQ"))
-        payload = np.frombuffer(
-            base, np.uint8, offset=struct.calcsize("<IQQ") + n_symbols
-        )
+        if n_values > n_bits:
+            raise FormatError(
+                f"gap-array stream declares {n_values} values in {n_bits} bits"
+            )
+        if n_segments != -(-n_values // seg_sym):
+            raise FormatError(
+                f"gap array has {n_segments} segments, {n_values} values at "
+                f"{seg_sym}/segment imply {-(-n_values // seg_sym)}"
+            )
+        if gaps.size and gaps[0] != 0:
+            raise DecompressionError(
+                f"first segment starts at bit {int(gaps[0])}, expected 0"
+            )
         codes = canonical_codes(lengths)
         sym_table, len_table = HuffmanCodec._decode_tables(lengths, codes)
 

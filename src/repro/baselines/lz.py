@@ -163,4 +163,9 @@ def deflate_like_decode(stream: bytes) -> np.ndarray:
     codec = HuffmanCodec(256)
     lz = codec.decode(stream).astype(np.uint8).tobytes()
     raw = lz_decompress(lz)
+    if len(raw) % 4:
+        raise FormatError(
+            f"deflate-like payload decodes to {len(raw)} bytes, not a "
+            f"whole number of int32 symbols"
+        )
     return np.frombuffer(raw, dtype="<i4").astype(np.int64)

@@ -17,6 +17,7 @@ performance model's multigrid kernel pipeline).
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -24,8 +25,10 @@ import numpy as np
 from repro.baselines.base import Codec, CodecResult
 from repro.baselines.huffman import HuffmanCodec
 from repro.baselines.rle import rle_decode, rle_encode
+from repro.core.format import MAX_ELEMENTS
 from repro.core.pipeline import resolve_error_bound
 from repro.errors import FormatError
+from repro.utils.safeio import BoundedReader, check_consistent
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["MGARDGPU", "decompose", "recompose"]
@@ -194,45 +197,73 @@ class MGARDGPU(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct by dequantizing coefficients and recomposing levels."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
-            raise FormatError("not an MGARD stream")
-        _m, _v, ndim, n_levels, _r, eb_abs, d0, d1, d2, n_out = struct.unpack_from(
-            _HDR, stream
+        """Reconstruct by dequantizing coefficients and recomposing levels.
+
+        Bounds-checked throughout: truncated or crafted streams raise
+        :class:`~repro.errors.FormatError`, and decoded coefficients that
+        contradict the header (wrong symbol count, out-of-range outlier
+        indices) raise :class:`~repro.errors.DecompressionError`.
+        """
+        reader = BoundedReader(stream, name="MGARD stream")
+        magic, version, ndim, n_levels, _r, eb_abs, d0, d1, d2, n_out = (
+            reader.read_struct(_HDR, "header")
         )
+        if magic != _MAGIC:
+            raise FormatError("not an MGARD stream")
+        if version != 1:
+            raise FormatError(f"unsupported MGARD stream version {version}")
+        if not 1 <= ndim <= 3:
+            raise FormatError(f"bad ndim {ndim} in MGARD stream")
+        if not (eb_abs > 0 and math.isfinite(eb_abs)):
+            raise FormatError(f"bad error bound {eb_abs} in MGARD stream")
         shape = (d0, d1, d2)[:ndim]
-        off = _HDR_BYTES
-        lossless_id = stream[off]
-        off += 1
-        (payload_len,) = struct.unpack_from("<Q", stream, off)
-        off += 8
-        payload = stream[off : off + payload_len]
-        off += payload_len
-        out_idx = np.frombuffer(stream, "<u8", n_out, off)
-        off += n_out * 8
-        out_val = np.frombuffer(stream, "<i8", n_out, off)
+        if any(d <= 0 for d in shape):
+            raise FormatError(f"non-positive dimension in MGARD shape {shape}")
+        if math.prod(shape) > MAX_ELEMENTS:
+            raise FormatError(
+                f"element count {math.prod(shape)} exceeds the cap {MAX_ELEMENTS}"
+            )
+        (lossless_id,) = reader.read_struct("<B", "lossless id")
+        if lossless_id not in (0, 1, 2):
+            raise FormatError(f"unknown MGARD lossless back end {lossless_id}")
+        (payload_len,) = reader.read_struct("<Q", "payload length")
+        payload = reader.read_bytes(payload_len, "coefficient payload")
+        out_idx = reader.read_array("<u8", n_out, "outlier indices")
+        out_val = reader.read_array("<i8", n_out, "outlier values")
+        reader.expect_exhausted("MGARD payload")
 
-        if lossless_id == 0:
-            shifted = HuffmanCodec(2 * _QUANT_RADIUS).decode(payload)
-        elif lossless_id == 1:
-            rle = HuffmanCodec(256).decode(payload).astype(np.uint8).tobytes()
-            shifted = rle_decode(rle)
-        else:
-            from repro.baselines.lz import deflate_like_decode
-
-            shifted = deflate_like_decode(payload)
-
-        symbols = shifted.astype(np.int64) - _QUANT_RADIUS
-        symbols[shifted == 0] = 0  # outlier slots, restored below
-        if n_out:
-            symbols[out_idx.astype(np.int64)] = out_val
-
-        # rebuild per-level shapes to split the symbol vector
+        # rebuild per-level shapes to split the symbol vector (before the
+        # lossless decode, so the expected count can bound its output)
         shapes = [shape]
         for _ in range(n_levels):
             shapes.append(_coarse_shape(shapes[-1]))
         detail_shapes = shapes[:n_levels]
         coarse_shape = shapes[n_levels]
+        n_symbols = sum(math.prod(s) for s in detail_shapes) + math.prod(coarse_shape)
+
+        if lossless_id == 0:
+            shifted = HuffmanCodec(2 * _QUANT_RADIUS).decode(payload)
+        elif lossless_id == 1:
+            rle = HuffmanCodec(256).decode(payload).astype(np.uint8).tobytes()
+            shifted = rle_decode(rle, max_values=n_symbols)
+        else:
+            from repro.baselines.lz import deflate_like_decode
+
+            shifted = deflate_like_decode(payload)
+        check_consistent(
+            shifted.size == n_symbols,
+            f"MGARD payload decodes {shifted.size} coefficients, the "
+            f"{n_levels}-level hierarchy over {shape} needs {n_symbols}",
+        )
+        check_consistent(
+            bool(n_out == 0 or int(out_idx.max()) < n_symbols),
+            "outlier index out of range in MGARD stream",
+        )
+
+        symbols = shifted.astype(np.int64) - _QUANT_RADIUS
+        symbols[shifted == 0] = 0  # outlier slots, restored below
+        if n_out:
+            symbols[out_idx.astype(np.int64)] = out_val
 
         budgets = [eb_abs / 2 ** (l + 1) for l in range(n_levels)]
         coarse_budget = eb_abs / 2 ** (n_levels + 1)

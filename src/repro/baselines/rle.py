@@ -14,6 +14,7 @@ import struct
 import numpy as np
 
 from repro.errors import FormatError
+from repro.utils.safeio import BoundedReader
 
 __all__ = ["rle_encode", "rle_decode"]
 
@@ -60,16 +61,24 @@ def rle_encode(symbols: np.ndarray) -> bytes:
     )
 
 
-def rle_decode(stream: bytes) -> np.ndarray:
-    """Invert :func:`rle_encode`."""
-    if len(stream) < struct.calcsize(_HDR):
-        raise FormatError("rle stream too short")
-    n_values, n_runs = struct.unpack_from(_HDR, stream)
-    off = struct.calcsize(_HDR)
-    values = np.frombuffer(stream, "<i8", n_runs, off)
-    off += n_runs * 8
-    lengths = np.frombuffer(stream, "<u4", n_runs, off).astype(np.int64)
-    out = np.repeat(values, lengths)
-    if out.size != n_values:
-        raise FormatError(f"rle length mismatch: {out.size} != {n_values}")
-    return out
+def rle_decode(stream: bytes, max_values: int | None = None) -> np.ndarray:
+    """Invert :func:`rle_encode`.
+
+    All reads are bounds-checked (truncated streams raise
+    :class:`~repro.errors.FormatError`), and the declared expansion is
+    validated *before* ``np.repeat`` allocates — pass ``max_values`` to cap
+    the output size a crafted header may request.
+    """
+    reader = BoundedReader(stream, name="rle stream")
+    n_values, n_runs = reader.read_struct(_HDR, "header")
+    if max_values is not None and n_values > max_values:
+        raise FormatError(
+            f"rle stream declares {n_values} values, cap is {max_values}"
+        )
+    values = reader.read_array("<i8", n_runs, "run values")
+    lengths = reader.read_array("<u4", n_runs, "run lengths").astype(np.int64)
+    reader.expect_exhausted("rle payload")
+    total = int(lengths.sum())
+    if total != n_values:
+        raise FormatError(f"rle length mismatch: {total} != {n_values}")
+    return np.repeat(values, lengths)

@@ -27,7 +27,9 @@ from functools import lru_cache
 import numpy as np
 
 from repro.baselines.base import Codec, CodecResult
+from repro.core.format import MAX_ELEMENTS
 from repro.errors import FormatError
+from repro.utils.safeio import BoundedReader
 from repro.utils.validation import ensure_float32, ensure_ndim
 
 __all__ = ["CuZFP", "ZFPFixedAccuracy", "fwd_lift", "inv_lift", "sequency_permutation"]
@@ -361,17 +363,41 @@ class CuZFP(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct the field from a fixed-rate stream."""
-        if len(stream) < _HDR_BYTES or stream[:4] != _MAGIC:
+        """Reconstruct the field from a fixed-rate stream.
+
+        The header is validated (magic, version, dims, rate) and the payload
+        length must equal exactly what the fixed rate implies — both checked
+        before the block-count-sized output buffer is allocated, so truncated
+        or crafted streams raise :class:`~repro.errors.FormatError`.
+        """
+        hdr = BoundedReader(stream, name="cuZFP stream")
+        magic, version, nd, _r, rate, n, d0, d1, d2 = hdr.read_struct(_HDR, "header")
+        if magic != _MAGIC:
             raise FormatError("not a cuZFP stream")
-        _m, _v, nd, _r, rate, _n, d0, d1, d2 = struct.unpack_from(_HDR, stream)
+        if version != 1:
+            raise FormatError(f"unsupported cuZFP stream version {version}")
+        if not 1 <= nd <= 3:
+            raise FormatError(f"bad ndim {nd} in cuZFP stream")
+        if not (math.isfinite(rate) and 0 < rate <= 34):
+            raise FormatError(f"bad rate {rate} in cuZFP stream")
         shape = (d0, d1, d2)[:nd]
+        if any(d <= 0 for d in shape) or math.prod(shape) != n:
+            raise FormatError(f"cuZFP shape {shape} does not describe {n} values")
+        if n > MAX_ELEMENTS:
+            raise FormatError(f"element count {n} exceeds the cap {MAX_ELEMENTS}")
         block_elems = 4**nd
         maxbits = max(int(round(rate * block_elems)), EBITS + 1)
         plane_budget = maxbits - EBITS
 
         padded_shape = tuple(s + ((-s) % 4) for s in shape)
-        nb = int(np.prod([s // 4 for s in padded_shape]))
+        nb = math.prod(s // 4 for s in padded_shape)
+        expected = (nb * maxbits + 7) // 8
+        payload_bytes = len(stream) - _HDR_BYTES
+        if payload_bytes != expected:
+            raise FormatError(
+                f"cuZFP payload is {payload_bytes} bytes, the fixed rate "
+                f"implies exactly {expected}"
+            )
         reader = _BitReader(stream[_HDR_BYTES:])
         perm, inv = sequency_permutation(nd)
 
@@ -528,15 +554,42 @@ class ZFPFixedAccuracy(Codec):
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct; the per-block cutoff is re-derived from the header."""
-        if len(stream) < _ACC_HDR_BYTES or stream[:4] != _ACC_MAGIC:
+        """Reconstruct; the per-block cutoff is re-derived from the header.
+
+        The stream is variable length, but every block costs at least its
+        :data:`EBITS`-bit exponent — that lower bound is enforced against the
+        actual payload size before the block loop or any block-count-sized
+        allocation, so a crafted huge grid fails fast with
+        :class:`~repro.errors.FormatError`.
+        """
+        hdr = BoundedReader(stream, name="fixed-accuracy ZFP stream")
+        magic, version, nd, _r, tol, n, d0, d1, d2 = hdr.read_struct(
+            _ACC_HDR, "header"
+        )
+        if magic != _ACC_MAGIC:
             raise FormatError("not a fixed-accuracy ZFP stream")
-        _m, _v, nd, _r, tol, _n, d0, d1, d2 = struct.unpack_from(_ACC_HDR, stream)
+        if version != 1:
+            raise FormatError(f"unsupported ZFP stream version {version}")
+        if not 1 <= nd <= 3:
+            raise FormatError(f"bad ndim {nd} in ZFP stream")
+        if not (tol > 0 and math.isfinite(tol)):
+            raise FormatError(f"bad tolerance {tol} in ZFP stream")
         shape = (d0, d1, d2)[:nd]
+        if any(d <= 0 for d in shape) or math.prod(shape) != n:
+            raise FormatError(f"ZFP shape {shape} does not describe {n} values")
+        if n > MAX_ELEMENTS:
+            raise FormatError(f"element count {n} exceeds the cap {MAX_ELEMENTS}")
         block_elems = 4**nd
 
         padded_shape = tuple(s + ((-s) % 4) for s in shape)
-        nb = int(np.prod([s // 4 for s in padded_shape]))
+        nb = math.prod(s // 4 for s in padded_shape)
+        min_bytes = (nb * EBITS + 7) // 8
+        payload_bytes = len(stream) - _ACC_HDR_BYTES
+        if payload_bytes < min_bytes:
+            raise FormatError(
+                f"ZFP payload is {payload_bytes} bytes, {nb} blocks need at "
+                f"least {min_bytes}"
+            )
         reader = _BitReader(stream[_ACC_HDR_BYTES:])
         perm, inv = sequency_permutation(nd)
 

@@ -84,12 +84,17 @@ def cmd_decompress(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    from repro.core.format import StreamHeader
+    from repro.core.format import unpack_stream
     from repro.io import load_stream
 
     stream = load_stream(args.input)
-    header = StreamHeader.unpack(stream)
-    print(f"FZ-GPU stream: shape={header.shape} (padded {header.padded_shape})")
+    # unpack_stream (not just the header parser) so geometry and the v2 CRC
+    # are validated — `info` then doubles as a stream integrity check.
+    header, _encoded = unpack_stream(stream)
+    print(
+        f"FZ-GPU stream (format v{header.version}): shape={header.shape} "
+        f"(padded {header.padded_shape})"
+    )
     print(f"  error bound (abs): {header.eb:g}")
     print(f"  chunk: {header.chunk}")
     print(

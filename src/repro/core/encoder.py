@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.prefix_sum import exclusive_sum
+from repro.errors import DecompressionError
 from repro.utils.bits import pack_bitflags, unpack_bitflags
 
 __all__ = ["BLOCK_BYTES", "BLOCK_WORDS", "EncodedBlocks", "encode_zero_blocks", "decode_zero_blocks"]
@@ -101,16 +102,26 @@ def encode_zero_blocks(words: np.ndarray, block_words: int = BLOCK_WORDS) -> Enc
 
 
 def decode_zero_blocks(encoded: EncodedBlocks, block_words: int = BLOCK_WORDS) -> np.ndarray:
-    """Invert :func:`encode_zero_blocks`, returning the full ``uint32`` stream."""
-    byteflags = unpack_bitflags(encoded.bitflags, encoded.n_blocks)
+    """Invert :func:`encode_zero_blocks`, returning the full ``uint32`` stream.
+
+    Inconsistent inputs (flag/literal count mismatches — i.e. corrupted
+    streams) raise :class:`~repro.errors.DecompressionError` so API
+    boundaries catching :class:`~repro.errors.ReproError` see them.
+    """
+    try:
+        byteflags = unpack_bitflags(encoded.bitflags, encoded.n_blocks)
+    except ValueError as exc:  # flag array shorter than the declared block count
+        raise DecompressionError(str(exc)) from exc
     n_set = int(np.count_nonzero(byteflags))
     if n_set != encoded.n_nonzero:
-        raise ValueError(
+        raise DecompressionError(
             f"flag array has {n_set} set bits but stream claims {encoded.n_nonzero}"
         )
     literals = np.ascontiguousarray(encoded.literals, dtype=np.uint32)
     if literals.size != encoded.n_nonzero * block_words:
-        raise ValueError("literal payload length does not match non-zero block count")
+        raise DecompressionError(
+            "literal payload length does not match non-zero block count"
+        )
     out = np.zeros((encoded.n_blocks, block_words), dtype=np.uint32)
     out[byteflags] = literals.reshape(-1, block_words)
     return out.reshape(-1)

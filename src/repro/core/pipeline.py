@@ -29,7 +29,7 @@ from repro.core.bitshuffle import bitshuffle, bitunshuffle
 from repro.core.encoder import decode_zero_blocks, encode_zero_blocks
 from repro.core.format import StreamHeader, pack_stream, unpack_stream
 from repro.core.quantize import QuantizerStats, dual_dequantize, dual_quantize
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DecompressionError
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.validation import ensure_float32, ensure_ndim, ensure_positive
 
@@ -163,14 +163,26 @@ class FZGPU:
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
-        """Reconstruct the field from a compressed stream (float32)."""
+        """Reconstruct the field from a compressed stream (float32).
+
+        Malformed input fails with a :class:`~repro.errors.ReproError`
+        subclass: :class:`~repro.errors.FormatError` for framing problems
+        (truncation, trailing bytes, header inconsistencies, CRC mismatch)
+        and :class:`~repro.errors.DecompressionError` for streams that parse
+        but decode inconsistently.
+        """
         header, encoded = unpack_stream(stream)
-        words = decode_zero_blocks(encoded)
-        n_codes = int(np.prod(header.padded_shape))
-        codes = bitunshuffle(words, n_codes)
-        return dual_dequantize(
-            codes, header.padded_shape, header.shape, header.eb, header.chunk
-        )
+        try:
+            words = decode_zero_blocks(encoded)
+            n_codes = int(np.prod(header.padded_shape))
+            codes = bitunshuffle(words, n_codes)
+            return dual_dequantize(
+                codes, header.padded_shape, header.shape, header.eb, header.chunk
+            )
+        except ValueError as exc:
+            # residual shape/size validation from NumPy on streams the header
+            # checks could not rule out
+            raise DecompressionError(f"inconsistent FZ-GPU stream: {exc}") from exc
 
 
 _DEFAULT = FZGPU()

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import DecompressionError
 from repro.lorenzo import lorenzo_delta_chunked, lorenzo_reconstruct_chunked
 from repro.utils.chunking import block_view, chunk_shape_for, unblock_view
 from repro.utils.validation import ensure_float32, ensure_positive
@@ -201,13 +202,29 @@ def dual_dequantize(
     eb: float,
     chunk: tuple[int, ...] | None = None,
 ) -> np.ndarray:
-    """Invert :func:`dual_quantize`: decode codes, Lorenzo-reconstruct, dequantize."""
+    """Invert :func:`dual_quantize`: decode codes, Lorenzo-reconstruct, dequantize.
+
+    Inconsistent inputs — too few codes for the padded grid, or a padded
+    shape that is not chunk-aligned — raise
+    :class:`~repro.errors.DecompressionError` instead of a bare NumPy
+    ``ValueError``, so stream-decoding boundaries catching
+    :class:`~repro.errors.ReproError` see them.
+    """
     n = int(np.prod(padded_shape))
     chunk_resolved = chunk_shape_for(len(padded_shape), chunk)
+    if any(p % c for p, c in zip(padded_shape, chunk_resolved)):
+        raise DecompressionError(
+            f"padded shape {tuple(padded_shape)} is not aligned to chunk {chunk_resolved}"
+        )
+    decoded = decode_sign_magnitude(codes)
+    if decoded.size < n:
+        raise DecompressionError(
+            f"code stream holds {decoded.size} codes, padded grid needs {n}"
+        )
     blocked_shape = tuple(p // c for p, c in zip(padded_shape, chunk_resolved)) + tuple(
         chunk_resolved
     )
-    chunk_major = decode_sign_magnitude(codes)[:n].reshape(blocked_shape)
+    chunk_major = decoded[:n].reshape(blocked_shape)
     delta = unblock_view(chunk_major, tuple(padded_shape))
     q = lorenzo_reconstruct_chunked(delta, chunk)
     crop = tuple(slice(0, s) for s in orig_shape)

@@ -15,6 +15,7 @@ import zlib
 import numpy as np
 
 from repro.errors import FormatError
+from repro.utils.safeio import BoundedReader
 
 __all__ = ["load_field", "save_field", "save_stream", "load_stream"]
 
@@ -73,12 +74,11 @@ def save_stream(path: str | pathlib.Path, stream: bytes) -> None:
 def load_stream(path: str | pathlib.Path) -> bytes:
     """Read a compressed stream file, verifying magic and checksum."""
     blob = pathlib.Path(path).read_bytes()
-    if len(blob) < len(_STREAM_MAGIC) + 4:
-        raise FormatError(f"{path}: too short to be a stream file")
-    if blob[: len(_STREAM_MAGIC)] != _STREAM_MAGIC:
-        raise FormatError(f"{path}: bad stream-file magic")
-    payload = blob[len(_STREAM_MAGIC) : -4]
-    (crc,) = struct.unpack(_FOOTER, blob[-4:])
+    reader = BoundedReader(blob, name=f"stream file {pathlib.Path(path).name}")
+    reader.expect_magic(_STREAM_MAGIC, "stream-file magic")
+    payload = reader.read_bytes(max(reader.remaining - 4, 0), "stream payload")
+    (crc,) = reader.read_struct(_FOOTER, "CRC32 footer")
+    reader.expect_exhausted("stream file")
     if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
         raise FormatError(f"{path}: checksum mismatch (file corrupted)")
     return payload

@@ -1,0 +1,177 @@
+"""Bounded, checked reading of untrusted compressed streams.
+
+Every decoder in the library consumes byte streams that may be truncated,
+corrupted, or adversarially crafted.  Parsing them with raw
+``struct.unpack_from`` / ``np.frombuffer`` leaks low-level exceptions
+(``struct.error``, ``ValueError`` from NumPy, ``IndexError``) or — worse —
+lets a crafted length field drive a huge allocation before any consistency
+check runs.
+
+:class:`BoundedReader` is the shared answer: a cursor over an in-memory
+buffer whose every read is validated against the remaining byte count
+*before* it touches the data.  The error contract is:
+
+* :class:`~repro.errors.FormatError` — the stream is structurally unusable:
+  under-read (fewer bytes than a declared field needs), bad magic, trailing
+  garbage, or a count field that fails a sanity cap.
+* :class:`~repro.errors.DecompressionError` — the stream parses but its
+  contents are internally inconsistent (use :func:`check_consistent`).
+
+Both derive from :class:`~repro.errors.ReproError`, so API boundaries can
+catch one base class.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import DecompressionError, FormatError
+
+__all__ = ["BoundedReader", "check_consistent", "checked_count"]
+
+
+def check_consistent(condition: bool, message: str) -> None:
+    """Raise :class:`DecompressionError` unless ``condition`` holds.
+
+    Use for *semantic* stream invariants (flag counts vs. literal counts,
+    outlier indices in range...) — facts that individually parse fine but
+    contradict each other.
+    """
+    if not condition:
+        raise DecompressionError(message)
+
+
+def checked_count(value: int, cap: int, what: str) -> int:
+    """Validate a count field from an untrusted header before allocating.
+
+    Returns ``value`` as an ``int`` if ``0 <= value <= cap``; otherwise raises
+    :class:`FormatError`.  Call this on every header field that later sizes an
+    allocation, so a crafted ``2**48`` count fails fast instead of raising
+    ``MemoryError`` (or succeeding and OOM-killing the process).
+    """
+    value = int(value)
+    if value < 0:
+        raise FormatError(f"negative {what} ({value})")
+    if value > cap:
+        raise FormatError(f"{what} {value} exceeds the sanity cap {cap}")
+    return value
+
+
+class BoundedReader:
+    """Sequential reader over a byte buffer with mandatory bounds checks.
+
+    Parameters
+    ----------
+    buf:
+        The complete stream (``bytes``/``bytearray``/``memoryview``).  The
+        reader keeps its own ``bytes`` copy so NumPy views stay valid.
+    name:
+        Human-readable stream name used in error messages
+        (e.g. ``"cuSZx stream"``).
+    """
+
+    __slots__ = ("_buf", "_pos", "name")
+
+    def __init__(self, buf: bytes | bytearray | memoryview, name: str = "stream"):
+        self._buf = bytes(buf)
+        self._pos = 0
+        self.name = name
+
+    # -- cursor state ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total buffer length in bytes."""
+        return len(self._buf)
+
+    @property
+    def offset(self) -> int:
+        """Current cursor position."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left between the cursor and the end of the buffer."""
+        return len(self._buf) - self._pos
+
+    # -- checked primitives ------------------------------------------------
+
+    def require(self, nbytes: int, what: str = "data") -> None:
+        """Raise :class:`FormatError` unless ``nbytes`` more bytes exist."""
+        if nbytes < 0:
+            raise FormatError(f"negative {what} size ({nbytes}) in {self.name}")
+        if nbytes > self.remaining:
+            raise FormatError(
+                f"{self.name} truncated: {what} needs {nbytes} bytes at "
+                f"offset {self._pos}, only {self.remaining} available"
+            )
+
+    def read_bytes(self, nbytes: int, what: str = "data") -> bytes:
+        """Consume and return exactly ``nbytes`` bytes."""
+        self.require(nbytes, what)
+        out = self._buf[self._pos : self._pos + nbytes]
+        self._pos += nbytes
+        return out
+
+    def skip(self, nbytes: int, what: str = "data") -> None:
+        """Advance the cursor without materializing the bytes."""
+        self.require(nbytes, what)
+        self._pos += nbytes
+
+    def read_struct(self, fmt: str, what: str = "fields") -> tuple:
+        """Unpack a ``struct`` format string, bounds-checked.
+
+        Never raises ``struct.error`` for short input — the length is
+        validated first and reported as :class:`FormatError`.
+        """
+        size = struct.calcsize(fmt)
+        self.require(size, what)
+        out = struct.unpack_from(fmt, self._buf, self._pos)
+        self._pos += size
+        return out
+
+    def read_array(self, dtype, count: int, what: str = "array") -> np.ndarray:
+        """Read ``count`` elements of ``dtype`` as a zero-copy NumPy view.
+
+        The returned array is read-only (it aliases the stream buffer);
+        callers that mutate must copy (``.astype``/``np.array``).  A negative
+        or oversized ``count`` raises :class:`FormatError` before NumPy sees
+        it, so no ``ValueError`` escapes from ``np.frombuffer``.
+        """
+        dtype = np.dtype(dtype)
+        count = int(count)
+        if count < 0:
+            raise FormatError(f"negative {what} count ({count}) in {self.name}")
+        nbytes = count * dtype.itemsize
+        self.require(nbytes, what)
+        arr = np.frombuffer(self._buf, dtype=dtype, count=count, offset=self._pos)
+        self._pos += nbytes
+        return arr
+
+    # -- framing assertions ------------------------------------------------
+
+    def expect_magic(self, magic: bytes, what: str = "magic") -> None:
+        """Consume ``len(magic)`` bytes and require them to equal ``magic``."""
+        if self.remaining < len(magic):
+            raise FormatError(
+                f"{self.name} too short for {what} ({self.remaining} bytes)"
+            )
+        got = self.read_bytes(len(magic), what)
+        if got != magic:
+            raise FormatError(f"bad {what} in {self.name}: {got!r} != {magic!r}")
+
+    def expect_exhausted(self, what: str = "payload") -> None:
+        """Reject trailing garbage: the cursor must sit at the buffer end.
+
+        Decoders call this after consuming every declared field so a stream
+        with extra appended bytes is refused instead of silently accepted —
+        trailing data is either corruption or an attempt to smuggle content
+        past the framing.
+        """
+        if self.remaining:
+            raise FormatError(
+                f"{self.name} has {self.remaining} trailing bytes beyond the "
+                f"declared {what} (expected size {self._pos}, got {self.size})"
+            )

@@ -15,6 +15,7 @@ from repro.core.encoder import (
     decode_zero_blocks,
     encode_zero_blocks,
 )
+from repro.errors import DecompressionError
 
 
 def _stream(rng, n_blocks: int, zero_prob: float) -> np.ndarray:
@@ -81,14 +82,21 @@ class TestDecodeValidation:
         words = _stream(rng, 16, zero_prob=0.5)
         enc = encode_zero_blocks(words)
         bad = EncodedBlocks(enc.bitflags, enc.literals, enc.n_blocks, enc.n_nonzero + 1)
-        with pytest.raises(ValueError):
+        with pytest.raises(DecompressionError):
             decode_zero_blocks(bad)
 
     def test_truncated_literals_detected(self, rng):
         words = _stream(rng, 16, zero_prob=0.0)
         enc = encode_zero_blocks(words)
         bad = EncodedBlocks(enc.bitflags, enc.literals[:-1], enc.n_blocks, enc.n_nonzero)
-        with pytest.raises(ValueError):
+        with pytest.raises(DecompressionError):
+            decode_zero_blocks(bad)
+
+    def test_short_flag_array_detected(self, rng):
+        words = _stream(rng, 16, zero_prob=0.5)
+        enc = encode_zero_blocks(words)
+        bad = EncodedBlocks(enc.bitflags[:1], enc.literals, enc.n_blocks, enc.n_nonzero)
+        with pytest.raises(DecompressionError):
             decode_zero_blocks(bad)
 
 

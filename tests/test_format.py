@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,10 @@ from repro.core.encoder import encode_zero_blocks
 from repro.core.format import (
     HEADER_BYTES,
     MAGIC,
+    MAX_ELEMENTS,
+    VERSION,
     StreamHeader,
+    implied_block_count,
     pack_stream,
     unpack_stream,
 )
@@ -17,18 +22,28 @@ from repro.errors import FormatError
 
 
 def _header(**overrides) -> StreamHeader:
+    # Geometrically consistent defaults: (30, 60) pads to (32, 64) under a
+    # (16, 16) chunk = 2048 codes = one bitshuffle tile = 256 encoder blocks.
     base = dict(
         ndim=2,
-        shape=(100, 120),
-        padded_shape=(112, 128),
+        shape=(30, 60),
+        padded_shape=(32, 64),
         eb=1e-3,
         chunk=(16, 16),
-        n_blocks=448,
+        n_blocks=256,
         n_nonzero=100,
         n_saturated=0,
     )
     base.update(overrides)
     return StreamHeader(**base)
+
+
+def _stream(rng, **overrides):
+    """A complete, consistent (header, encoded, stream) triple."""
+    words = rng.integers(0, 4, size=4 * 256, dtype=np.uint32)  # mostly zero blocks
+    enc = encode_zero_blocks(words)
+    h = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero, **overrides)
+    return h, enc, pack_stream(h, enc)
 
 
 class TestHeader:
@@ -39,11 +54,12 @@ class TestHeader:
         assert packed[:4] == MAGIC
         h2 = StreamHeader.unpack(packed)
         assert h2 == h
+        assert h2.version == VERSION
 
     def test_roundtrip_1d_3d(self):
         for h in [
-            _header(ndim=1, shape=(999,), padded_shape=(1024,), chunk=(256,), n_blocks=128),
-            _header(ndim=3, shape=(9, 9, 9), padded_shape=(16, 16, 16), chunk=(8, 8, 8)),
+            _header(ndim=1, shape=(999,), padded_shape=(1024,), chunk=(256,), n_blocks=256),
+            _header(ndim=3, shape=(9, 9, 9), padded_shape=(16, 16, 16), chunk=(8, 8, 8), n_blocks=512),
         ]:
             assert StreamHeader.unpack(h.pack()) == h
 
@@ -74,21 +90,104 @@ class TestHeader:
             StreamHeader.unpack(bytes(buf))
 
 
+class TestGeometry:
+    def test_consistent_header_passes(self):
+        _header().validate_geometry()
+
+    def test_implied_block_count(self):
+        # one 4 KiB tile = 2048 uint16 codes = 256 sixteen-byte blocks
+        assert implied_block_count(2048) == 256
+        assert implied_block_count(1) == 256  # padded up to a whole tile
+        assert implied_block_count(2049) == 512
+
+    def test_wrong_n_blocks_rejected(self):
+        with pytest.raises(FormatError, match="n_blocks"):
+            _header(n_blocks=448).validate_geometry()
+
+    def test_huge_n_blocks_rejected(self):
+        with pytest.raises(FormatError, match="n_blocks"):
+            _header(n_blocks=2**48).validate_geometry()
+
+    def test_misaligned_padded_shape_rejected(self):
+        with pytest.raises(FormatError, match="padded shape"):
+            _header(padded_shape=(32, 60)).validate_geometry()
+
+    def test_element_cap_enforced(self):
+        h = _header(
+            ndim=1, shape=(MAX_ELEMENTS + 1,), padded_shape=(MAX_ELEMENTS + 256,),
+            chunk=(256,), n_blocks=implied_block_count(MAX_ELEMENTS + 256),
+        )
+        with pytest.raises(FormatError, match="cap"):
+            h.validate_geometry()
+
+    def test_nonzero_over_total_rejected(self):
+        with pytest.raises(FormatError, match="n_nonzero"):
+            _header(n_nonzero=257).validate_geometry()
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(FormatError, match="chunk"):
+            _header(chunk=(0, 16)).validate_geometry()
+
+
 class TestStream:
     def test_pack_unpack_roundtrip(self, rng):
-        words = rng.integers(0, 4, size=4 * 256, dtype=np.uint32)  # mostly small
-        enc = encode_zero_blocks(words)
-        h = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero)
-        stream = pack_stream(h, enc)
+        h, enc, stream = _stream(rng)
         h2, enc2 = unpack_stream(stream)
         assert h2 == h
+        assert h2.version == 2
         np.testing.assert_array_equal(enc2.bitflags, enc.bitflags)
         np.testing.assert_array_equal(enc2.literals, enc.literals)
 
     def test_truncated_payload_detected(self, rng):
-        words = rng.integers(1, 2**31, size=256, dtype=np.uint32)
-        enc = encode_zero_blocks(words)
-        h = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero)
-        stream = pack_stream(h, enc)
+        _, _, stream = _stream(rng)
         with pytest.raises(FormatError):
             unpack_stream(stream[:-5])
+
+    def test_trailing_garbage_detected(self, rng):
+        _, _, stream = _stream(rng)
+        with pytest.raises(FormatError, match="size mismatch"):
+            unpack_stream(stream + b"\x00\x01")
+
+    def test_crc_detects_payload_corruption(self, rng):
+        _, _, stream = _stream(rng)
+        buf = bytearray(stream)
+        buf[HEADER_BYTES + 3] ^= 0xFF  # flip a bit-flag byte
+        with pytest.raises(FormatError, match="CRC"):
+            unpack_stream(bytes(buf))
+
+    def test_v1_stream_still_decodes(self, rng):
+        words = rng.integers(0, 4, size=4 * 256, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        h1 = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero, version=1)
+        stream = pack_stream(h1, enc)
+        # v1 has no CRC trailer
+        assert len(stream) == HEADER_BYTES + enc.bitflags.nbytes + enc.literals.nbytes
+        h2, enc2 = unpack_stream(stream)
+        assert h2.version == 1
+        assert h2 == h1
+        np.testing.assert_array_equal(enc2.literals, enc.literals)
+
+    def test_v2_is_v1_plus_crc_trailer(self, rng):
+        words = rng.integers(0, 4, size=4 * 256, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        h2 = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero)
+        h1 = _header(n_blocks=enc.n_blocks, n_nonzero=enc.n_nonzero, version=1)
+        s2 = pack_stream(h2, enc)
+        s1 = pack_stream(h1, enc)
+        assert len(s2) == len(s1) + 4
+        # identical apart from the version byte and the trailer
+        assert s2[5:-4] == s1[5:]
+
+    def test_crafted_n_blocks_fails_before_allocation(self, rng, monkeypatch):
+        """A lying n_blocks must be rejected by geometry checks, not OOM."""
+        _, enc, _ = _stream(rng)
+        bad = _header(n_blocks=2**48, n_nonzero=enc.n_nonzero)
+        stream = bad.pack() + enc.bitflags.tobytes() + enc.literals.tobytes()
+
+        def tripwire(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("allocation attempted for a crafted header")
+
+        monkeypatch.setattr(np, "zeros", tripwire)
+        monkeypatch.setattr(np, "empty", tripwire)
+        with pytest.raises(FormatError, match="n_blocks"):
+            unpack_stream(stream)

@@ -2,11 +2,19 @@
 
 Every codec's ``decompress`` must, for arbitrary corruption of a valid
 stream, either return an array (corruption confined to payload values) or
-raise a library/validation error — never an unhandled low-level exception
-(struct.error, IndexError deep inside NumPy, infinite loop...).
+raise one of the library's own :class:`~repro.errors.ReproError` subclasses
+— never an unhandled low-level exception (``struct.error``, ``ValueError``,
+``IndexError`` deep inside NumPy, ``MemoryError`` from a crafted count, an
+infinite loop...).
+
+The hypothesis example budget scales with the ``FUZZ_EXAMPLES`` environment
+variable (default 25) so CI's dedicated fuzz job can run much deeper than a
+local ``pytest`` invocation.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -15,11 +23,17 @@ from hypothesis import strategies as st
 
 from repro import FZGPU
 from repro.baselines import CuSZ, CuSZRLE, CuSZx, MGARDGPU, CuZFP
-from repro.errors import ReproError
+from repro.baselines.bitshuffle_lz import BitshuffleLZ
+from repro.baselines.zfp import ZFPFixedAccuracy
+from repro.core.encoder import encode_zero_blocks
+from repro.core.format import StreamHeader, unpack_stream
+from repro.errors import FormatError, ReproError
 
-# Acceptable failure modes: the library's own errors plus the validation
-# errors NumPy raises for impossible reshapes/sizes.
-ACCEPTABLE = (ReproError, ValueError, OverflowError, MemoryError)
+# The whole point of the bounded-stream reader: arbitrary corruption may only
+# surface as the library's own error hierarchy.
+ACCEPTABLE = (ReproError,)
+
+_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "25"))
 
 
 def _codecs():
@@ -33,6 +47,8 @@ def _codecs():
         (CuSZx(), dict(eb=1e-3, mode="rel")),
         (MGARDGPU(), dict(eb=1e-3, mode="rel")),
         (CuZFP(rate=8), dict()),
+        (ZFPFixedAccuracy(), dict(eb=1e-3, mode="rel")),
+        (BitshuffleLZ(), dict(eb=1e-3, mode="rel")),
     ]:
         stream = codec.compress(data, **kwargs).stream
         out.append((codec, stream))
@@ -40,17 +56,16 @@ def _codecs():
 
 
 _CODEC_STREAMS = _codecs()
+_IDS = [type(c).__name__ for c, _ in _CODEC_STREAMS]
 
 
-@pytest.mark.parametrize(
-    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
-)
+@pytest.mark.parametrize("codec,stream", _CODEC_STREAMS, ids=_IDS)
 @given(
     pos_frac=st.floats(0.0, 1.0),
     n_flips=st.integers(1, 8),
     seed=st.integers(0, 2**31),
 )
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=_EXAMPLES, deadline=None)
 def test_random_byte_corruption(codec, stream, pos_frac, n_flips, seed):
     rng = np.random.default_rng(seed)
     buf = bytearray(stream)
@@ -67,11 +82,36 @@ def test_random_byte_corruption(codec, stream, pos_frac, n_flips, seed):
     assert out.dtype == np.float32
 
 
-@pytest.mark.parametrize(
-    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
+@pytest.mark.parametrize("codec,stream", _CODEC_STREAMS, ids=_IDS)
+@given(
+    n_flips=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
 )
+@settings(max_examples=_EXAMPLES, deadline=None)
+def test_header_mutation(codec, stream, n_flips, seed):
+    """Focused corruption of the header region, where every size field lives.
+
+    Flips land within the first 96 bytes (the FZ-GPU header size; every
+    baseline's header is contained in that prefix too), so the length,
+    count and shape fields that drive allocations all get mutated.
+    """
+    rng = np.random.default_rng(seed)
+    buf = bytearray(stream)
+    span = min(96, len(buf))
+    for _ in range(n_flips):
+        idx = int(rng.integers(0, span))
+        buf[idx] ^= int(rng.integers(1, 256))
+    try:
+        out = codec.decompress(bytes(buf))
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize("codec,stream", _CODEC_STREAMS, ids=_IDS)
 @given(cut_frac=st.floats(0.0, 0.999))
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=_EXAMPLES, deadline=None)
 def test_truncation(codec, stream, cut_frac):
     cut = int(cut_frac * len(stream))
     try:
@@ -81,9 +121,7 @@ def test_truncation(codec, stream, cut_frac):
     assert isinstance(out, np.ndarray)
 
 
-@pytest.mark.parametrize(
-    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
-)
+@pytest.mark.parametrize("codec,stream", _CODEC_STREAMS, ids=_IDS)
 def test_garbage_input(codec, stream):
     rng = np.random.default_rng(0)
     garbage = bytes(rng.integers(0, 256, 512, dtype=np.uint8))
@@ -91,9 +129,71 @@ def test_garbage_input(codec, stream):
         codec.decompress(garbage)
 
 
-@pytest.mark.parametrize(
-    "codec,stream", _CODEC_STREAMS, ids=[type(c).__name__ for c, _ in _CODEC_STREAMS]
-)
+@pytest.mark.parametrize("codec,stream", _CODEC_STREAMS, ids=_IDS)
 def test_empty_input(codec, stream):
     with pytest.raises(ACCEPTABLE):
         codec.decompress(b"")
+
+
+class TestCraftedHeaders:
+    """Directed memory-bomb attempts: reject before allocating, not after."""
+
+    @staticmethod
+    def _tripwire(monkeypatch, limit_bytes=1 << 24):
+        """Fail the test if any big NumPy allocation happens (resource-style)."""
+        real_zeros, real_empty = np.zeros, np.empty
+
+        def guard(real):
+            def wrapped(shape, *args, **kwargs):
+                n = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+                if n * 8 > limit_bytes:
+                    raise AssertionError(
+                        f"allocation of {n} elements attempted for a crafted header"
+                    )
+                return real(shape, *args, **kwargs)
+
+            return wrapped
+
+        monkeypatch.setattr(np, "zeros", guard(real_zeros))
+        monkeypatch.setattr(np, "empty", guard(real_empty))
+
+    def test_huge_n_blocks_fails_fast(self, monkeypatch):
+        """`n_blocks = 2**48` must die in geometry validation, not MemoryError."""
+        words = np.zeros(1024, dtype=np.uint32)
+        enc = encode_zero_blocks(words)
+        header = StreamHeader(
+            ndim=2, shape=(30, 60), padded_shape=(32, 64), eb=1e-3,
+            chunk=(16, 16), n_blocks=2**48, n_nonzero=enc.n_nonzero,
+            n_saturated=0,
+        )
+        stream = header.pack() + enc.bitflags.tobytes() + enc.literals.tobytes()
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError, match="n_blocks"):
+            unpack_stream(stream)
+
+    def test_huge_padded_shape_fails_fast(self, monkeypatch):
+        """A crafted padded_shape past the element cap must fail before allocation."""
+        from repro.core.format import implied_block_count
+
+        header = StreamHeader(
+            ndim=1, shape=(2**50,), padded_shape=(2**50,), eb=1e-3,
+            chunk=(256,), n_blocks=implied_block_count(2**50), n_nonzero=0,
+            n_saturated=0,
+        )
+        stream = header.pack()
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError):
+            unpack_stream(stream)
+
+    def test_huge_huffman_value_count_fails_fast(self, monkeypatch):
+        """A Huffman header claiming 2**48 values must be rejected pre-allocation."""
+        import struct
+
+        from repro.baselines.huffman import HuffmanCodec
+
+        codec = HuffmanCodec(1024)
+        stream = bytearray(codec.encode(np.arange(1024) % 1024))
+        stream[4:12] = struct.pack("<Q", 2**48)  # n_values field
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError):
+            codec.decode(bytes(stream))

@@ -42,7 +42,8 @@ class TestKernelPipelineEquivalence:
         header, encoded = unpack_stream(r.stream)
         assert header.shape == smooth_2d.shape
         assert header.n_nonzero == r.n_nonzero_blocks
-        assert encoded.nbytes + 96 == r.compressed_bytes
+        # 96-byte header + payload + 4-byte v2 CRC trailer
+        assert encoded.nbytes + 96 + 4 == r.compressed_bytes
 
 
 class TestCrossCodecProperties:

@@ -75,7 +75,8 @@ class TestRatioBehaviour:
         # smooth_2d is (96, 128), already aligned to 16x16 chunks
         assert s["codes_bytes"] == 2 * smooth_2d.size
         assert s["shuffled_bytes"] >= s["codes_bytes"]
-        assert s["flags_bytes"] + s["literals_bytes"] + 96 == r.compressed_bytes
+        # 96-byte header + payload + 4-byte v2 CRC trailer
+        assert s["flags_bytes"] + s["literals_bytes"] + 96 + 4 == r.compressed_bytes
 
     def test_compression_actually_compresses_smooth(self, smooth_2d):
         assert compress(smooth_2d, 1e-3, "rel").ratio > 2.0

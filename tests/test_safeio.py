@@ -1,0 +1,92 @@
+"""Tests for the bounded-stream reader primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompressionError, FormatError
+from repro.utils.safeio import BoundedReader, check_consistent, checked_count
+
+
+class TestBoundedReader:
+    def test_cursor_accounting(self):
+        r = BoundedReader(b"abcdef")
+        assert (r.size, r.offset, r.remaining) == (6, 0, 6)
+        assert r.read_bytes(2) == b"ab"
+        assert (r.offset, r.remaining) == (2, 4)
+        r.skip(3)
+        assert r.remaining == 1
+
+    def test_read_past_end_raises_format_error(self):
+        r = BoundedReader(b"abc", name="tiny stream")
+        with pytest.raises(FormatError, match="tiny stream truncated"):
+            r.read_bytes(4)
+        # a failed read must not move the cursor
+        assert r.offset == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(FormatError, match="negative"):
+            BoundedReader(b"abc").read_bytes(-1)
+
+    def test_read_struct_never_leaks_struct_error(self):
+        r = BoundedReader(b"\x01\x02")
+        with pytest.raises(FormatError):
+            r.read_struct("<Q", "a u64")
+        assert r.read_struct("<H", "a u16") == (0x0201,)
+
+    def test_read_array(self):
+        buf = np.arange(4, dtype="<u4").tobytes()
+        r = BoundedReader(buf)
+        arr = r.read_array("<u4", 3, "values")
+        np.testing.assert_array_equal(arr, [0, 1, 2])
+        assert r.remaining == 4
+        with pytest.raises(FormatError):
+            r.read_array("<u4", 2, "more values")
+
+    def test_read_array_is_readonly_view(self):
+        r = BoundedReader(np.arange(4, dtype="<u4").tobytes())
+        arr = r.read_array("<u4", 4)
+        with pytest.raises(ValueError):
+            arr[0] = 9
+
+    def test_read_array_negative_count(self):
+        with pytest.raises(FormatError, match="negative"):
+            BoundedReader(b"abcd").read_array("<u4", -1)
+
+    def test_expect_magic(self):
+        r = BoundedReader(b"MAGCrest")
+        r.expect_magic(b"MAGC")
+        assert r.read_bytes(4) == b"rest"
+        with pytest.raises(FormatError, match="bad"):
+            BoundedReader(b"XXXXrest").expect_magic(b"MAGC")
+        with pytest.raises(FormatError, match="too short"):
+            BoundedReader(b"MA").expect_magic(b"MAGC")
+
+    def test_expect_exhausted(self):
+        r = BoundedReader(b"abcd")
+        r.read_bytes(4)
+        r.expect_exhausted()
+        r2 = BoundedReader(b"abcd", name="s")
+        r2.read_bytes(2)
+        with pytest.raises(FormatError, match="trailing"):
+            r2.expect_exhausted("payload")
+
+    def test_accepts_bytearray_and_memoryview(self):
+        for buf in (bytearray(b"abcd"), memoryview(b"abcd")):
+            assert BoundedReader(buf).read_bytes(4) == b"abcd"
+
+
+class TestHelpers:
+    def test_check_consistent(self):
+        check_consistent(True, "fine")
+        with pytest.raises(DecompressionError, match="broken"):
+            check_consistent(False, "broken")
+
+    def test_checked_count(self):
+        assert checked_count(5, 10, "blocks") == 5
+        assert checked_count(0, 10, "blocks") == 0
+        with pytest.raises(FormatError, match="negative"):
+            checked_count(-1, 10, "blocks")
+        with pytest.raises(FormatError, match="cap"):
+            checked_count(11, 10, "blocks")
