@@ -55,26 +55,110 @@ def _make_codec(name: str, args: argparse.Namespace):
     raise SystemExit(f"unknown codec {name!r}")
 
 
+def _check_bound(data: np.ndarray, recon: np.ndarray, eb_abs: float) -> tuple[bool, float]:
+    """Return (within-bound?, max abs error) using the shared tolerance.
+
+    The tolerance is ``eb_abs`` with relative slack plus one float32 ulp at
+    the field's peak magnitude (the reconstruction is stored as float32, so
+    a final half-ulp rounding there is unavoidable).
+    """
+    err = float(np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))))
+    ulp = float(np.spacing(np.float32(np.abs(data).max(initial=0.0))))
+    return err <= eb_abs * (1.0 + 1e-5) + ulp, err
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
+    import pathlib
+
     from repro.io import load_field, save_stream
 
-    data = load_field(args.input, shape=args.shape)
-    codec = _make_codec(args.codec, args)
-    if args.codec == "cuzfp":
-        result = codec.compress(data, rate=args.rate or 8.0)
+    inputs = [pathlib.Path(p) for p in args.inputs]
+    if len(inputs) > 1 and not args.batch:
+        raise SystemExit("multiple inputs require --batch (output becomes a directory)")
+    if args.batch:
+        outdir = pathlib.Path(args.output)
+        outdir.mkdir(parents=True, exist_ok=True)
+        outputs = [outdir / (p.stem + ".fz") for p in inputs]
     else:
-        result = codec.compress(data, eb=args.eb, mode=args.mode)
-    save_stream(args.output, result.stream)
-    print(
-        f"{args.codec}: {data.nbytes} -> {result.compressed_bytes} bytes "
-        f"(ratio {result.ratio:.2f}x, {result.bitrate:.2f} bits/value)"
-    )
+        outputs = [pathlib.Path(args.output)]
+
+    violations = 0
+
+    def report(name: str, original: int, compressed: int) -> None:
+        print(
+            f"{args.codec}: {name}: {original} -> {compressed} bytes "
+            f"(ratio {original / compressed:.2f}x)"
+        )
+
+    def verify(name: str, data: np.ndarray, recon: np.ndarray, eb_abs: float) -> None:
+        nonlocal violations
+        ok, err = _check_bound(data, recon, eb_abs)
+        status = "OK" if ok else "VIOLATED"
+        print(f"  verify {name}: max|err| {err:.3e} vs bound {eb_abs:.3e} [{status}]")
+        if not ok:
+            violations += 1
+
+    if args.codec == "fz-gpu":
+        from repro.engine import Engine
+
+        with Engine(jobs=args.jobs, pool=args.pool) as engine:
+            if args.chunk_mb is not None:
+                # streaming path: memory-mapped input, multi-chunk container out
+                chunk_bytes = max(int(args.chunk_mb * (1 << 20)), 1)
+                for src, dst in zip(inputs, outputs):
+                    rep = engine.compress_file(
+                        src, dst, args.eb, args.mode,
+                        shape=args.shape, chunk_bytes=chunk_bytes,
+                    )
+                    report(f"{src.name} [{rep.n_chunks} chunks]",
+                           rep.original_bytes, rep.compressed_bytes)
+                    if args.verify:
+                        verify(src.name, load_field(src, shape=args.shape),
+                               engine.decompress_file(dst), rep.eb_abs)
+            else:
+                fields = [load_field(p, shape=args.shape) for p in inputs]
+                results = engine.compress_batch(fields, args.eb, args.mode)
+                for src, dst, result in zip(inputs, outputs, results):
+                    save_stream(dst, result.stream)
+                    report(src.name, result.original_bytes, result.compressed_bytes)
+                if args.verify:
+                    recons = engine.decompress_batch([r.stream for r in results])
+                    for src, field, recon, result in zip(inputs, fields, recons, results):
+                        verify(src.name, field, recon, result.eb_abs)
+    else:
+        codec = _make_codec(args.codec, args)
+        for src, dst in zip(inputs, outputs):
+            data = load_field(src, shape=args.shape)
+            if args.codec == "cuzfp":
+                result = codec.compress(data, rate=args.rate or 8.0)
+            else:
+                result = codec.compress(data, eb=args.eb, mode=args.mode)
+            save_stream(dst, result.stream)
+            report(src.name, data.nbytes, result.compressed_bytes)
+            if args.verify:
+                if args.codec == "cuzfp":
+                    print("  verify: skipped (cuZFP is fixed-rate, not error-bounded)")
+                else:
+                    verify(src.name, data, codec.decompress(result.stream),
+                           result.eb_abs)
+    if violations:
+        print(f"error bound violated for {violations} field(s)", file=sys.stderr)
+        return 1
     return 0
 
 
 def cmd_decompress(args: argparse.Namespace) -> int:
     from repro.io import load_stream, save_field
 
+    from repro.engine.container import looks_like_container
+
+    if looks_like_container(args.input):
+        from repro.engine import Engine
+
+        with Engine(jobs=args.jobs, pool=args.pool) as engine:
+            recon = engine.decompress_file(args.input, args.output)
+        print(f"reconstructed {recon.shape} float32 (multi-chunk) -> {args.output}")
+        return 0
     stream = load_stream(args.input)
     codec = _make_codec(args.codec, args)
     recon = codec.decompress(stream)
@@ -87,6 +171,28 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.core.format import unpack_stream
     from repro.io import load_stream
 
+    from repro.engine.container import looks_like_container, read_containers
+
+    if looks_like_container(args.input):
+        with open(args.input, "rb") as f:
+            indexes = read_containers(f)
+        for i, idx in enumerate(indexes):
+            print(
+                f"FZ-GPU multi-chunk container #{i}: shape={idx.shape} "
+                f"split_axis={idx.split_axis}"
+            )
+            print(f"  error bound (abs): {idx.eb_abs:g}")
+            payload = sum(s.seg_bytes for s in idx.segments)
+            print(
+                f"  segments: {len(idx.segments)} "
+                f"({payload} payload bytes of {idx.container_bytes} total)"
+            )
+            for ordinal, seg in enumerate(idx.segments):
+                print(
+                    f"    [{ordinal}] rows {seg.extent:>8d}  "
+                    f"{seg.seg_bytes:>10d} bytes @ {seg.offset}"
+                )
+        return 0
     stream = load_stream(args.input)
     # unpack_stream (not just the header parser) so geometry and the v2 CRC
     # are validated — `info` then doubles as a stream integrity check.
@@ -176,18 +282,35 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--rate", type=float, default=None,
                         help="bits/value (cuZFP only)")
 
-    sp = sub.add_parser("compress", help="compress a field file")
-    sp.add_argument("input")
-    sp.add_argument("output")
+    def add_engine_opts(sp):
+        sp.add_argument("--jobs", type=int, default=1,
+                        help="worker count for the batch engine (fz-gpu)")
+        sp.add_argument("--pool", choices=("thread", "process"), default="thread",
+                        help="worker pool kind (threads release the GIL in NumPy)")
+
+    sp = sub.add_parser("compress", help="compress one or more field files")
+    sp.add_argument("inputs", nargs="+", metavar="input",
+                    help="field file(s); several need --batch")
+    sp.add_argument("output", help="stream file, or directory with --batch")
     sp.add_argument("--shape", type=_parse_shape, default=None,
                     help="dims for raw files, e.g. 512x512")
+    sp.add_argument("--batch", action="store_true",
+                    help="treat output as a directory; one .fz per input")
+    sp.add_argument("--chunk-mb", type=float, default=None,
+                    help="stream fz-gpu input in chunks of this many MiB "
+                         "(writes a multi-chunk container)")
+    sp.add_argument("--verify", action="store_true",
+                    help="decompress and check the error bound; exit 1 on "
+                         "violation")
     add_codec_opts(sp)
+    add_engine_opts(sp)
     sp.set_defaults(fn=cmd_compress)
 
     sp = sub.add_parser("decompress", help="reconstruct a field")
     sp.add_argument("input")
     sp.add_argument("output")
     add_codec_opts(sp)
+    add_engine_opts(sp)
     sp.set_defaults(fn=cmd_decompress)
 
     sp = sub.add_parser("info", help="inspect an FZ-GPU stream file")
@@ -207,7 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("experiment", help="run a paper experiment")
     sp.add_argument("id", choices=[
-        "table1", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "cpu",
+        "table1", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "cpu", "engine",
     ])
     sp.set_defaults(fn=cmd_experiment)
 

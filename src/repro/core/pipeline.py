@@ -33,7 +33,34 @@ from repro.errors import ConfigError, DecompressionError
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.validation import ensure_float32, ensure_ndim, ensure_positive
 
-__all__ = ["FZGPU", "CompressionResult", "compress", "decompress", "resolve_error_bound"]
+__all__ = [
+    "FZGPU",
+    "CompressionResult",
+    "compress",
+    "decompress",
+    "resolve_error_bound",
+    "resolve_error_bound_range",
+]
+
+
+def resolve_error_bound_range(lo: float, hi: float, eb: float, mode: str) -> float:
+    """Convert a user error bound to an absolute bound, given the value range.
+
+    The range-based variant of :func:`resolve_error_bound` for callers that
+    already know ``min``/``max`` — the streaming engine computes them in a
+    bounded-memory pass over a memory-mapped file and must resolve the
+    *global* bound before compressing chunks independently, so every chunk
+    header carries the same absolute bound the single-shot path would use.
+    """
+    eb = ensure_positive(eb, "eb")
+    if mode == "abs":
+        return eb
+    if mode == "rel":
+        value_range = hi - lo
+        if value_range == 0.0:
+            value_range = abs(hi) if hi != 0 else 1.0
+        return eb * value_range
+    raise ConfigError(f"mode must be 'abs' or 'rel', got {mode!r}")
 
 
 def resolve_error_bound(data: np.ndarray, eb: float, mode: str) -> float:
@@ -47,14 +74,7 @@ def resolve_error_bound(data: np.ndarray, eb: float, mode: str) -> float:
     eb = ensure_positive(eb, "eb")
     if mode == "abs":
         return eb
-    if mode == "rel":
-        lo = float(np.min(data))
-        hi = float(np.max(data))
-        value_range = hi - lo
-        if value_range == 0.0:
-            value_range = abs(hi) if hi != 0 else 1.0
-        return eb * value_range
-    raise ConfigError(f"mode must be 'abs' or 'rel', got {mode!r}")
+    return resolve_error_bound_range(float(np.min(data)), float(np.max(data)), eb, mode)
 
 
 @dataclass(frozen=True)
@@ -115,7 +135,13 @@ class FZGPU:
     def __init__(self, chunk: tuple[int, ...] | None = None):
         self._chunk = chunk
 
-    def compress(self, data: np.ndarray, eb: float, mode: str = "rel") -> CompressionResult:
+    def compress(
+        self,
+        data: np.ndarray,
+        eb: float,
+        mode: str = "rel",
+        scratch=None,
+    ) -> CompressionResult:
         """Compress ``data`` under error bound ``eb``.
 
         Parameters
@@ -126,14 +152,30 @@ class FZGPU:
             Error bound; interpreted per ``mode``.
         mode:
             ``"rel"`` (range-based relative, the paper's default) or ``"abs"``.
+        scratch:
+            Optional :class:`repro.utils.pool.Scratch` arena.  When given,
+            the quantization/bitshuffle temporaries are taken from it (zero
+            steady-state allocation — the batch engine's hot path) and the
+            optimized masked-swap bit transpose is used.  The produced
+            stream is **byte-identical** to the default path; a scratch must
+            not be shared between concurrent calls.
         """
         data = ensure_ndim(ensure_float32(data))
         chunk = chunk_shape_for(data.ndim, self._chunk)
         eb_abs = resolve_error_bound(data, eb, mode)
 
-        codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
-        shuffled = bitshuffle(codes)
-        encoded = encode_zero_blocks(shuffled)
+        if scratch is None:
+            codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
+            shuffled = bitshuffle(codes)
+            encoded = encode_zero_blocks(shuffled)
+        else:
+            from repro.core import hotpath
+
+            codes, padded_shape, qstats = hotpath.dual_quantize_pooled(
+                data, eb_abs, chunk, scratch
+            )
+            shuffled = hotpath.bitshuffle_pooled(codes, scratch)
+            encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
 
         header = StreamHeader(
             ndim=data.ndim,
@@ -162,7 +204,7 @@ class FZGPU:
             },
         )
 
-    def decompress(self, stream: bytes) -> np.ndarray:
+    def decompress(self, stream: bytes, scratch=None) -> np.ndarray:
         """Reconstruct the field from a compressed stream (float32).
 
         Malformed input fails with a :class:`~repro.errors.ReproError`
@@ -170,14 +212,27 @@ class FZGPU:
         (truncation, trailing bytes, header inconsistencies, CRC mismatch)
         and :class:`~repro.errors.DecompressionError` for streams that parse
         but decode inconsistently.
+
+        ``scratch`` mirrors :meth:`compress`: an optional pooled arena that
+        makes the decode temporaries allocation-free in the steady state
+        while reconstructing a bit-identical array.
         """
         header, encoded = unpack_stream(stream)
         try:
-            words = decode_zero_blocks(encoded)
             n_codes = int(np.prod(header.padded_shape))
-            codes = bitunshuffle(words, n_codes)
-            return dual_dequantize(
-                codes, header.padded_shape, header.shape, header.eb, header.chunk
+            if scratch is None:
+                words = decode_zero_blocks(encoded)
+                codes = bitunshuffle(words, n_codes)
+                return dual_dequantize(
+                    codes, header.padded_shape, header.shape, header.eb, header.chunk
+                )
+            from repro.core import hotpath
+
+            words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
+            codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
+            return hotpath.dual_dequantize_pooled(
+                codes, header.padded_shape, header.shape, header.eb,
+                header.chunk, scratch,
             )
         except ValueError as exc:
             # residual shape/size validation from NumPy on streams the header

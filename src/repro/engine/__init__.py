@@ -1,0 +1,40 @@
+"""Batch/streaming execution engine (worker pools, buffer pooling, containers).
+
+Public surface:
+
+* :class:`~repro.engine.executor.Engine` — batch + streaming front-end to
+  the FZ-GPU codec (``compress_batch``, ``decompress_batch``,
+  ``compress_file``, ``decompress_file``).
+* :mod:`repro.engine.container` — the segmented multi-chunk ``.fz``
+  container format (``FZMC0002``).
+"""
+
+from repro.engine.container import (
+    CONTAINER_MAGIC,
+    ContainerIndex,
+    ContainerWriter,
+    SegmentEntry,
+    iter_segments,
+    looks_like_container,
+    read_containers,
+)
+from repro.engine.executor import (
+    DEFAULT_CHUNK_BYTES,
+    Engine,
+    FileReport,
+    plan_chunks,
+)
+
+__all__ = [
+    "Engine",
+    "FileReport",
+    "plan_chunks",
+    "DEFAULT_CHUNK_BYTES",
+    "CONTAINER_MAGIC",
+    "ContainerIndex",
+    "ContainerWriter",
+    "SegmentEntry",
+    "iter_segments",
+    "looks_like_container",
+    "read_containers",
+]

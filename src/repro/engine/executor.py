@@ -1,0 +1,464 @@
+"""Batch/streaming execution engine over the FZ-GPU pipeline.
+
+:class:`Engine` is the layer that turns the single-shot
+:class:`~repro.core.pipeline.FZGPU` codec into a service-shaped component:
+
+* **batching** — ``compress_batch``/``decompress_batch`` run many fields
+  through a ``concurrent.futures`` worker pool.  Threads are the default
+  (the NumPy kernels release the GIL for the hot loops); a process pool is
+  available for workloads where Python-level overhead dominates.
+* **buffer pooling** — each worker borrows a
+  :class:`~repro.utils.pool.Scratch` arena from a shared
+  :class:`~repro.utils.pool.BufferPool`, so steady-state batch throughput
+  performs no per-call allocation of quantization/bitshuffle temporaries.
+* **streaming** — ``compress_file``/``decompress_file`` process one large
+  field in fixed-size chunks through the multi-chunk container format
+  (:mod:`repro.engine.container`), never materializing the whole stream in
+  memory.  Chunk boundaries are aligned to the Lorenzo chunk grid along
+  axis 0 and the error bound is resolved *globally* before chunking, so the
+  chunked reconstruction is **bit-identical** to the single-shot one.
+
+Determinism contract (enforced by ``tests/test_engine_differential.py``):
+for every jobs/pool/chunking configuration, per-field streams are
+byte-identical to the single-shot reference and reconstructions are
+bit-identical.  Parallelism changes wall-clock, never bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from dataclasses import dataclass
+from io import BytesIO
+from typing import BinaryIO, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import (
+    FZGPU,
+    CompressionResult,
+    resolve_error_bound_range,
+)
+from repro.engine import container as fzmc
+from repro.errors import ConfigError, FormatError
+from repro.utils.chunking import chunk_shape_for
+from repro.utils.pool import BufferPool, Scratch
+from repro.utils.safeio import check_consistent
+from repro.utils.validation import ensure_positive
+
+__all__ = ["Engine", "FileReport", "plan_chunks", "DEFAULT_CHUNK_BYTES"]
+
+#: Default streaming chunk size (uncompressed bytes per container segment).
+DEFAULT_CHUNK_BYTES = 4 << 20
+
+
+def plan_chunks(
+    shape: tuple[int, ...],
+    align: int,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> list[tuple[int, int]]:
+    """Split ``shape`` into ``[start, stop)`` row spans along axis 0.
+
+    Every boundary except the last lands on a multiple of ``align`` (the
+    Lorenzo chunk edge along axis 0), which is what makes chunked output
+    decode bit-identically to the single-shot path: the per-chunk Lorenzo
+    grids of the split exactly tile the grid of the whole.
+    """
+    if align <= 0:
+        raise ConfigError(f"alignment must be positive, got {align}")
+    rows_total = shape[0]
+    row_bytes = 4 * math.prod(shape[1:])
+    rows = max(align, int(chunk_bytes // max(row_bytes * align, 1)) * align)
+    return [(s, min(s + rows, rows_total)) for s in range(0, rows_total, rows)]
+
+
+@dataclass(frozen=True)
+class FileReport:
+    """Outcome of one streaming file compression/decompression."""
+
+    path: str
+    shape: tuple[int, ...]
+    n_chunks: int
+    eb_abs: float
+    original_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.original_bytes / self.compressed_bytes
+
+
+# ---------------------------------------------------------------------------
+# process-pool task functions (must be importable top-level for pickling);
+# each worker process keeps one lazily-created scratch arena for its lifetime
+# ---------------------------------------------------------------------------
+
+_PROC_SCRATCH: Scratch | None = None
+
+
+def _proc_scratch(pooled: bool) -> Scratch | None:
+    global _PROC_SCRATCH
+    if not pooled:
+        return None
+    if _PROC_SCRATCH is None:
+        _PROC_SCRATCH = Scratch()
+    return _PROC_SCRATCH
+
+
+def _proc_compress(args) -> CompressionResult:
+    data, eb, mode, chunk, pooled = args
+    return FZGPU(chunk=chunk).compress(data, eb, mode, scratch=_proc_scratch(pooled))
+
+
+def _proc_decompress(args) -> np.ndarray:
+    stream, chunk, pooled = args
+    return FZGPU(chunk=chunk).decompress(stream, scratch=_proc_scratch(pooled))
+
+
+class Engine:
+    """Parallel batch/streaming front-end to the FZ-GPU codec.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count.  ``1`` (the default) runs inline — no executor, no
+        thread hand-off — which is also the mode the differential suite
+        uses as its own reference.
+    pool:
+        ``"thread"`` (default; NumPy releases the GIL in the hot kernels)
+        or ``"process"`` (fallback for Python-overhead-bound workloads;
+        fields/streams are pickled across the process boundary).
+    pooled:
+        Reuse per-worker scratch buffers (default).  Disable to measure
+        allocation overhead or to bisect a suspected pooling bug — output
+        bytes are identical either way.
+    buffer_pool:
+        Optional externally-owned :class:`BufferPool` to share arenas
+        across engines.
+    chunk:
+        Optional FZ-GPU chunk-shape override, forwarded to every codec.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        pool: str = "thread",
+        pooled: bool = True,
+        buffer_pool: BufferPool | None = None,
+        chunk: tuple[int, ...] | None = None,
+    ) -> None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if pool not in ("thread", "process"):
+            raise ConfigError(f"pool must be 'thread' or 'process', got {pool!r}")
+        self.jobs = jobs
+        self.pool_kind = pool
+        self.pooled = bool(pooled)
+        self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
+        self._chunk = chunk
+        self._codec = FZGPU(chunk=chunk)
+        self._executor: Executor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor | None:
+        if self.jobs == 1:
+            return None
+        if self._executor is None:
+            if self.pool_kind == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-engine"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- task plumbing -----------------------------------------------------
+
+    def _run_ordered(
+        self,
+        thread_fn: Callable,
+        proc_fn: Callable,
+        thread_items: Iterable,
+        proc_items: Iterable,
+        window: int | None = None,
+    ) -> Iterator:
+        """Run tasks through the pool, yielding results in submission order.
+
+        At most ``window`` futures are in flight (default ``4 * jobs``), so
+        streaming callers keep bounded memory even when one slow chunk
+        heads the queue.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            scratch = self.buffer_pool.acquire() if self.pooled else None
+            try:
+                for item in thread_items:
+                    yield thread_fn(item, scratch)
+            finally:
+                if scratch is not None:
+                    self.buffer_pool.release(scratch)
+            return
+        window = window if window is not None else 4 * self.jobs
+        pending: deque = deque()
+        if self.pool_kind == "process":
+            submit = lambda item: executor.submit(proc_fn, item)  # noqa: E731
+            items: Iterable = proc_items
+        else:
+            def _with_scratch(item):
+                if not self.pooled:
+                    return thread_fn(item, None)
+                with self.buffer_pool.borrow() as scratch:
+                    return thread_fn(item, scratch)
+
+            submit = lambda item: executor.submit(_with_scratch, item)  # noqa: E731
+            items = thread_items
+        for item in items:
+            pending.append(submit(item))
+            if len(pending) >= window:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+    # -- batch API ---------------------------------------------------------
+
+    def compress_batch(
+        self,
+        fields: Sequence[np.ndarray],
+        eb: float,
+        mode: str = "rel",
+    ) -> list[CompressionResult]:
+        """Compress many independent fields; results keep input order.
+
+        Each field is compressed exactly as ``FZGPU().compress(field, eb,
+        mode)`` would — per-field streams are byte-identical to single-shot
+        output regardless of ``jobs``/``pool``/``pooled``.
+        """
+        fields = list(fields)
+        return list(
+            self._run_ordered(
+                lambda f, s: self._codec.compress(f, eb, mode, scratch=s),
+                _proc_compress,
+                fields,
+                [(f, eb, mode, self._chunk, self.pooled) for f in fields],
+            )
+        )
+
+    def decompress_batch(self, streams: Sequence[bytes]) -> list[np.ndarray]:
+        """Decompress many streams; results keep input order."""
+        streams = list(streams)
+        return list(
+            self._run_ordered(
+                lambda b, s: self._codec.decompress(b, scratch=s),
+                _proc_decompress,
+                streams,
+                [(b, self._chunk, self.pooled) for b in streams],
+            )
+        )
+
+    # -- chunked / streaming API -------------------------------------------
+
+    def _axis0_align(self, ndim: int) -> int:
+        return chunk_shape_for(ndim, self._chunk)[0]
+
+    def compress_chunked_to(
+        self,
+        fileobj: BinaryIO,
+        data: np.ndarray,
+        eb: float,
+        mode: str = "rel",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        name: str = "<memory>",
+    ) -> FileReport:
+        """Compress ``data`` into a multi-chunk container written to ``fileobj``.
+
+        ``data`` may be any array-like including a ``np.memmap``; only one
+        chunk (plus the in-flight window) is materialized at a time.  In
+        ``rel`` mode the bound is resolved against the *global* min/max
+        first — chunk headers then carry the same absolute bound the
+        single-shot path would, which is one half of the bit-identical
+        reconstruction guarantee (the other is Lorenzo-aligned splitting).
+        """
+        if not 1 <= data.ndim <= 3 or data.size == 0:
+            raise ConfigError(
+                f"streaming compression needs a non-empty 1-3D field, got "
+                f"shape {data.shape}"
+            )
+        eb = ensure_positive(eb, "eb")
+        spans = plan_chunks(data.shape, self._axis0_align(data.ndim), chunk_bytes)
+        if mode == "rel":
+            lo = math.inf
+            hi = -math.inf
+            for a, b in spans:
+                part = np.asarray(data[a:b])
+                lo = min(lo, float(part.min()))
+                hi = max(hi, float(part.max()))
+            eb_abs = resolve_error_bound_range(lo, hi, eb, "rel")
+        else:
+            # validates the mode string too ("abs" passes eb straight through)
+            eb_abs = resolve_error_bound_range(0.0, 0.0, eb, mode)
+        writer = fzmc.ContainerWriter(fileobj, data.shape, eb_abs)
+        compressed = 0
+        results = self._run_ordered(
+            lambda span, s: self._codec.compress(
+                np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs", scratch=s
+            ),
+            _proc_compress,
+            spans,
+            (
+                (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk, self.pooled)
+                for a, b in spans
+            ),
+        )
+        for (a, b), result in zip(spans, results):
+            writer.add_segment(result.stream, b - a)
+            compressed += len(result.stream)
+        index = writer.finish()
+        return FileReport(
+            path=name,
+            shape=tuple(data.shape),
+            n_chunks=len(index.segments),
+            eb_abs=eb_abs,
+            original_bytes=int(data.size) * 4,
+            compressed_bytes=compressed,
+        )
+
+    def compress_chunked(
+        self,
+        data: np.ndarray,
+        eb: float,
+        mode: str = "rel",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> bytes:
+        """In-memory variant of :meth:`compress_chunked_to` (returns the blob)."""
+        buf = BytesIO()
+        self.compress_chunked_to(buf, data, eb, mode, chunk_bytes)
+        return buf.getvalue()
+
+    def decompress_chunked_from(self, fileobj: BinaryIO) -> np.ndarray:
+        """Decode a (possibly concatenated) multi-chunk container.
+
+        Concatenated containers must agree on their trailing dimensions and
+        are stitched along axis 0 — the natural "append more chunks by
+        appending a container" streaming idiom.
+        """
+        indexes = fzmc.read_containers(fileobj)
+        tail = indexes[0].shape[1:]
+        for idx in indexes[1:]:
+            if idx.shape[1:] != tail:
+                raise FormatError(
+                    f"concatenated containers disagree on trailing dims: "
+                    f"{idx.shape[1:]} vs {tail}"
+                )
+        total_rows = sum(idx.shape[0] for idx in indexes)
+        out = np.empty((total_rows,) + tail, dtype=np.float32)
+        # Collect (payload, expected_shape) per segment, decode through the
+        # worker pool, scatter into the output rows in order.
+        payloads: list[bytes] = []
+        extents: list[tuple[int, ...]] = []
+        start = 0
+        for idx in indexes:
+            for ordinal, entry in enumerate(idx.segments):
+                payloads.append(
+                    fzmc.read_segment_payload(fileobj, start, entry, ordinal)
+                )
+                extents.append((entry.extent,) + tail)
+            start += idx.container_bytes
+        row = 0
+        for expected, chunk_arr in zip(
+            extents,
+            self._run_ordered(
+                lambda b, s: self._codec.decompress(b, scratch=s),
+                _proc_decompress,
+                payloads,
+                [(b, self._chunk, self.pooled) for b in payloads],
+            ),
+        ):
+            check_consistent(
+                tuple(chunk_arr.shape) == tuple(expected),
+                f"chunk decoded to shape {tuple(chunk_arr.shape)}, container "
+                f"index declares {tuple(expected)}",
+            )
+            out[row : row + expected[0]] = chunk_arr
+            row += expected[0]
+        return out
+
+    def decompress_chunked(self, blob: bytes) -> np.ndarray:
+        """In-memory variant of :meth:`decompress_chunked_from`."""
+        return self.decompress_chunked_from(BytesIO(blob))
+
+    # -- file API ----------------------------------------------------------
+
+    def compress_file(
+        self,
+        input_path: str | pathlib.Path,
+        output_path: str | pathlib.Path,
+        eb: float,
+        mode: str = "rel",
+        shape: tuple[int, ...] | None = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> FileReport:
+        """Stream-compress a field file into a multi-chunk ``.fz`` container.
+
+        The input is memory-mapped (``.npy`` via ``np.load(mmap_mode='r')``,
+        raw ``.f32``/``.dat`` via ``np.memmap``), so peak memory is one
+        chunk per in-flight worker regardless of field size.
+        """
+        data = _open_field_mmap(input_path, shape)
+        with open(output_path, "wb") as f:
+            report = self.compress_chunked_to(
+                f, data, eb, mode, chunk_bytes, name=str(output_path)
+            )
+        return report
+
+    def decompress_file(
+        self,
+        input_path: str | pathlib.Path,
+        output_path: str | pathlib.Path | None = None,
+    ) -> np.ndarray:
+        """Decode a multi-chunk container file (optionally saving the field)."""
+        with open(input_path, "rb") as f:
+            out = self.decompress_chunked_from(f)
+        if output_path is not None:
+            from repro.io import save_field
+
+            save_field(output_path, out)
+        return out
+
+
+def _open_field_mmap(
+    path: str | pathlib.Path, shape: tuple[int, ...] | None
+) -> np.ndarray:
+    """Open a field file without reading it into memory."""
+    path = pathlib.Path(path)
+    if path.suffix == ".npy":
+        data = np.load(path, mmap_mode="r")
+        if data.dtype not in (np.float32, np.float64):
+            raise FormatError(
+                f"{path.name}: expected a float field, got dtype {data.dtype}"
+            )
+        return data
+    mm = np.memmap(path, dtype="<f4", mode="r")
+    if shape is None:
+        return mm
+    expected = int(np.prod(shape))
+    if mm.size != expected:
+        raise FormatError(
+            f"{path.name}: {mm.size} floats on disk, shape {shape} needs {expected}"
+        )
+    return mm.reshape(shape)

@@ -1,0 +1,158 @@
+"""Reusable scratch buffers for the steady-state batch hot path.
+
+``FZGPU.compress`` allocates a family of large temporaries on every call —
+the float64 pre-quantization grid, the int64 Lorenzo residuals, the uint16
+code plane and the 32x-blown-up bit-transpose workspace.  For one-shot use
+that is fine; in a batch/streaming engine those allocations dominate the
+steady state: every call pays ``mmap``/page-fault costs for buffers whose
+sizes never change between fields.
+
+:class:`Scratch` is a keyed arena of NumPy arrays that grows monotonically
+and hands out *views* sized to each request, so the second and every later
+compression of same-shaped data performs **zero** temporary allocations.
+:class:`BufferPool` is the thread-safe checkout counter the execution engine
+uses to give each concurrent worker its own :class:`Scratch` (scratch
+buffers are mutable state and must never be shared between in-flight
+tasks).
+
+Pooled code paths are required to be *bit-identical* to the unpooled
+reference paths — `tests/test_engine_differential.py` enforces this across
+the jobs x chunking x pool matrix.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["Scratch", "BufferPool"]
+
+
+class Scratch:
+    """A keyed arena of reusable NumPy buffers.
+
+    ``take(key, shape, dtype)`` returns a C-contiguous array of exactly
+    ``shape``/``dtype`` backed by a per-key arena that is reused across
+    calls.  The arena only grows; once a key has seen its largest request,
+    later calls allocate nothing.
+
+    Rules for callers:
+
+    * Two ``take`` calls with the same key alias the same memory — use a
+      distinct key per live temporary.
+    * Returned views are invalidated by the next larger ``take`` on the
+      same key and are mutated by the next task using this scratch; copy
+      anything that outlives the call (byte streams do this naturally via
+      ``tobytes()``).
+    * A :class:`Scratch` is single-owner state: borrow one per worker from
+      a :class:`BufferPool`, never share one between concurrent tasks.
+    """
+
+    __slots__ = ("_arenas", "n_allocations", "n_requests")
+
+    def __init__(self) -> None:
+        self._arenas: dict[tuple[str, object], np.ndarray] = {}
+        #: Number of backing-buffer allocations performed (growth events).
+        self.n_allocations = 0
+        #: Number of ``take`` calls served.
+        self.n_requests = 0
+
+    def take(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Return a contiguous ``shape``/``dtype`` view of the ``key`` arena.
+
+        The contents are *unspecified* (whatever the previous use left
+        behind); callers must fully overwrite or explicitly zero the view.
+        """
+        dtype = np.dtype(dtype)
+        n = math.prod(shape) if shape else 1
+        self.n_requests += 1
+        arena = self._arenas.get((key, dtype.str))
+        if arena is None or arena.size < n:
+            arena = np.empty(max(n, 1), dtype=dtype)
+            self._arenas[(key, dtype.str)] = arena
+            self.n_allocations += 1
+        return arena[:n].reshape(shape)
+
+    def zeros(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Like :meth:`take` but with the view zero-filled."""
+        out = self.take(key, shape, dtype)
+        out.fill(0)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arenas."""
+        return sum(a.nbytes for a in self._arenas.values())
+
+    def clear(self) -> None:
+        """Release every arena (stats are kept)."""
+        self._arenas.clear()
+
+
+class BufferPool:
+    """Thread-safe pool of :class:`Scratch` arenas, one per in-flight task.
+
+    The engine borrows a scratch around each compression/decompression task::
+
+        pool = BufferPool()
+        with pool.borrow() as scratch:
+            result = codec.compress(field, eb=1e-3, scratch=scratch)
+
+    Concurrency never exceeds the worker count, so the pool holds at most
+    ``jobs`` scratches in the steady state; after warm-up, borrowing is a
+    list pop and compression allocates nothing.
+
+    ``max_scratches`` caps how many arenas are *retained*; extra returns are
+    dropped (their memory freed) rather than hoarded.
+    """
+
+    def __init__(self, max_scratches: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._free: list[Scratch] = []
+        self._max = max_scratches
+        #: Total Scratch instances ever created by this pool.
+        self.n_created = 0
+
+    def acquire(self) -> Scratch:
+        """Check a scratch out of the pool (creating one if none is free)."""
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+            self.n_created += 1
+        return Scratch()
+
+    def release(self, scratch: Scratch) -> None:
+        """Return a scratch to the pool for reuse."""
+        with self._lock:
+            if self._max is None or len(self._free) < self._max:
+                self._free.append(scratch)
+
+    @contextmanager
+    def borrow(self):
+        """Context-managed :meth:`acquire` / :meth:`release`."""
+        scratch = self.acquire()
+        try:
+            yield scratch
+        finally:
+            self.release(scratch)
+
+    @property
+    def n_idle(self) -> int:
+        """Scratches currently checked in."""
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes retained by idle scratches (in-flight ones not counted)."""
+        with self._lock:
+            return sum(s.nbytes for s in self._free)
+
+    @property
+    def n_allocations(self) -> int:
+        """Total growth allocations across idle scratches."""
+        with self._lock:
+            return sum(s.n_allocations for s in self._free)

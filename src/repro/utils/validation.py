@@ -20,9 +20,15 @@ def ensure_float32(data: np.ndarray, name: str = "data") -> np.ndarray:
     """
     data = np.asarray(data)
     if data.dtype == np.float32:
-        out = np.ascontiguousarray(data)
+        # ascontiguousarray would silently promote a 0-d scalar to shape
+        # (1,), defeating the dimensionality gate downstream — keep 0-d
+        # as-is so ensure_ndim can reject it.
+        out = data if data.ndim == 0 else np.ascontiguousarray(data)
     elif data.dtype == np.float64:
-        out = np.ascontiguousarray(data, dtype=np.float32)
+        if data.ndim == 0:
+            out = data.astype(np.float32)
+        else:
+            out = np.ascontiguousarray(data, dtype=np.float32)
     else:
         raise UnsupportedDataError(
             f"{name} must be float32/float64, got dtype={data.dtype}"

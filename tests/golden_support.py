@@ -1,0 +1,80 @@
+"""Golden-stream fixture support: deterministic field + fixture builders.
+
+The golden field is derived from *integer arithmetic only* (a multiplicative
+hash of the index, reduced mod 1024, divided by a power of two).  Every
+operation is exact in IEEE-754, so the field — and therefore each encoded
+stream — is bit-identical on every platform and NumPy version, unlike
+``sin``/``cos``-based fields whose last ulp varies across libm builds.
+
+Fixtures under ``tests/golden/``:
+
+* ``golden_v2.fz``        — current (v2, CRC-trailed) single-shot stream
+* ``golden_v1.fz``        — the same payload framed as a legacy v1 stream
+* ``golden_container.fz`` — the same field as a multi-chunk FZMC container
+
+Regenerate after an *intentional* format change with::
+
+    PYTHONPATH=src python tests/golden_support.py
+
+``tests/test_golden_streams.py`` fails if a code change alters the encoded
+bytes, which is exactly the point: format drift must be deliberate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+import numpy as np
+
+from repro.core.format import pack_stream, unpack_stream
+from repro.core.pipeline import FZGPU
+from repro.engine import Engine
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_SHAPE = (48, 40)
+#: Exact power of two: representable in f32/f64, so quantization arithmetic
+#: is platform-deterministic.
+GOLDEN_EB = 0.0625
+#: Small enough that the container fixture holds several segments.
+GOLDEN_CHUNK_BYTES = 2048
+
+FIXTURES = ("golden_v2.fz", "golden_v1.fz", "golden_container.fz")
+
+
+def golden_field() -> np.ndarray:
+    """The deterministic 48x40 float32 field behind every golden fixture."""
+    n = np.arange(GOLDEN_SHAPE[0] * GOLDEN_SHAPE[1], dtype=np.int64)
+    vals = (n * 2654435761) % 1024  # Knuth multiplicative hash, ints < 2^10
+    # ints < 2^10 are exact in f32; dividing by 2^5 only shifts the exponent
+    field = vals.astype(np.float32) / np.float32(32.0)
+    return field.reshape(GOLDEN_SHAPE)
+
+
+def build_golden() -> dict[str, bytes]:
+    """Encode the golden field into all three fixture layouts."""
+    data = golden_field()
+    fz = FZGPU()
+    v2 = fz.compress(data, GOLDEN_EB, "abs").stream
+    header, encoded = unpack_stream(v2)
+    v1 = pack_stream(dataclasses.replace(header, version=1), encoded)
+    with Engine() as engine:
+        container = engine.compress_chunked(
+            data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
+        )
+    return {
+        "golden_v2.fz": v2,
+        "golden_v1.fz": v1,
+        "golden_container.fz": container,
+    }
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, blob in build_golden().items():
+        (GOLDEN_DIR / name).write_bytes(blob)
+        print(f"wrote {GOLDEN_DIR / name} ({len(blob)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ class TestRegistry:
             "fig11",
             "fig12",
             "cpu",
+            "engine",
         }
 
     def test_unknown_experiment(self):

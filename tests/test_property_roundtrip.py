@@ -1,0 +1,313 @@
+"""Property-based roundtrip conformance, with a self-contained shrinker.
+
+This suite deliberately does **not** use hypothesis: the generator below is
+a seeded ``np.random.Generator`` sweep over a structured case space (shapes
+from the 0-d edge up to 3-D with odd/prime dims, field families, log-spaced
+error bounds, both bound modes), and failures are *shrunk* by a greedy
+dependency-free minimizer before being reported.  That keeps the conformance
+contract runnable anywhere the library itself runs.
+
+Properties locked in:
+
+* **error bound** — for FZ-GPU and every error-bounded baseline,
+  ``|decompress(compress(x, eb)) - x|`` stays within the resolved absolute
+  bound (shared tolerance ``eb_abs * (1 + 1e-5)``), and the reconstruction
+  has the input's shape and float32 dtype;
+* **restream stability** — re-compressing a reconstruction under the same
+  absolute bound reproduces the stream byte-for-byte (generation-2
+  stability), whenever no residual saturated and the quantization grid is
+  inside the exactly-representable range;
+* **cast equivalence** — float64 input compresses to the byte-identical
+  stream of its float32 cast;
+* **rejection contracts** — 0-d, 4-D, empty, non-finite and integer inputs
+  are refused with :class:`~repro.errors.UnsupportedDataError`, bad bounds
+  and modes with :class:`~repro.errors.ConfigError`.
+
+``PROPERTY_EXAMPLES`` scales the number of generated cases per property
+(default 60; CI can raise it for a deeper soak).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import CuSZ, CuSZx, MGARDGPU
+from repro.baselines.cusz_rle import CuSZRLE
+from repro.core.pipeline import FZGPU, resolve_error_bound
+from repro.errors import ConfigError, UnsupportedDataError
+
+N_EXAMPLES = int(os.environ.get("PROPERTY_EXAMPLES", "60"))
+MASTER_SEED = 20230626  # HPDC '23 presentation date; arbitrary but fixed
+
+#: Shape pool: odd/prime dims, degenerate axes, all supported ranks.
+SHAPES: tuple[tuple[int, ...], ...] = (
+    (1,), (2,), (7,), (31,), (97,), (257,), (1009,),
+    (1, 1), (1, 17), (3, 5), (17, 19), (33, 31), (64, 65),
+    (1, 1, 1), (2, 3, 5), (7, 7, 7), (8, 9, 10), (16, 17, 5),
+)
+
+#: Field families (all finite), ordered simplest-first; "zeros"/"constant"
+#: cover the degenerate zero-range path of the relative bound.  The order is
+#: the shrink direction: a failing case only ever simplifies toward zeros.
+KINDS = ("zeros", "constant", "linear", "smooth", "rough")
+_KIND_RANK = {k: i for i, k in enumerate(KINDS)}
+
+#: Log-spaced error bounds, 1e-5 .. 1e-1.
+EBS = tuple(float(x) for x in np.logspace(-5, -1, 5))
+
+MODES = ("rel", "abs")
+
+#: Shared bound tolerance used across the whole repo's conformance checks.
+BOUND_SLACK = 1.0 + 1e-5
+
+
+def bound_tolerance(data: np.ndarray, eb_abs: float) -> float:
+    """The provable reconstruction bound for a float32-output codec.
+
+    ``eb_abs`` with relative slack, plus one float32 ulp at the field's peak
+    magnitude: the dequantized value is stored as float32, so a final
+    half-ulp rounding at that magnitude is unavoidable and not a defect.
+    """
+    ulp = float(np.spacing(np.float32(np.abs(data).max(initial=0.0))))
+    return eb_abs * BOUND_SLACK + ulp
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One generated input configuration (fully reproducible from itself)."""
+
+    shape: tuple[int, ...]
+    kind: str
+    eb: float
+    mode: str
+    seed: int
+
+    def field(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        n = math.prod(self.shape)
+        if self.kind == "zeros":
+            return np.zeros(self.shape, dtype=np.float32)
+        if self.kind == "constant":
+            return np.full(self.shape, rng.uniform(-100.0, 100.0), dtype=np.float32)
+        if self.kind == "smooth":
+            flat = np.cumsum(rng.standard_normal(n)).astype(np.float32)
+            return flat.reshape(self.shape)
+        if self.kind == "linear":
+            flat = np.arange(n, dtype=np.float32) * np.float32(0.25)
+            return flat.reshape(self.shape)
+        # "rough": white noise with a heavy scale
+        return (rng.standard_normal(n) * 10.0).astype(np.float32).reshape(self.shape)
+
+
+def generate_cases(n: int, seed: int = MASTER_SEED) -> list[Case]:
+    """Draw ``n`` cases from the structured space with a seeded generator."""
+    rng = np.random.default_rng(seed)
+    cases = []
+    for _ in range(n):
+        cases.append(
+            Case(
+                shape=SHAPES[rng.integers(len(SHAPES))],
+                kind=KINDS[rng.integers(len(KINDS))],
+                eb=EBS[rng.integers(len(EBS))],
+                mode=MODES[rng.integers(len(MODES))],
+                seed=int(rng.integers(2**31)),
+            )
+        )
+    return cases
+
+
+def shrink_candidates(case: Case):
+    """Yield strictly-simpler variants of ``case`` (the shrink lattice)."""
+    for i, d in enumerate(case.shape):
+        if d > 1:
+            smaller = tuple(max(1, x // 2) if j == i else x
+                            for j, x in enumerate(case.shape))
+            yield dataclasses.replace(case, shape=smaller)
+    if len(case.shape) > 1:
+        yield dataclasses.replace(case, shape=case.shape[:-1])
+    for kind in KINDS[: _KIND_RANK[case.kind]]:  # strictly simpler only
+        yield dataclasses.replace(case, kind=kind)
+    if case.eb != 1e-2:
+        yield dataclasses.replace(case, eb=1e-2)
+    if case.mode != "abs":
+        yield dataclasses.replace(case, mode="abs")
+
+
+def _failure(check, case: Case) -> AssertionError | None:
+    try:
+        check(case)
+        return None
+    except AssertionError as exc:
+        return exc
+
+
+def run_property(check, cases: list[Case], max_shrinks: int = 200) -> None:
+    """Run ``check`` over every case; on failure, shrink then report.
+
+    The shrinker is greedy: it repeatedly moves to the first simpler variant
+    that still fails, so the reported case is locally minimal — no simpler
+    neighbour reproduces the failure.
+    """
+    for case in cases:
+        error = _failure(check, case)
+        if error is None:
+            continue
+        budget = max_shrinks
+        progressed = True
+        while progressed and budget > 0:
+            progressed = False
+            for candidate in shrink_candidates(case):
+                budget -= 1
+                cand_error = _failure(check, candidate)
+                if cand_error is not None:
+                    case, error, progressed = candidate, cand_error, True
+                    break
+                if budget <= 0:
+                    break
+        failure = AssertionError(
+            f"property failed; minimal failing case: {case}\n{error}"
+        )
+        failure.minimal_case = case  # machine-readable for tooling/tests
+        raise failure from error
+
+
+# ---------------------------------------------------------------------------
+# the properties
+# ---------------------------------------------------------------------------
+
+CODECS = {
+    "fz-gpu": FZGPU,
+    "cusz": CuSZ,
+    "cusz-rle": CuSZRLE,
+    "cuszx": CuSZx,
+    "mgard": MGARDGPU,
+}
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_error_bound_holds(codec_name):
+    codec = CODECS[codec_name]()
+
+    def check(case: Case) -> None:
+        data = case.field()
+        result = codec.compress(data, eb=case.eb, mode=case.mode)
+        recon = codec.decompress(result.stream)
+        assert recon.shape == data.shape, (
+            f"shape changed: {data.shape} -> {recon.shape}"
+        )
+        assert recon.dtype == np.float32, f"dtype {recon.dtype}"
+        # FZ-GPU's v2 quantizer clamps residuals to 15-bit magnitude; the
+        # bound is only promised when nothing saturated (the stream header
+        # records the count and `repro info` warns on it).
+        saturated = getattr(getattr(result, "quantizer", None), "n_saturated", 0)
+        if saturated:
+            return
+        err = float(np.max(np.abs(recon.astype(np.float64) - data)))
+        assert err <= bound_tolerance(data, result.eb_abs), (
+            f"{codec_name}: max error {err:.6e} exceeds bound "
+            f"{result.eb_abs:.6e}"
+        )
+
+    run_property(check, generate_cases(N_EXAMPLES, MASTER_SEED + 1))
+
+
+def test_fzgpu_restream_stability():
+    fz = FZGPU()
+
+    def check(case: Case) -> None:
+        data = case.field()
+        eb_abs = resolve_error_bound(data, case.eb, case.mode)
+        first = fz.compress(data, eb_abs, "abs")
+        # Outside these guards exactness is not promised: a saturated
+        # residual already broke the bound, and a quantization grid past
+        # ~2^21 cells is not exactly representable through the f32 recon.
+        if first.quantizer.n_saturated:
+            return
+        if (np.abs(data).max(initial=0.0) / (2.0 * eb_abs)) >= 2**21:
+            return
+        recon = fz.decompress(first.stream)
+        second = fz.compress(recon, eb_abs, "abs")
+        assert second.stream == first.stream, (
+            "re-compressing the reconstruction changed the stream "
+            f"({len(first.stream)} vs {len(second.stream)} bytes)"
+        )
+        assert np.array_equal(recon, fz.decompress(second.stream))
+
+    run_property(check, generate_cases(N_EXAMPLES, MASTER_SEED + 2))
+
+
+def test_float64_input_matches_float32_cast():
+    fz = FZGPU()
+
+    def check(case: Case) -> None:
+        data64 = case.field().astype(np.float64)
+        a = fz.compress(data64, eb=case.eb, mode=case.mode)
+        b = fz.compress(data64.astype(np.float32), eb=case.eb, mode=case.mode)
+        assert a.stream == b.stream, "float64 input is not stream-equivalent"
+
+    run_property(check, generate_cases(N_EXAMPLES // 2, MASTER_SEED + 3))
+
+
+# ---------------------------------------------------------------------------
+# rejection contracts (the edges of the case space)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+@pytest.mark.parametrize(
+    "bad",
+    [
+        np.float32(1.0),                      # 0-d scalar
+        np.zeros((2, 2, 2, 2), np.float32),   # 4-D
+        np.zeros((0,), np.float32),           # empty
+        np.zeros((4, 0, 3), np.float32),      # empty via one axis
+        np.array([1.0, np.nan], np.float32),  # NaN
+        np.array([np.inf, 0.0], np.float32),  # Inf
+        np.arange(8, dtype=np.int32),         # integer dtype
+    ],
+    ids=["0d", "4d", "empty", "empty-axis", "nan", "inf", "int"],
+)
+def test_unsupported_inputs_rejected(codec_name, bad):
+    with pytest.raises(UnsupportedDataError):
+        CODECS[codec_name]().compress(bad, eb=1e-3, mode="rel")
+
+
+@pytest.mark.parametrize("eb", [0.0, -1e-3, float("nan"), float("inf")])
+def test_bad_error_bound_rejected(eb):
+    with pytest.raises(ConfigError):
+        FZGPU().compress(np.ones(8, np.float32), eb=eb, mode="abs")
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ConfigError):
+        FZGPU().compress(np.ones(8, np.float32), eb=1e-3, mode="relative")
+
+
+# ---------------------------------------------------------------------------
+# the shrinker itself is part of the contract — prove it minimizes
+# ---------------------------------------------------------------------------
+
+
+def test_shrinker_reaches_local_minimum():
+    def check(case: Case) -> None:
+        # synthetic defect: anything with 32+ elements "fails"
+        assert math.prod(case.shape) < 32, "too big"
+
+    big = Case(shape=(64, 65), kind="smooth", eb=1e-3, mode="rel", seed=1)
+    with pytest.raises(AssertionError) as excinfo:
+        run_property(check, [big])
+    assert "minimal failing case" in str(excinfo.value)
+    minimal = excinfo.value.minimal_case
+    # the reported case must be locally minimal: it still fails, and every
+    # strictly-simpler variant in the shrink lattice passes
+    assert _failure(check, minimal) is not None
+    assert math.prod(minimal.shape) < 64, minimal
+    assert all(
+        _failure(check, candidate) is None
+        for candidate in shrink_candidates(minimal)
+    ), minimal
