@@ -6,15 +6,22 @@ the acceptance floor from the engine design: batched+pooled must be at
 least 1.5x single-shot wall-clock on the same batch.  Also records the
 conformance experiment's byte-identity checks, so the speedup can never
 come at the cost of changed output bytes.
+
+Set ``REPRO_TRACE=/path/out.json`` to record the whole module through
+:mod:`repro.telemetry` and export a Chrome trace on teardown — the smoke
+check CI uses to prove trace capture works on a real engine workload.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
+import pytest
 from conftest import checks_block, run_once
 
+from repro import telemetry
 from repro.core.pipeline import FZGPU
 from repro.engine import Engine
 from repro.harness import render_table, run_experiment
@@ -22,6 +29,26 @@ from repro.harness import render_table, run_experiment
 N_FIELDS = 64
 SHAPE = (256, 256)
 EB = 1e-3
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _trace_to_env_path():
+    """Record the module under REPRO_TRACE and export a Chrome trace."""
+    out = os.environ.get("REPRO_TRACE")
+    if not out:
+        yield
+        return
+    from repro.telemetry import export
+
+    rec = telemetry.get_recorder()
+    rec.clear()
+    rec.enabled = True
+    try:
+        yield
+    finally:
+        rec.enabled = False
+        export.write_chrome_trace(rec, out)
+        rec.clear()
 
 
 def _make_batch() -> list[np.ndarray]:

@@ -9,6 +9,11 @@ Commands
 ``generate``    write a synthetic field to disk
 ``experiment``  run a registered paper experiment and print its table
 ``throughput``  query the GPU performance model for one configuration
+``stats``       summarize an exported trace (per-stage time breakdown)
+
+``compress`` and ``decompress`` accept ``--trace OUT`` / ``--metrics OUT``
+to record the run through :mod:`repro.telemetry` and export a Chrome trace
+(or JSONL, if OUT ends in ``.jsonl``) and a Prometheus text snapshot.
 """
 
 from __future__ import annotations
@@ -65,6 +70,64 @@ def _check_bound(data: np.ndarray, recon: np.ndarray, eb_abs: float) -> tuple[bo
     err = float(np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))))
     ulp = float(np.spacing(np.float32(np.abs(data).max(initial=0.0))))
     return err <= eb_abs * (1.0 + 1e-5) + ulp, err
+
+
+def _telemetry_begin(args: argparse.Namespace) -> bool:
+    """Enable the default recorder when ``--trace``/``--metrics`` was given."""
+    if not getattr(args, "telemetry_opts", False):
+        return False
+    if not (args.trace or args.metrics):
+        return False
+    from repro import telemetry
+
+    rec = telemetry.get_recorder()
+    rec.clear()
+    rec.enabled = True
+    return True
+
+
+def _telemetry_end(args: argparse.Namespace) -> None:
+    """Export and shut down the default recorder (pairs with begin)."""
+    from repro import telemetry
+    from repro.telemetry import export
+
+    rec = telemetry.get_recorder()
+    rec.enabled = False
+    if args.trace:
+        if args.trace.endswith(".jsonl"):
+            export.write_jsonl(rec, args.trace)
+        else:
+            export.write_chrome_trace(rec, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        export.write_prometheus(rec, args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    rec.clear()
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_table
+    from repro.telemetry import stats
+
+    events = stats.load_trace(args.trace)
+    if not events:
+        print(f"no span events found in {args.trace}", file=sys.stderr)
+        return 1
+    summary = stats.span_summary(events)
+    print(
+        f"{summary['spans']} spans across {summary['processes']} process(es) / "
+        f"{summary['threads']} thread(s), {summary['wall_ms']:.2f} ms wall"
+    )
+    rows = stats.stage_breakdown(events)
+    if rows:
+        for row in rows:
+            row["total_ms"] = f"{row['total_ms']:.3f}"
+            row["mean_us"] = f"{row['mean_us']:.1f}"
+            row["time_pct"] = f"{row['time_pct']:.1f}"
+        print(render_table(rows, title="per-stage breakdown (Fig. 1 view)"))
+    else:
+        print("no stage.* / sim.* spans in this trace")
+    return 0
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
@@ -288,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--pool", choices=("thread", "process"), default="thread",
                         help="worker pool kind (threads release the GIL in NumPy)")
 
+    def add_telemetry_opts(sp):
+        sp.add_argument("--trace", metavar="OUT", default=None,
+                        help="record the run and write a Chrome trace "
+                             "(JSONL if OUT ends in .jsonl)")
+        sp.add_argument("--metrics", metavar="OUT", default=None,
+                        help="record the run and write Prometheus text metrics")
+        sp.set_defaults(telemetry_opts=True)
+
     sp = sub.add_parser("compress", help="compress one or more field files")
     sp.add_argument("inputs", nargs="+", metavar="input",
                     help="field file(s); several need --batch")
@@ -304,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "violation")
     add_codec_opts(sp)
     add_engine_opts(sp)
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_compress)
 
     sp = sub.add_parser("decompress", help="reconstruct a field")
@@ -311,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("output")
     add_codec_opts(sp)
     add_engine_opts(sp)
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_decompress)
 
     sp = sub.add_parser("info", help="inspect an FZ-GPU stream file")
@@ -341,13 +414,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_codec_opts(sp)
     sp.set_defaults(fn=cmd_throughput)
 
+    sp = sub.add_parser("stats", help="summarize an exported trace file")
+    sp.add_argument("trace", help="Chrome trace or JSONL file from --trace")
+    sp.set_defaults(fn=cmd_stats)
+
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    recording = _telemetry_begin(args)
+    try:
+        return args.fn(args)
+    finally:
+        if recording:
+            _telemetry_end(args)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bitshuffle import TILE_WORDS
 from repro.core.encoder import BLOCK_WORDS, EncodedBlocks
 from repro.core.quantize import MAX_MAGNITUDE, SIGN_BIT, QuantizerStats
@@ -85,37 +86,40 @@ def dual_quantize_pooled(
     shape = data.shape
     ndim = data.ndim
     # pre-quantization in float64, rounded on the same grid as the reference
-    f = scratch.take("pq.f64", shape, np.float64)
-    np.copyto(f, data)
-    np.divide(f, 2.0 * eb_abs, out=f)
-    np.rint(f, out=f)
-    padded_shape = tuple(-(-s // c) * c for s, c in zip(shape, chunk))
-    qpad = scratch.take("pq.qpad", padded_shape, np.int64)
-    if padded_shape != shape:
-        qpad.fill(0)
-    interior = tuple(slice(0, s) for s in shape)
-    np.copyto(qpad[interior], f, casting="unsafe")
+    with telemetry.span("stage.quantize.prequant"):
+        f = scratch.take("pq.f64", shape, np.float64)
+        np.copyto(f, data)
+        np.divide(f, 2.0 * eb_abs, out=f)
+        np.rint(f, out=f)
+        padded_shape = tuple(-(-s // c) * c for s, c in zip(shape, chunk))
+        qpad = scratch.take("pq.qpad", padded_shape, np.int64)
+        if padded_shape != shape:
+            qpad.fill(0)
+        interior = tuple(slice(0, s) for s in shape)
+        np.copyto(qpad[interior], f, casting="unsafe")
     # chunk-major gather, then per-chunk Lorenzo diffs along in-block axes
-    blocked_shape = tuple(p // c for p, c in zip(padded_shape, chunk)) + tuple(chunk)
-    src = scratch.take("lz.a", blocked_shape, np.int64)
-    dst = scratch.take("lz.b", blocked_shape, np.int64)
-    np.copyto(src, block_view(qpad, chunk))
-    for k in range(ndim):
-        _diff_inblock(src, dst, ndim + k)
-        src, dst = dst, src
-    delta = src
+    with telemetry.span("stage.quantize.lorenzo"):
+        blocked_shape = tuple(p // c for p, c in zip(padded_shape, chunk)) + tuple(chunk)
+        src = scratch.take("lz.a", blocked_shape, np.int64)
+        dst = scratch.take("lz.b", blocked_shape, np.int64)
+        np.copyto(src, block_view(qpad, chunk))
+        for k in range(ndim):
+            _diff_inblock(src, dst, ndim + k)
+            src, dst = dst, src
+        delta = src
     # sign-magnitude encode with saturation bookkeeping
-    mag = dst  # the other ping-pong buffer is free again
-    np.absolute(delta, out=mag)
-    max_abs = int(mag.max(initial=0))
-    mask = scratch.take("sm.mask", blocked_shape, bool)
-    np.greater(mag, MAX_MAGNITUDE, out=mask)
-    n_sat = int(np.count_nonzero(mask))
-    np.minimum(mag, MAX_MAGNITUDE, out=mag)
-    codes = scratch.take("sm.codes", blocked_shape, np.uint16)
-    np.copyto(codes, mag, casting="unsafe")
-    np.less(delta, 0, out=mask)
-    np.bitwise_or(codes, SIGN_BIT, out=codes, where=mask)
+    with telemetry.span("stage.quantize.signmag"):
+        mag = dst  # the other ping-pong buffer is free again
+        np.absolute(delta, out=mag)
+        max_abs = int(mag.max(initial=0))
+        mask = scratch.take("sm.mask", blocked_shape, bool)
+        np.greater(mag, MAX_MAGNITUDE, out=mask)
+        n_sat = int(np.count_nonzero(mask))
+        np.minimum(mag, MAX_MAGNITUDE, out=mag)
+        codes = scratch.take("sm.codes", blocked_shape, np.uint16)
+        np.copyto(codes, mag, casting="unsafe")
+        np.less(delta, 0, out=mask)
+        np.bitwise_or(codes, SIGN_BIT, out=codes, where=mask)
     return codes.reshape(-1), padded_shape, QuantizerStats(n_sat, 0, max_abs)
 
 
@@ -134,11 +138,12 @@ def bitshuffle_pooled(codes: np.ndarray, scratch: Scratch) -> np.ndarray:
         cp[n:] = 0
         codes = cp
     tiles = codes.view(np.uint32).reshape(-1, 32, 32)
-    voted = bit_transpose_32x32_fast(
-        tiles, out=scratch.take("bs.voted", tiles.shape, np.uint32), scratch=scratch
-    )
-    out = scratch.take("bs.out", tiles.shape, np.uint32)
-    np.copyto(out, voted.swapaxes(-1, -2))
+    with telemetry.span("stage.bitshuffle.transpose"):
+        voted = bit_transpose_32x32_fast(
+            tiles, out=scratch.take("bs.voted", tiles.shape, np.uint32), scratch=scratch
+        )
+        out = scratch.take("bs.out", tiles.shape, np.uint32)
+        np.copyto(out, voted.swapaxes(-1, -2))
     return out.reshape(-1)
 
 

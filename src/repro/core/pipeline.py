@@ -25,6 +25,7 @@ from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bitshuffle import bitshuffle, bitunshuffle
 from repro.core.encoder import decode_zero_blocks, encode_zero_blocks
 from repro.core.format import StreamHeader, pack_stream, unpack_stream
@@ -106,7 +107,9 @@ class CompressionResult:
 
     @property
     def ratio(self) -> float:
-        """Compression ratio (original / compressed)."""
+        """Compression ratio (original / compressed; inf for an empty stream)."""
+        if self.compressed_bytes == 0:
+            return float("inf")
         return self.original_bytes / self.compressed_bytes
 
     @property
@@ -162,32 +165,53 @@ class FZGPU:
         """
         data = ensure_ndim(ensure_float32(data))
         chunk = chunk_shape_for(data.ndim, self._chunk)
-        eb_abs = resolve_error_bound(data, eb, mode)
+        with telemetry.span("fz.compress") as root:
+            eb_abs = resolve_error_bound(data, eb, mode)
 
-        if scratch is None:
-            codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
-            shuffled = bitshuffle(codes)
-            encoded = encode_zero_blocks(shuffled)
-        else:
-            from repro.core import hotpath
+            with telemetry.span("stage.quantize"):
+                if scratch is None:
+                    codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
+                else:
+                    from repro.core import hotpath
 
-            codes, padded_shape, qstats = hotpath.dual_quantize_pooled(
-                data, eb_abs, chunk, scratch
+                    codes, padded_shape, qstats = hotpath.dual_quantize_pooled(
+                        data, eb_abs, chunk, scratch
+                    )
+            with telemetry.span("stage.bitshuffle"):
+                if scratch is None:
+                    shuffled = bitshuffle(codes)
+                else:
+                    shuffled = hotpath.bitshuffle_pooled(codes, scratch)
+            with telemetry.span("stage.encode"):
+                if scratch is None:
+                    encoded = encode_zero_blocks(shuffled)
+                else:
+                    encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
+
+            header = StreamHeader(
+                ndim=data.ndim,
+                shape=data.shape,
+                padded_shape=padded_shape,
+                eb=eb_abs,
+                chunk=chunk,
+                n_blocks=encoded.n_blocks,
+                n_nonzero=encoded.n_nonzero,
+                n_saturated=qstats.n_saturated,
             )
-            shuffled = hotpath.bitshuffle_pooled(codes, scratch)
-            encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
-
-        header = StreamHeader(
-            ndim=data.ndim,
-            shape=data.shape,
-            padded_shape=padded_shape,
-            eb=eb_abs,
-            chunk=chunk,
-            n_blocks=encoded.n_blocks,
-            n_nonzero=encoded.n_nonzero,
-            n_saturated=qstats.n_saturated,
-        )
-        stream = pack_stream(header, encoded)
+            with telemetry.span("stage.pack"):
+                stream = pack_stream(header, encoded)
+            root.set("bytes_in", int(data.nbytes))
+            root.set("bytes_out", len(stream))
+            root.set("pooled", scratch is not None)
+        if telemetry.enabled():
+            telemetry.counter("fz.compress_calls")
+            telemetry.counter("fz.bytes_in", int(data.nbytes))
+            telemetry.counter("fz.bytes_out", len(stream))
+            telemetry.histogram(
+                "fz.ratio",
+                data.nbytes / len(stream),
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            )
         return CompressionResult(
             stream=stream,
             original_bytes=data.nbytes,
@@ -217,27 +241,43 @@ class FZGPU:
         makes the decode temporaries allocation-free in the steady state
         while reconstructing a bit-identical array.
         """
-        header, encoded = unpack_stream(stream)
-        try:
-            n_codes = int(np.prod(header.padded_shape))
-            if scratch is None:
-                words = decode_zero_blocks(encoded)
-                codes = bitunshuffle(words, n_codes)
-                return dual_dequantize(
-                    codes, header.padded_shape, header.shape, header.eb, header.chunk
-                )
-            from repro.core import hotpath
+        with telemetry.span("fz.decompress") as root:
+            with telemetry.span("stage.unpack"):
+                header, encoded = unpack_stream(stream)
+            try:
+                n_codes = int(np.prod(header.padded_shape))
+                if scratch is None:
+                    with telemetry.span("stage.decode"):
+                        words = decode_zero_blocks(encoded)
+                    with telemetry.span("stage.bitunshuffle"):
+                        codes = bitunshuffle(words, n_codes)
+                    with telemetry.span("stage.dequantize"):
+                        out = dual_dequantize(
+                            codes, header.padded_shape, header.shape, header.eb,
+                            header.chunk,
+                        )
+                else:
+                    from repro.core import hotpath
 
-            words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
-            codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
-            return hotpath.dual_dequantize_pooled(
-                codes, header.padded_shape, header.shape, header.eb,
-                header.chunk, scratch,
-            )
-        except ValueError as exc:
-            # residual shape/size validation from NumPy on streams the header
-            # checks could not rule out
-            raise DecompressionError(f"inconsistent FZ-GPU stream: {exc}") from exc
+                    with telemetry.span("stage.decode"):
+                        words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
+                    with telemetry.span("stage.bitunshuffle"):
+                        codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
+                    with telemetry.span("stage.dequantize"):
+                        out = hotpath.dual_dequantize_pooled(
+                            codes, header.padded_shape, header.shape, header.eb,
+                            header.chunk, scratch,
+                        )
+            except ValueError as exc:
+                # residual shape/size validation from NumPy on streams the
+                # header checks could not rule out
+                raise DecompressionError(f"inconsistent FZ-GPU stream: {exc}") from exc
+            root.set("bytes_in", len(stream))
+            root.set("bytes_out", int(out.nbytes))
+            root.set("pooled", scratch is not None)
+        if telemetry.enabled():
+            telemetry.counter("fz.decompress_calls")
+        return out
 
 
 _DEFAULT = FZGPU()

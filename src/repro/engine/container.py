@@ -45,6 +45,7 @@ import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
+from repro import telemetry
 from repro.errors import FormatError
 from repro.utils.safeio import BoundedReader, checked_count
 
@@ -176,6 +177,9 @@ class ContainerWriter:
         self._entries.append(
             SegmentEntry(offset, self._pos - offset, int(extent))
         )
+        if telemetry.enabled():
+            telemetry.counter("container.segments_written")
+            telemetry.counter("container.payload_bytes_written", len(payload))
 
     def finish(self) -> ContainerIndex:
         """Write the index trailer + footer and return the decoded index."""
@@ -318,7 +322,11 @@ def read_segment_payload(
     """Seek to one indexed segment, validate its framing + CRC, return payload."""
     fileobj.seek(container_start + entry.offset)
     blob = _read_exact(fileobj, entry.seg_bytes, f"segment {ordinal}")
-    return _parse_segment(blob, ordinal, f"segment {ordinal}")
+    payload = _parse_segment(blob, ordinal, f"segment {ordinal}")
+    if telemetry.enabled():
+        telemetry.counter("container.segments_read")
+        telemetry.counter("container.payload_bytes_read", len(payload))
+    return payload
 
 
 def iter_segments(fileobj: BinaryIO) -> Iterator[tuple[ContainerIndex, int, bytes]]:

@@ -27,7 +27,9 @@ bit-identical.  Parallelism changes wall-clock, never bytes.
 from __future__ import annotations
 
 import math
+import os
 import pathlib
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from collections import deque
 from dataclasses import dataclass
@@ -36,6 +38,7 @@ from typing import BinaryIO, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.pipeline import (
     FZGPU,
     CompressionResult,
@@ -87,6 +90,8 @@ class FileReport:
 
     @property
     def ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("inf")
         return self.original_bytes / self.compressed_bytes
 
 
@@ -107,14 +112,56 @@ def _proc_scratch(pooled: bool) -> Scratch | None:
     return _PROC_SCRATCH
 
 
-def _proc_compress(args) -> CompressionResult:
-    data, eb, mode, chunk, pooled = args
-    return FZGPU(chunk=chunk).compress(data, eb, mode, scratch=_proc_scratch(pooled))
+def _instrumented_task(fn):
+    """Run one engine task under an ``engine.task`` span + worker metrics.
+
+    Per-worker utilization is derived from two counters keyed by worker
+    name: tasks completed and busy seconds (busy / wall-clock window =
+    utilization).  Worker threads carry their pool name; process-pool
+    workers are keyed by pid.
+    """
+    if not telemetry.enabled():
+        return fn()
+    sp = telemetry.span("engine.task")
+    with sp:
+        out = fn()
+    worker = threading.current_thread().name
+    if worker == "MainThread":
+        worker = f"pid-{os.getpid()}"
+    telemetry.counter("engine.worker_tasks", 1, {"worker": worker})
+    telemetry.counter("engine.worker_busy_seconds", sp.duration, {"worker": worker})
+    return out
 
 
-def _proc_decompress(args) -> np.ndarray:
-    stream, chunk, pooled = args
-    return FZGPU(chunk=chunk).decompress(stream, scratch=_proc_scratch(pooled))
+def _proc_run(telem: bool, fn):
+    """Worker-process task wrapper: record iff the parent was recording.
+
+    Returns ``(result, telemetry_payload_or_None)`` — the worker drains its
+    recorder after every task and ships the buffer home with the result,
+    where :meth:`Recorder.merge` folds it into the parent's trace.
+    """
+    rec = telemetry.get_recorder()
+    rec.enabled = bool(telem)
+    result = _instrumented_task(fn)
+    return result, (rec.take() if telem else None)
+
+
+def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
+    data, eb, mode, chunk, pooled, telem = args
+    return _proc_run(
+        telem,
+        lambda: FZGPU(chunk=chunk).compress(
+            data, eb, mode, scratch=_proc_scratch(pooled)
+        ),
+    )
+
+
+def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
+    stream, chunk, pooled, telem = args
+    return _proc_run(
+        telem,
+        lambda: FZGPU(chunk=chunk).decompress(stream, scratch=_proc_scratch(pooled)),
+    )
 
 
 class Engine:
@@ -209,7 +256,8 @@ class Engine:
             scratch = self.buffer_pool.acquire() if self.pooled else None
             try:
                 for item in thread_items:
-                    yield thread_fn(item, scratch)
+                    out = _instrumented_task(lambda: thread_fn(item, scratch))
+                    yield out
             finally:
                 if scratch is not None:
                     self.buffer_pool.release(scratch)
@@ -219,21 +267,41 @@ class Engine:
         if self.pool_kind == "process":
             submit = lambda item: executor.submit(proc_fn, item)  # noqa: E731
             items: Iterable = proc_items
+            recorder = telemetry.get_recorder()
+
+            def finalize(res):
+                # unwrap (result, telemetry payload) from the worker process
+                result, payload = res
+                if payload is not None:
+                    recorder.merge(payload)
+                return result
         else:
             def _with_scratch(item):
-                if not self.pooled:
-                    return thread_fn(item, None)
-                with self.buffer_pool.borrow() as scratch:
-                    return thread_fn(item, scratch)
+                def run():
+                    if not self.pooled:
+                        return thread_fn(item, None)
+                    with self.buffer_pool.borrow() as scratch:
+                        return thread_fn(item, scratch)
+
+                return _instrumented_task(run)
 
             submit = lambda item: executor.submit(_with_scratch, item)  # noqa: E731
             items = thread_items
+
+            def finalize(res):
+                return res
+        track_queue = telemetry.enabled()
         for item in items:
             pending.append(submit(item))
+            if track_queue:
+                telemetry.gauge("engine.queue_depth", len(pending))
             if len(pending) >= window:
-                yield pending.popleft().result()
+                yield finalize(pending.popleft().result())
         while pending:
-            yield pending.popleft().result()
+            out = finalize(pending.popleft().result())
+            if track_queue:
+                telemetry.gauge("engine.queue_depth", len(pending))
+            yield out
 
     # -- batch API ---------------------------------------------------------
 
@@ -250,26 +318,34 @@ class Engine:
         output regardless of ``jobs``/``pool``/``pooled``.
         """
         fields = list(fields)
-        return list(
-            self._run_ordered(
-                lambda f, s: self._codec.compress(f, eb, mode, scratch=s),
-                _proc_compress,
-                fields,
-                [(f, eb, mode, self._chunk, self.pooled) for f in fields],
+        telem = telemetry.enabled()
+        with telemetry.span("engine.compress_batch") as sp:
+            sp.set("n_fields", len(fields))
+            results = list(
+                self._run_ordered(
+                    lambda f, s: self._codec.compress(f, eb, mode, scratch=s),
+                    _proc_compress,
+                    fields,
+                    [(f, eb, mode, self._chunk, self.pooled, telem) for f in fields],
+                )
             )
-        )
+        return results
 
     def decompress_batch(self, streams: Sequence[bytes]) -> list[np.ndarray]:
         """Decompress many streams; results keep input order."""
         streams = list(streams)
-        return list(
-            self._run_ordered(
-                lambda b, s: self._codec.decompress(b, scratch=s),
-                _proc_decompress,
-                streams,
-                [(b, self._chunk, self.pooled) for b in streams],
+        telem = telemetry.enabled()
+        with telemetry.span("engine.decompress_batch") as sp:
+            sp.set("n_streams", len(streams))
+            results = list(
+                self._run_ordered(
+                    lambda b, s: self._codec.decompress(b, scratch=s),
+                    _proc_decompress,
+                    streams,
+                    [(b, self._chunk, self.pooled, telem) for b in streams],
+                )
             )
-        )
+        return results
 
     # -- chunked / streaming API -------------------------------------------
 
@@ -301,34 +377,42 @@ class Engine:
             )
         eb = ensure_positive(eb, "eb")
         spans = plan_chunks(data.shape, self._axis0_align(data.ndim), chunk_bytes)
-        if mode == "rel":
-            lo = math.inf
-            hi = -math.inf
-            for a, b in spans:
-                part = np.asarray(data[a:b])
-                lo = min(lo, float(part.min()))
-                hi = max(hi, float(part.max()))
-            eb_abs = resolve_error_bound_range(lo, hi, eb, "rel")
-        else:
-            # validates the mode string too ("abs" passes eb straight through)
-            eb_abs = resolve_error_bound_range(0.0, 0.0, eb, mode)
-        writer = fzmc.ContainerWriter(fileobj, data.shape, eb_abs)
-        compressed = 0
-        results = self._run_ordered(
-            lambda span, s: self._codec.compress(
-                np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs", scratch=s
-            ),
-            _proc_compress,
-            spans,
-            (
-                (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk, self.pooled)
-                for a, b in spans
-            ),
-        )
-        for (a, b), result in zip(spans, results):
-            writer.add_segment(result.stream, b - a)
-            compressed += len(result.stream)
-        index = writer.finish()
+        telem = telemetry.enabled()
+        with telemetry.span("engine.compress_file") as root:
+            root.set("n_chunks", len(spans))
+            if mode == "rel":
+                with telemetry.span("engine.range_scan"):
+                    lo = math.inf
+                    hi = -math.inf
+                    for a, b in spans:
+                        part = np.asarray(data[a:b])
+                        lo = min(lo, float(part.min()))
+                        hi = max(hi, float(part.max()))
+                eb_abs = resolve_error_bound_range(lo, hi, eb, "rel")
+            else:
+                # validates the mode string too ("abs" passes eb straight through)
+                eb_abs = resolve_error_bound_range(0.0, 0.0, eb, mode)
+            writer = fzmc.ContainerWriter(fileobj, data.shape, eb_abs)
+            compressed = 0
+            results = self._run_ordered(
+                lambda span, s: self._codec.compress(
+                    np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs",
+                    scratch=s,
+                ),
+                _proc_compress,
+                spans,
+                (
+                    (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk,
+                     self.pooled, telem)
+                    for a, b in spans
+                ),
+            )
+            for (a, b), result in zip(spans, results):
+                writer.add_segment(result.stream, b - a)
+                compressed += len(result.stream)
+            index = writer.finish()
+            root.set("bytes_in", int(data.size) * 4)
+            root.set("bytes_out", compressed)
         return FileReport(
             path=name,
             shape=tuple(data.shape),
@@ -357,7 +441,8 @@ class Engine:
         are stitched along axis 0 — the natural "append more chunks by
         appending a container" streaming idiom.
         """
-        indexes = fzmc.read_containers(fileobj)
+        with telemetry.span("engine.read_index"):
+            indexes = fzmc.read_containers(fileobj)
         tail = indexes[0].shape[1:]
         for idx in indexes[1:]:
             if idx.shape[1:] != tail:
@@ -379,6 +464,7 @@ class Engine:
                 )
                 extents.append((entry.extent,) + tail)
             start += idx.container_bytes
+        telem = telemetry.enabled()
         row = 0
         for expected, chunk_arr in zip(
             extents,
@@ -386,7 +472,7 @@ class Engine:
                 lambda b, s: self._codec.decompress(b, scratch=s),
                 _proc_decompress,
                 payloads,
-                [(b, self._chunk, self.pooled) for b in payloads],
+                [(b, self._chunk, self.pooled, telem) for b in payloads],
             ),
         ):
             check_consistent(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.encoder import BLOCK_WORDS, EncodedBlocks
 from repro.core.format import StreamHeader, pack_stream
 from repro.core.pipeline import resolve_error_bound
@@ -97,50 +98,84 @@ def simulate_compression(
     """
     data = ensure_ndim(ensure_float32(data))
     chunk = chunk_shape_for(data.ndim)
-    eb_abs = resolve_error_bound(data, eb, mode)
+    with telemetry.span("sim.compress") as root:
+        eb_abs = resolve_error_bound(data, eb, mode)
 
-    codes, padded_shape, qstats = dual_quantize(data, eb_abs)
+        with telemetry.span("sim.pred_quant"):
+            codes, padded_shape, qstats = dual_quantize(data, eb_abs)
 
-    # divergence the unoptimized quantizer would incur on this data
-    from repro.core.quantize import decode_sign_magnitude
+        # divergence the unoptimized quantizer would incur on this data
+        from repro.core.quantize import decode_sign_magnitude
 
-    delta = decode_sign_magnitude(codes)
-    divergence = measure_divergence(np.abs(delta) >= radius)
+        with telemetry.span("sim.divergence_probe"):
+            delta = decode_sign_magnitude(codes)
+            divergence = measure_divergence(np.abs(delta) >= radius)
 
-    kernel = fused_bitshuffle_mark_kernel if fused else split_bitshuffle_then_mark
-    out: FusedKernelOutput = kernel(codes, padded=padded_shared)
+        kernel = fused_bitshuffle_mark_kernel if fused else split_bitshuffle_then_mark
+        with telemetry.span("sim.bitshuffle_mark") as sp_shuffle:
+            out: FusedKernelOutput = kernel(codes, padded=padded_shared)
+            sp_shuffle.set("fused", fused)
+            sp_shuffle.set("padded_shared", padded_shared)
+            sp_shuffle.set("global_bytes_read", out.global_bytes_read)
+            sp_shuffle.set("global_bytes_written", out.global_bytes_written)
+            sp_shuffle.set("shared_accesses", out.shared.accesses)
+            sp_shuffle.set("bank_conflicts", out.shared.conflicts)
+            sp_shuffle.set("conflict_cycles", out.shared.cycles)
+            sp_shuffle.set("worst_conflict_degree", out.shared.worst_degree)
 
-    # phase 2: prefix sum over byte flags (work-efficient scan) + gather
-    offsets = blelloch_exclusive_sum(out.byteflags.astype(np.int64))
-    n_nonzero = int(offsets[-1]) + int(out.byteflags[-1]) if out.byteflags.size else 0
-    blocks = out.shuffled.reshape(-1, BLOCK_WORDS)
-    literals = np.zeros((n_nonzero, BLOCK_WORDS), dtype=np.uint32)
-    # the paper's "valid offset" test: copy where offsets advance
-    valid = out.byteflags
-    literals[offsets[valid]] = blocks[valid]
+        # phase 2: prefix sum over byte flags (work-efficient scan) + gather
+        with telemetry.span("sim.prefix_sum"):
+            offsets = blelloch_exclusive_sum(out.byteflags.astype(np.int64))
+        n_nonzero = (
+            int(offsets[-1]) + int(out.byteflags[-1]) if out.byteflags.size else 0
+        )
+        with telemetry.span("sim.gather"):
+            blocks = out.shuffled.reshape(-1, BLOCK_WORDS)
+            literals = np.zeros((n_nonzero, BLOCK_WORDS), dtype=np.uint32)
+            # the paper's "valid offset" test: copy where offsets advance
+            valid = out.byteflags
+            literals[offsets[valid]] = blocks[valid]
 
-    encoded = EncodedBlocks(
-        bitflags=out.bitflags,
-        literals=literals.reshape(-1),
-        n_blocks=int(out.byteflags.size),
-        n_nonzero=n_nonzero,
-    )
-    header = StreamHeader(
-        ndim=data.ndim,
-        shape=data.shape,
-        padded_shape=padded_shape,
-        eb=eb_abs,
-        chunk=chunk,
-        n_blocks=encoded.n_blocks,
-        n_nonzero=encoded.n_nonzero,
-        n_saturated=qstats.n_saturated,
-    )
+        encoded = EncodedBlocks(
+            bitflags=out.bitflags,
+            literals=literals.reshape(-1),
+            n_blocks=int(out.byteflags.size),
+            n_nonzero=n_nonzero,
+        )
+        header = StreamHeader(
+            ndim=data.ndim,
+            shape=data.shape,
+            padded_shape=padded_shape,
+            eb=eb_abs,
+            chunk=chunk,
+            n_blocks=encoded.n_blocks,
+            n_nonzero=encoded.n_nonzero,
+            n_saturated=qstats.n_saturated,
+        )
+        n_scan_levels = scan_levels(encoded.n_blocks)
+        # 4 launches fused (pred-quant, bitshuffle+mark, scan, gather);
+        # the split variant pays one extra for the separate mark pass
+        n_launches = 4 if fused else 5
+        root.set("kernel_launches", n_launches)
+        root.set("bank_conflicts", out.shared.conflicts)
+        root.set("conflict_cycles", out.shared.cycles)
+        root.set("divergence_v1", float(divergence))
+        root.set("global_bytes_read", out.global_bytes_read)
+        root.set("global_bytes_written", out.global_bytes_written)
+        root.set("scan_levels", n_scan_levels)
+        root.set("n_blocks", encoded.n_blocks)
+        root.set("n_nonzero", encoded.n_nonzero)
+    if telemetry.enabled():
+        telemetry.counter("sim.kernel_launches", n_launches)
+        telemetry.counter("sim.bank_conflicts", out.shared.conflicts)
+        telemetry.counter("sim.global_bytes_read", out.global_bytes_read)
+        telemetry.counter("sim.global_bytes_written", out.global_bytes_written)
     return SimulationTrace(
         stream=pack_stream(header, encoded),
         global_bytes_read=out.global_bytes_read,
         global_bytes_written=out.global_bytes_written,
         shared=out.shared,
-        scan_levels=scan_levels(encoded.n_blocks),
+        scan_levels=n_scan_levels,
         divergence_v1=divergence,
         n_blocks=encoded.n_blocks,
         n_nonzero=encoded.n_nonzero,

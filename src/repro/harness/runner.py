@@ -674,9 +674,12 @@ def exp_engine(
     to run FZ-GPU at production scale: batched+pooled compression must emit
     byte-identical streams to the single-shot codec, chunked containers must
     reconstruct bit-identically, and buffer pooling must pay for itself.
-    """
-    import time
 
+    Timing goes through :func:`repro.telemetry.timed_span`, the same code
+    path tracing uses — so with a recorder enabled, the harness comparison
+    itself shows up in the exported trace.
+    """
+    from repro import telemetry
     from repro.engine import Engine
 
     rows: list[dict] = []
@@ -686,15 +689,17 @@ def exp_engine(
         fields = [np.roll(f.data, k, axis=0) for k in range(n_fields)]
         fz = FZGPU()
 
-        t0 = time.perf_counter()
-        singles = [fz.compress(x, eb, "rel") for x in fields]
-        t_single = time.perf_counter() - t0
+        with telemetry.timed_span("harness.engine.single_shot",
+                                  {"dataset": name}) as sp_single:
+            singles = [fz.compress(x, eb, "rel") for x in fields]
+        t_single = sp_single.duration
 
         with Engine(jobs=jobs, pooled=True) as engine:
             engine.compress_batch(fields[:1], eb, "rel")  # warm the arenas
-            t0 = time.perf_counter()
-            batched = engine.compress_batch(fields, eb, "rel")
-            t_batch = time.perf_counter() - t0
+            with telemetry.timed_span("harness.engine.batched",
+                                      {"dataset": name}) as sp_batch:
+                batched = engine.compress_batch(fields, eb, "rel")
+            t_batch = sp_batch.duration
             identical = all(
                 a.stream == b.stream for a, b in zip(singles, batched)
             )

@@ -1,0 +1,113 @@
+"""repro.telemetry — tracing, metrics and profiling for the whole system.
+
+A zero-dependency observability layer, off by default and near-free when
+off.  Three primitives:
+
+* **Spans** — hierarchical timed regions with thread/process provenance
+  and arbitrary attributes::
+
+      from repro import telemetry
+
+      with telemetry.span("stage.bitshuffle") as sp:
+          shuffled = bitshuffle(codes)
+          sp.set("bytes", shuffled.nbytes)
+
+  When the recorder is disabled, ``span()`` returns a shared no-op
+  singleton: no allocation, no clock read.  Nesting is tracked per
+  thread; spans recorded in process-pool workers are shipped back with
+  each result and merged by the parent (see
+  :meth:`Recorder.take`/:meth:`Recorder.merge`).
+
+* **Metrics** — counters, gauges and fixed-bucket histograms
+  (``telemetry.counter("pool.hit")``), aggregated thread-safely and
+  merged across processes.
+
+* **Exporters** — :mod:`repro.telemetry.export` renders a recorder
+  snapshot as a JSONL event log, a ``chrome://tracing`` trace, or
+  Prometheus text; :mod:`repro.telemetry.stats` aggregates captured
+  traces into the Fig. 1-style per-stage breakdown behind ``repro
+  stats``.
+
+Recorders live in a process-wide registry (:func:`get_recorder`); the
+module-level helpers below delegate to the ``"default"`` recorder, which
+is the one the CLI, engine and harness share.  The full span-naming
+scheme and metric catalog are documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.recorder import NULL_SPAN, NullSpan, Recorder, Span
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "get_recorder",
+    "span",
+    "timed_span",
+    "counter",
+    "gauge",
+    "histogram",
+    "enabled",
+    "enable",
+    "disable",
+]
+
+_RECORDERS: dict[str, Recorder] = {}
+
+
+def get_recorder(name: str = "default") -> Recorder:
+    """Fetch (creating on first use) a named recorder from the registry."""
+    rec = _RECORDERS.get(name)
+    if rec is None:
+        rec = _RECORDERS[name] = Recorder()
+    return rec
+
+
+_DEFAULT = get_recorder()
+
+
+def span(name: str, attrs: dict | None = None):
+    """Start a span on the default recorder (no-op singleton when disabled)."""
+    return _DEFAULT.span(name, attrs)
+
+
+def timed_span(name: str, attrs: dict | None = None) -> Span:
+    """A span that always measures ``.duration``; recorded iff enabled."""
+    return _DEFAULT.timed_span(name, attrs)
+
+
+def counter(name: str, value: float = 1, labels: dict | None = None) -> None:
+    """Add to a counter on the default recorder."""
+    _DEFAULT.counter(name, value, labels)
+
+
+def gauge(name: str, value: float, labels: dict | None = None) -> None:
+    """Set a gauge on the default recorder."""
+    _DEFAULT.gauge(name, value, labels)
+
+
+def histogram(
+    name: str,
+    value: float,
+    labels: dict | None = None,
+    buckets: tuple[float, ...] | None = None,
+) -> None:
+    """Observe into a histogram on the default recorder."""
+    _DEFAULT.histogram(name, value, labels, buckets)
+
+
+def enabled() -> bool:
+    """Is the default recorder currently recording?"""
+    return _DEFAULT.enabled
+
+
+def enable() -> None:
+    """Turn the default recorder on."""
+    _DEFAULT.enable()
+
+
+def disable() -> None:
+    """Turn the default recorder off (buffered data is kept until clear())."""
+    _DEFAULT.disable()

@@ -1,0 +1,211 @@
+"""Exporters: JSONL event log, Chrome trace, Prometheus text.
+
+All three consume the ``{"events": [...], "metrics": {...}}`` snapshot
+shape produced by :meth:`repro.telemetry.Recorder.snapshot`.  Output is
+deterministic for a deterministic snapshot (keys sorted, stable ordering)
+— the golden tests under ``tests/golden/`` byte-compare it.
+
+Formats
+-------
+JSONL (``to_jsonl``)
+    One JSON object per line: every span event (``"type": "span"``)
+    followed by every metric sample (``"type": "counter" | "gauge" |
+    "histogram"``).  The append-friendly format for log shippers.
+Chrome trace (``to_chrome_trace``)
+    The ``chrome://tracing`` / Perfetto JSON object format: one complete
+    ("ph": "X") event per span with microsecond ``ts``/``dur`` and real
+    ``pid``/``tid``, plus thread-name metadata events.  Wall-clock
+    timestamps make traces merged from process-pool workers line up on
+    one timeline.
+Prometheus text (``to_prometheus``)
+    The plain-text exposition format (counters, gauges, histograms with
+    ``_bucket``/``_sum``/``_count`` series).  Metric names are sanitized
+    (dots become underscores) to satisfy the Prometheus grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_jsonl",
+    "write_chrome_trace",
+    "write_prometheus",
+]
+
+
+def _snapshot_of(source) -> dict:
+    """Accept a Recorder or an already-taken snapshot dict."""
+    if isinstance(source, dict):
+        return source
+    return source.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(source) -> str:
+    """Render a snapshot as one JSON object per line."""
+    snap = _snapshot_of(source)
+    lines = [json.dumps(ev, sort_keys=True) for ev in snap["events"]]
+    metrics = snap.get("metrics", {})
+    for name, labels, value in metrics.get("counters", ()):
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "labels": dict(labels), "value": value},
+                sort_keys=True,
+            )
+        )
+    for name, labels, value in metrics.get("gauges", ()):
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "labels": dict(labels), "value": value},
+                sort_keys=True,
+            )
+        )
+    for name, labels, bounds, counts, total, n in metrics.get("histograms", ()):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": list(bounds),
+                    "counts": list(counts),
+                    "sum": total,
+                    "count": n,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(source) -> dict:
+    """Render a snapshot as a ``chrome://tracing`` JSON object."""
+    snap = _snapshot_of(source)
+    trace_events = []
+    thread_names: dict[tuple[int, int], str] = {}
+    for ev in snap["events"]:
+        pid, tid = ev["pid"], ev["tid"]
+        thread_names.setdefault((pid, tid), ev.get("thread", str(tid)))
+        trace_events.append(
+            {
+                "name": ev["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": ev["ts_us"],
+                "dur": round(ev["dur_us"], 3),
+                "pid": pid,
+                "tid": tid,
+                "args": ev.get("attrs", {}),
+            }
+        )
+    for (pid, tid), name in sorted(thread_names.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    f = float(v)
+    return repr(int(f)) if f.is_integer() else repr(f)
+
+
+def to_prometheus(source) -> str:
+    """Render a snapshot's metrics in Prometheus text format."""
+    snap = _snapshot_of(source)
+    metrics = snap.get("metrics", {})
+    out: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            out.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for name, labels, value in metrics.get("counters", ()):
+        pname = _prom_name(name)
+        _type_line(pname, "counter")
+        out.append(f"{pname}{_prom_labels(labels)} {_fmt_value(value)}")
+    for name, labels, value in metrics.get("gauges", ()):
+        pname = _prom_name(name)
+        _type_line(pname, "gauge")
+        out.append(f"{pname}{_prom_labels(labels)} {_fmt_value(value)}")
+    for name, labels, bounds, counts, total, n in metrics.get("histograms", ()):
+        pname = _prom_name(name)
+        _type_line(pname, "histogram")
+        cumulative = 0
+        for bound, count in zip(list(bounds) + [float("inf")], counts):
+            cumulative += count
+            le = 'le="' + _fmt_value(bound) + '"'
+            out.append(f"{pname}_bucket{_prom_labels(labels, le)} {cumulative}")
+        out.append(f"{pname}_sum{_prom_labels(labels)} {_fmt_value(total)}")
+        out.append(f"{pname}_count{_prom_labels(labels)} {n}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ---------------------------------------------------------------------------
+# file writers
+# ---------------------------------------------------------------------------
+
+
+def _write(text: str, dest: str | pathlib.Path | IO[str]) -> None:
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        pathlib.Path(dest).write_text(text)
+
+
+def write_jsonl(source, dest) -> None:
+    """Write the JSONL event log to a path or text file object."""
+    _write(to_jsonl(source), dest)
+
+
+def write_chrome_trace(source, dest) -> None:
+    """Write the Chrome trace JSON to a path or text file object."""
+    _write(
+        json.dumps(to_chrome_trace(source), sort_keys=True, indent=1) + "\n", dest
+    )
+
+
+def write_prometheus(source, dest) -> None:
+    """Write the Prometheus exposition text to a path or text file object."""
+    _write(to_prometheus(source), dest)

@@ -1,0 +1,128 @@
+"""Counters, gauges and fixed-bucket histograms for :mod:`repro.telemetry`.
+
+A metric is identified by its name plus an optional label set (e.g.
+``engine.worker_tasks{worker="repro-engine_0"}``).  The registry keeps all
+three kinds under one lock; every mutation is a dict update plus a couple
+of scalar ops, cheap enough for per-task (not per-element) call sites.
+
+Snapshots are plain dicts — picklable for process-pool transport and
+directly consumable by the exporters.  :meth:`MetricsRegistry.merge`
+defines the cross-process semantics: counters add, gauges last-write-wins,
+histograms add bucket-wise (the bucket bounds are part of the snapshot so
+a parent can merge a histogram it never observed locally).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry", "DEFAULT_TIME_BUCKETS", "DEFAULT_SIZE_BUCKETS"]
+
+#: Default histogram bounds for durations in seconds (10us .. 10s).
+DEFAULT_TIME_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+#: Default histogram bounds for byte sizes (1 KiB .. 1 GiB).
+DEFAULT_SIZE_BUCKETS = tuple(float(1 << s) for s in range(10, 31, 2))
+
+
+def _key(name: str, labels: dict | None) -> tuple:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Thread-safe store for counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        # key -> [bounds tuple, per-bucket counts (len(bounds)+1), sum, count]
+        self._hists: dict[tuple, list] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def counter_add(self, name: str, value: float = 1, labels: dict | None = None) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: float, labels: dict | None = None) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def histogram_observe(
+        self,
+        name: str,
+        value: float,
+        labels: dict | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        """Observe ``value``; ``buckets`` fixes the bounds on first use."""
+        key = _key(name, labels)
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                bounds = tuple(sorted(buckets)) if buckets else DEFAULT_TIME_BUCKETS
+                hist = self._hists[key] = [bounds, [0] * (len(bounds) + 1), 0.0, 0]
+            bounds, counts = hist[0], hist[1]
+            i = 0
+            while i < len(bounds) and value > bounds[i]:
+                i += 1
+            counts[i] += 1
+            hist[2] += value
+            hist[3] += 1
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable copy: ``{"counters": [...], "gauges": [...], "histograms": [...]}``.
+
+        Entries are ``[name, labels_items, ...payload]`` lists (JSON/pickle
+        friendly), sorted for deterministic export.
+        """
+        def _labels(key: tuple) -> list:
+            # lists of lists, not tuples: a snapshot survives a JSON
+            # round-trip unchanged, so exports and pickles agree
+            return [list(kv) for kv in key[1]]
+
+        with self._lock:
+            counters = sorted(
+                [k[0], _labels(k), v] for k, v in self._counters.items()
+            )
+            gauges = sorted([k[0], _labels(k), v] for k, v in self._gauges.items())
+            hists = sorted(
+                [k[0], _labels(k), list(h[0]), list(h[1]), h[2], h[3]]
+                for k, h in self._hists.items()
+            )
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one."""
+        with self._lock:
+            for name, labels, value in snapshot.get("counters", ()):
+                key = (name, tuple(tuple(kv) for kv in labels))
+                self._counters[key] = self._counters.get(key, 0) + value
+            for name, labels, value in snapshot.get("gauges", ()):
+                self._gauges[(name, tuple(tuple(kv) for kv in labels))] = value
+            for name, labels, bounds, counts, total, n in snapshot.get(
+                "histograms", ()
+            ):
+                key = (name, tuple(tuple(kv) for kv in labels))
+                hist = self._hists.get(key)
+                if hist is None or tuple(hist[0]) != tuple(bounds):
+                    # unseen locally (or bounds differ): adopt the incoming
+                    # histogram rather than silently mixing bucket layouts
+                    self._hists[key] = [tuple(bounds), list(counts), total, n]
+                    continue
+                for i, c in enumerate(counts):
+                    hist[1][i] += c
+                hist[2] += total
+                hist[3] += n
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()

@@ -1,0 +1,128 @@
+"""Trace analysis: load a captured trace and break it down per stage.
+
+This backs the ``repro stats`` CLI subcommand: given a trace produced by
+``repro compress --trace OUT.json`` (Chrome trace format) or ``--trace
+OUT.jsonl`` (JSONL event log), it aggregates span durations by name and
+renders the per-stage relative-time table of the paper's Fig. 1 pipeline
+breakdown — count, total/mean time, and each stage's share of total stage
+time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO
+
+__all__ = ["load_trace", "stage_breakdown", "span_summary", "STAGE_PREFIXES"]
+
+#: Span-name prefixes that count as pipeline stages in the breakdown.
+STAGE_PREFIXES = ("stage.", "sim.")
+
+
+def load_trace(source: str | pathlib.Path | IO[str]) -> list[dict]:
+    """Load span events from a Chrome-trace JSON or JSONL trace file.
+
+    Returns a list of ``{"name", "dur_us", "ts_us", "pid", "tid", "attrs"}``
+    dicts regardless of which exporter wrote the file.
+    """
+    text = (
+        source.read()
+        if hasattr(source, "read")
+        else pathlib.Path(source).read_text()
+    )
+    text = text.strip()
+    if not text:
+        return []
+    events: list[dict] = []
+    # Chrome traces are one JSON object; JSONL lines each start with "{"
+    # too, so sniff by whole-document parse rather than first character.
+    doc: dict | None = None
+    try:
+        parsed = json.loads(text)
+        doc = parsed if isinstance(parsed, dict) else None
+    except json.JSONDecodeError:
+        doc = None
+    if doc is not None:  # Chrome trace object format
+        for ev in doc.get("traceEvents", []):
+            if ev.get("ph") != "X":
+                continue
+            events.append(
+                {
+                    "name": ev["name"],
+                    "dur_us": float(ev.get("dur", 0.0)),
+                    "ts_us": ev.get("ts", 0),
+                    "pid": ev.get("pid", 0),
+                    "tid": ev.get("tid", 0),
+                    "attrs": ev.get("args", {}),
+                }
+            )
+        return events
+    for line in text.splitlines():  # JSONL event log
+        rec = json.loads(line)
+        if rec.get("type") != "span":
+            continue
+        events.append(
+            {
+                "name": rec["name"],
+                "dur_us": float(rec.get("dur_us", 0.0)),
+                "ts_us": rec.get("ts_us", 0),
+                "pid": rec.get("pid", 0),
+                "tid": rec.get("tid", 0),
+                "attrs": rec.get("attrs", {}),
+            }
+        )
+    return events
+
+
+def _is_top_level_stage(name: str) -> bool:
+    return any(
+        name.startswith(p) and "." not in name[len(p):] for p in STAGE_PREFIXES
+    )
+
+
+def stage_breakdown(events: list[dict]) -> list[dict]:
+    """Aggregate stage spans into Fig. 1-style relative-time rows.
+
+    ``time_pct`` is each span name's share of the *top-level* stage time
+    (sub-stages like ``stage.quantize.lorenzo`` are listed with their share
+    of the same denominator, so nesting never double-counts the total).
+    """
+    totals: dict[str, list[float]] = {}
+    for ev in events:
+        name = ev["name"]
+        if not name.startswith(STAGE_PREFIXES):
+            continue
+        agg = totals.setdefault(name, [0, 0.0])
+        agg[0] += 1
+        agg[1] += ev["dur_us"]
+    denom = sum(
+        dur for name, (_, dur) in totals.items() if _is_top_level_stage(name)
+    )
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n][1]):
+        count, dur = totals[name]
+        rows.append(
+            {
+                "stage": name,
+                "calls": count,
+                "total_ms": dur / 1e3,
+                "mean_us": dur / count,
+                "time_pct": 100.0 * dur / denom if denom else 0.0,
+            }
+        )
+    return rows
+
+
+def span_summary(events: list[dict]) -> dict:
+    """Whole-trace summary: span/process/thread counts and wall extent."""
+    if not events:
+        return {"spans": 0, "processes": 0, "threads": 0, "wall_ms": 0.0}
+    t0 = min(ev["ts_us"] for ev in events)
+    t1 = max(ev["ts_us"] + ev["dur_us"] for ev in events)
+    return {
+        "spans": len(events),
+        "processes": len({ev["pid"] for ev in events}),
+        "threads": len({(ev["pid"], ev["tid"]) for ev in events}),
+        "wall_ms": (t1 - t0) / 1e3,
+    }

@@ -28,6 +28,8 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["Scratch", "BufferPool"]
 
 
@@ -74,6 +76,10 @@ class Scratch:
             arena = np.empty(max(n, 1), dtype=dtype)
             self._arenas[(key, dtype.str)] = arena
             self.n_allocations += 1
+            # growth events are rare (cold start / larger shape) — the
+            # steady-state take() path never reaches this counter call
+            telemetry.counter("pool.scratch_growth", 1)
+            telemetry.counter("pool.scratch_growth_bytes", int(arena.nbytes))
         return arena[:n].reshape(shape)
 
     def zeros(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -120,8 +126,13 @@ class BufferPool:
         """Check a scratch out of the pool (creating one if none is free)."""
         with self._lock:
             if self._free:
-                return self._free.pop()
+                scratch = self._free.pop()
+                idle = len(self._free)
+                telemetry.counter("pool.hit")
+                telemetry.gauge("pool.idle", idle)
+                return scratch
             self.n_created += 1
+        telemetry.counter("pool.miss")
         return Scratch()
 
     def release(self, scratch: Scratch) -> None:
@@ -129,6 +140,8 @@ class BufferPool:
         with self._lock:
             if self._max is None or len(self._free) < self._max:
                 self._free.append(scratch)
+            idle = len(self._free)
+        telemetry.gauge("pool.idle", idle)
 
     @contextmanager
     def borrow(self):

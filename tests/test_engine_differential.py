@@ -209,17 +209,35 @@ def test_corrupted_container_rejected(fields, mutate):
 
 
 def test_scratch_zero_allocation_steady_state(fields):
+    import tracemalloc
+
+    from repro import telemetry
+
     fz = FZGPU()
     scratch = Scratch()
     data = fields[1]
     stream = fz.compress(data, EB, "rel", scratch=scratch).stream
     fz.decompress(stream, scratch=scratch)
     warm = scratch.n_allocations
-    for _ in range(3):
-        assert fz.compress(data, EB, "rel", scratch=scratch).stream == stream
-        fz.decompress(stream, scratch=scratch)
+    assert not telemetry.enabled()
+    tracemalloc.start(25)
+    try:
+        for _ in range(3):
+            assert fz.compress(data, EB, "rel", scratch=scratch).stream == stream
+            fz.decompress(stream, scratch=scratch)
+        snap = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
     assert scratch.n_allocations == warm, "steady state still allocating"
     assert scratch.n_requests > 0 and scratch.nbytes > 0
+    # disabled telemetry must stay off the allocation profile entirely:
+    # no live allocation in the steady state may originate in telemetry code
+    telem_allocs = [
+        stat
+        for stat in snap.statistics("filename")
+        if "telemetry" in stat.traceback[0].filename
+    ]
+    assert not telem_allocs, telem_allocs
 
 
 def test_buffer_pool_reuses_scratches(fields):
