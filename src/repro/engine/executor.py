@@ -133,6 +133,12 @@ def _instrumented_task(fn):
     return out
 
 
+# fork-started workers inherit the parent recorder's buffered spans and
+# metrics; each worker must drop that state once before its first take(),
+# or every worker ships the parent's pre-fork events home for re-merging
+_PROC_TELEM_FRESH = False
+
+
 def _proc_run(telem: bool, fn):
     """Worker-process task wrapper: record iff the parent was recording.
 
@@ -140,7 +146,11 @@ def _proc_run(telem: bool, fn):
     recorder after every task and ships the buffer home with the result,
     where :meth:`Recorder.merge` folds it into the parent's trace.
     """
+    global _PROC_TELEM_FRESH
     rec = telemetry.get_recorder()
+    if not _PROC_TELEM_FRESH:
+        rec.clear()
+        _PROC_TELEM_FRESH = True
     rec.enabled = bool(telem)
     result = _instrumented_task(fn)
     return result, (rec.take() if telem else None)

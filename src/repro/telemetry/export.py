@@ -135,8 +135,18 @@ def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value) -> str:
+    # label-value escaping per the text exposition format
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

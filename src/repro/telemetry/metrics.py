@@ -9,7 +9,9 @@ Snapshots are plain dicts — picklable for process-pool transport and
 directly consumable by the exporters.  :meth:`MetricsRegistry.merge`
 defines the cross-process semantics: counters add, gauges last-write-wins,
 histograms add bucket-wise (the bucket bounds are part of the snapshot so
-a parent can merge a histogram it never observed locally).
+a parent can merge a histogram it never observed locally; an incoming
+histogram with *different* bounds is kept as its own ``le_bounds``-labelled
+series, since bucket counts cannot be re-binned).
 """
 
 from __future__ import annotations
@@ -109,12 +111,18 @@ class MetricsRegistry:
             for name, labels, bounds, counts, total, n in snapshot.get(
                 "histograms", ()
             ):
+                bounds = tuple(bounds)
                 key = (name, tuple(tuple(kv) for kv in labels))
                 hist = self._hists.get(key)
-                if hist is None or tuple(hist[0]) != tuple(bounds):
-                    # unseen locally (or bounds differ): adopt the incoming
-                    # histogram rather than silently mixing bucket layouts
-                    self._hists[key] = [tuple(bounds), list(counts), total, n]
+                if hist is not None and tuple(hist[0]) != bounds:
+                    # incompatible bucket layouts: bucket counts cannot be
+                    # re-binned, so file the incoming series under a
+                    # bounds-tagged label instead of discarding either side
+                    tag = ("le_bounds", ",".join(f"{b:g}" for b in bounds))
+                    key = (name, tuple(sorted(key[1] + (tag,))))
+                    hist = self._hists.get(key)
+                if hist is None:
+                    self._hists[key] = [bounds, list(counts), total, n]
                     continue
                 for i, c in enumerate(counts):
                     hist[1][i] += c

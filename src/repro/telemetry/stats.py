@@ -37,10 +37,12 @@ def load_trace(source: str | pathlib.Path | IO[str]) -> list[dict]:
     events: list[dict] = []
     # Chrome traces are one JSON object; JSONL lines each start with "{"
     # too, so sniff by whole-document parse rather than first character.
+    # A one-line JSONL file also parses whole — require the "traceEvents"
+    # key before treating the document as a Chrome trace.
     doc: dict | None = None
     try:
         parsed = json.loads(text)
-        doc = parsed if isinstance(parsed, dict) else None
+        doc = parsed if isinstance(parsed, dict) and "traceEvents" in parsed else None
     except json.JSONDecodeError:
         doc = None
     if doc is not None:  # Chrome trace object format

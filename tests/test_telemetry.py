@@ -171,6 +171,37 @@ def test_metrics_merge_across_payloads():
     assert hists["other"][2] == [5.0]  # adopted wholesale
 
 
+def test_metrics_merge_mismatched_bounds_keeps_both_series():
+    parent = Recorder(enabled=True)
+    parent.histogram("lat", 0.5, buckets=(1.0, 2.0))
+
+    worker = Recorder(enabled=True)
+    worker.histogram("lat", 7.0, buckets=(5.0, 10.0))
+    parent.merge(worker.take())
+
+    hists = {
+        (name, tuple(map(tuple, labels))): (tuple(bounds), counts, total, n)
+        for name, labels, bounds, counts, total, n in parent.snapshot()[
+            "metrics"
+        ]["histograms"]
+    }
+    # local series untouched
+    bounds, counts, total, n = hists[("lat", ())]
+    assert bounds == (1.0, 2.0) and counts == [1, 0, 0]
+    assert total == pytest.approx(0.5) and n == 1
+    # incoming series filed under a bounds-tagged label, not dropped
+    bounds, counts, total, n = hists[("lat", (("le_bounds", "5,10"),))]
+    assert bounds == (5.0, 10.0) and counts == [0, 1, 0]
+    assert total == pytest.approx(7.0) and n == 1
+    # a second same-bounds payload merges into the tagged series
+    worker2 = Recorder(enabled=True)
+    worker2.histogram("lat", 3.0, buckets=(5.0, 10.0))
+    parent.merge(worker2.take())
+    snap = parent.snapshot()["metrics"]["histograms"]
+    tagged = [h for h in snap if h[1] == [["le_bounds", "5,10"]]]
+    assert len(tagged) == 1 and tagged[0][3] == [1, 1, 0] and tagged[0][5] == 2
+
+
 # ---------------------------------------------------------------------------
 # engine transport: worker spans survive thread and process pools
 # ---------------------------------------------------------------------------
@@ -223,6 +254,41 @@ def test_engine_merges_worker_telemetry(pool):
     assert task_total == 2 * len(fields)
     assert counters[("fz.compress_calls", ())] == len(fields)
     assert counters[("fz.bytes_in", ())] == sum(x.nbytes for x in fields)
+
+
+def test_process_pool_does_not_duplicate_prefork_telemetry():
+    """Fork-started workers inherit the parent's buffered spans/metrics;
+    each worker must clear that state before its first take(), or every
+    worker ships the parent's pre-fork events home and merge re-adds them.
+    """
+    from repro.engine import Engine
+
+    rec = telemetry.get_recorder()
+    rec.clear()
+    rec.enabled = True
+    try:
+        with rec.span("prefork.marker"):
+            pass
+        rec.counter("prefork.count", 1)
+        rng = np.random.default_rng(11)
+        fields = [
+            np.cumsum(rng.standard_normal((32, 24)), axis=0).astype(np.float32)
+            for _ in range(3)
+        ]
+        with Engine(jobs=2, pool="process", pooled=True) as engine:
+            engine.compress_batch(fields, 1e-3, "rel")
+        snap = rec.snapshot()
+    finally:
+        rec.enabled = False
+        rec.clear()
+
+    names = [ev["name"] for ev in snap["events"]]
+    assert names.count("prefork.marker") == 1
+    counters = {
+        (name, tuple(map(tuple, labels))): value
+        for name, labels, value in snap["metrics"]["counters"]
+    }
+    assert counters[("prefork.count", ())] == 1
 
 
 # ---------------------------------------------------------------------------
@@ -301,6 +367,13 @@ def test_prometheus_export_shape():
     assert "repro_fz_ratio_count 2" in lines
 
 
+def test_prometheus_label_value_escaping():
+    rec = Recorder(enabled=True)
+    rec.counter("tasks", 1, {"worker": 'a"b\\c\nd'})
+    text = export.to_prometheus(rec)
+    assert 'repro_tasks{worker="a\\"b\\\\c\\nd"} 1' in text.splitlines()
+
+
 # ---------------------------------------------------------------------------
 # stats: trace loading + Fig. 1 breakdown
 # ---------------------------------------------------------------------------
@@ -319,6 +392,20 @@ def test_load_trace_both_formats(tmp_path):
     assert {ev["pid"] for ev in a} == {1234}
     for ea, eb in zip(a, b):
         assert ea["dur_us"] == pytest.approx(eb["dur_us"], abs=1e-3)
+
+
+def test_load_trace_single_line_jsonl(tmp_path):
+    """One JSONL line parses as a whole-document JSON dict; it must still be
+    read as JSONL (a dict without "traceEvents" is not a Chrome trace).
+    """
+    rec = Recorder(enabled=True, pid=1, tid=1)
+    with rec.span("stage.only"):
+        pass
+    path = tmp_path / "one.jsonl"
+    export.write_jsonl(rec, path)
+    assert len(path.read_text().strip().splitlines()) == 1
+    events = stats.load_trace(path)
+    assert [ev["name"] for ev in events] == ["stage.only"]
 
 
 def test_stage_breakdown_uses_top_level_denominator():
