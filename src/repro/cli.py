@@ -13,7 +13,10 @@ Commands
 
 ``compress`` and ``decompress`` accept ``--trace OUT`` / ``--metrics OUT``
 to record the run through :mod:`repro.telemetry` and export a Chrome trace
-(or JSONL, if OUT ends in ``.jsonl``) and a Prometheus text snapshot.
+(or JSONL, if OUT ends in ``.jsonl``) and a Prometheus text snapshot; both
+take ``--retries`` / ``--task-timeout`` to tune the engine's fault
+tolerance, and ``decompress --salvage`` best-effort-recovers a damaged
+multi-chunk container (see ``docs/RELIABILITY.md``).
 """
 
 from __future__ import annotations
@@ -130,6 +133,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_engine(args: argparse.Namespace):
+    """Build the batch engine from the shared ``--jobs``/``--pool``/... opts."""
+    from repro.engine import DEFAULT_RETRIES, Engine
+
+    retries = args.retries if args.retries is not None else DEFAULT_RETRIES
+    return Engine(
+        jobs=args.jobs,
+        pool=args.pool,
+        retries=retries,
+        task_timeout=args.task_timeout,
+    )
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -162,9 +178,7 @@ def cmd_compress(args: argparse.Namespace) -> int:
             violations += 1
 
     if args.codec == "fz-gpu":
-        from repro.engine import Engine
-
-        with Engine(jobs=args.jobs, pool=args.pool) as engine:
+        with _cli_engine(args) as engine:
             if args.chunk_mb is not None:
                 # streaming path: memory-mapped input, multi-chunk container out
                 chunk_bytes = max(int(args.chunk_mb * (1 << 20)), 1)
@@ -215,10 +229,20 @@ def cmd_decompress(args: argparse.Namespace) -> int:
 
     from repro.engine.container import looks_like_container
 
+    if args.salvage and not looks_like_container(args.input):
+        raise SystemExit("--salvage needs a multi-chunk container input")
     if looks_like_container(args.input):
-        from repro.engine import Engine
-
-        with Engine(jobs=args.jobs, pool=args.pool) as engine:
+        with _cli_engine(args) as engine:
+            if args.salvage:
+                recon, report = engine.decompress_file(
+                    args.input, args.output, salvage=True
+                )
+                print(report.summary())
+                print(
+                    f"reconstructed {recon.shape} float32 (salvaged) -> "
+                    f"{args.output}"
+                )
+                return 0 if report.lost_bytes == 0 else 1
             recon = engine.decompress_file(args.input, args.output)
         print(f"reconstructed {recon.shape} float32 (multi-chunk) -> {args.output}")
         return 0
@@ -350,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker count for the batch engine (fz-gpu)")
         sp.add_argument("--pool", choices=("thread", "process"), default="thread",
                         help="worker pool kind (threads release the GIL in NumPy)")
+        sp.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget for transient task failures "
+                             "(default: engine default)")
+        sp.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="per-task wall-clock budget in seconds "
+                             "(default: none)")
 
     def add_telemetry_opts(sp):
         sp.add_argument("--trace", metavar="OUT", default=None,
@@ -381,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("decompress", help="reconstruct a field")
     sp.add_argument("input")
     sp.add_argument("output")
+    sp.add_argument("--salvage", action="store_true",
+                    help="best-effort decode of a damaged multi-chunk "
+                         "container: recover intact segments, NaN-fill the "
+                         "rest, print a salvage report (exit 1 if bytes "
+                         "were lost)")
     add_codec_opts(sp)
     add_engine_opts(sp)
     add_telemetry_opts(sp)

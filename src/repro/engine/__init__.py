@@ -4,37 +4,54 @@ Public surface:
 
 * :class:`~repro.engine.executor.Engine` — batch + streaming front-end to
   the FZ-GPU codec (``compress_batch``, ``decompress_batch``,
-  ``compress_file``, ``decompress_file``).
+  ``compress_file``, ``decompress_file``), with bounded-retry fault
+  tolerance and salvage decode (see ``docs/RELIABILITY.md``).
 * :mod:`repro.engine.container` — the segmented multi-chunk ``.fz``
-  container format (``FZMC0002``).
+  container format (``FZMC0002``) plus the salvage primitives
+  (:func:`~repro.engine.container.resync_segments`,
+  :class:`~repro.engine.container.SalvageReport`).
 """
 
 from repro.engine.container import (
     CONTAINER_MAGIC,
     ContainerIndex,
     ContainerWriter,
+    SalvageReport,
     SegmentEntry,
+    SegmentHit,
+    SegmentOutcome,
     iter_segments,
     looks_like_container,
     read_containers,
+    resync_segments,
 )
 from repro.engine.executor import (
     DEFAULT_CHUNK_BYTES,
+    DEFAULT_RETRIES,
+    MAX_BACKOFF_S,
     Engine,
     FileReport,
+    TaskFailure,
     plan_chunks,
 )
 
 __all__ = [
     "Engine",
     "FileReport",
+    "TaskFailure",
     "plan_chunks",
     "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_RETRIES",
+    "MAX_BACKOFF_S",
     "CONTAINER_MAGIC",
     "ContainerIndex",
     "ContainerWriter",
+    "SalvageReport",
     "SegmentEntry",
+    "SegmentHit",
+    "SegmentOutcome",
     "iter_segments",
     "looks_like_container",
     "read_containers",
+    "resync_segments",
 ]

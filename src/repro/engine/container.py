@@ -45,7 +45,7 @@ import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.errors import FormatError
 from repro.utils.safeio import BoundedReader, checked_count
 
@@ -53,9 +53,13 @@ __all__ = [
     "CONTAINER_MAGIC",
     "ContainerIndex",
     "SegmentEntry",
+    "SegmentHit",
+    "SegmentOutcome",
+    "SalvageReport",
     "ContainerWriter",
     "read_containers",
     "iter_segments",
+    "resync_segments",
     "looks_like_container",
 ]
 
@@ -88,6 +92,83 @@ class SegmentEntry:
     offset: int  #: byte offset of the segment header, container-relative
     seg_bytes: int  #: total segment size (header + payload + CRC)
     extent: int  #: rows this chunk covers along the split axis
+
+
+@dataclass(frozen=True)
+class SegmentHit:
+    """One CRC-valid segment found by the forward re-sync scan."""
+
+    offset: int  #: absolute byte offset of the segment header in the file
+    ordinal: int  #: ordinal stored in the segment header
+    payload: bytes  #: the CRC-validated core stream
+
+
+@dataclass(frozen=True)
+class SegmentOutcome:
+    """Salvage verdict for one container segment slot."""
+
+    ordinal: int  #: segment ordinal (global across concatenated containers)
+    extent: int  #: rows covered along the split axis (0 when unknown)
+    nbytes: int  #: uncompressed bytes this slot accounts for
+    status: str  #: ``"recovered"`` or ``"lost"``
+    detail: str = ""  #: human-readable reason when lost
+
+    @property
+    def recovered(self) -> bool:
+        return self.status == "recovered"
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """Accounting of a salvage decode: every byte is recovered or lost.
+
+    ``recovered_bytes + lost_bytes == total_bytes`` always holds; when the
+    index survived, ``total_bytes`` equals the full declared field size.
+    ``resynced`` is True when the end-anchored index was unusable and the
+    segments were found by forward magic re-sync instead (extents then come
+    from the decoded payloads, not a declared shape).
+    """
+
+    shape: tuple[int, ...] | None
+    resynced: bool
+    total_bytes: int
+    recovered_bytes: int
+    lost_bytes: int
+    segments: tuple[SegmentOutcome, ...]
+
+    def __post_init__(self) -> None:
+        if self.recovered_bytes + self.lost_bytes != self.total_bytes:
+            raise ValueError(
+                f"salvage accounting broken: {self.recovered_bytes} recovered "
+                f"+ {self.lost_bytes} lost != {self.total_bytes} total"
+            )
+
+    @property
+    def recovered_segments(self) -> int:
+        return sum(1 for s in self.segments if s.recovered)
+
+    @property
+    def lost_segments(self) -> int:
+        return len(self.segments) - self.recovered_segments
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing was lost (and the index itself survived)."""
+        return self.lost_bytes == 0 and not self.resynced
+
+    def summary(self) -> str:
+        head = (
+            f"salvage: {self.recovered_segments}/{len(self.segments)} segments, "
+            f"{self.recovered_bytes}/{self.total_bytes} bytes recovered"
+            + (" (index lost, forward re-sync)" if self.resynced else "")
+        )
+        lines = [head] + [
+            f"  segment {s.ordinal}: {s.extent} rows, {s.nbytes} bytes LOST"
+            + (f" ({s.detail})" if s.detail else "")
+            for s in self.segments
+            if not s.recovered
+        ]
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -170,6 +251,10 @@ class ContainerWriter:
         ordinal = len(self._entries)
         header = struct.pack(_SEG_HDR_FMT, _SEG_MAGIC, ordinal, len(payload))
         crc = zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
+        # fault-injection point: an active `segment_corrupt` plan flips one
+        # payload byte *after* the CRC was computed — simulated bit rot that
+        # the segment checksum catches on read (salvage testing)
+        payload = faults.corrupt_segment(payload, ordinal)
         offset = self._pos
         self._write(header)
         self._write(payload)
@@ -400,6 +485,39 @@ def iter_segments(fileobj: BinaryIO) -> Iterator[tuple[ContainerIndex, int, byte
                 )
     if containers == 0:
         raise FormatError("empty container file")
+
+
+def resync_segments(blob: bytes) -> list[SegmentHit]:
+    """Find every CRC-valid segment in ``blob`` by forward magic re-sync.
+
+    Scans for the ``FZSG`` magic; each candidate is accepted only if its
+    declared payload fits the remaining bytes *and* its CRC verifies, so a
+    magic-shaped bit pattern inside corrupted data cannot produce a false
+    positive beyond a 2^-32 CRC collision.  After a hit the scan resumes
+    past the whole segment; after a miss it advances one byte — which is
+    what lets salvage step over a corrupted or truncated region and pick up
+    the next intact segment.
+    """
+    hits: list[SegmentHit] = []
+    n = len(blob)
+    pos = 0
+    while True:
+        i = blob.find(_SEG_MAGIC, pos)
+        if i < 0 or i + _SEG_HDR_BYTES > n:
+            break
+        _, ordinal, payload_len = struct.unpack_from(_SEG_HDR_FMT, blob, i)
+        end = i + _SEG_HDR_BYTES + payload_len + _CRC_BYTES
+        if payload_len <= n and end <= n:
+            (stored,) = struct.unpack_from(_CRC_FMT, blob, end - _CRC_BYTES)
+            actual = zlib.crc32(blob[i : end - _CRC_BYTES]) & 0xFFFFFFFF
+            if stored == actual:
+                hits.append(
+                    SegmentHit(i, ordinal, blob[i + _SEG_HDR_BYTES : end - _CRC_BYTES])
+                )
+                pos = end
+                continue
+        pos = i + 1
+    return hits
 
 
 def _read_exact(fileobj: BinaryIO, n: int, what: str) -> bytes:

@@ -18,10 +18,24 @@
   axis 0 and the error bound is resolved *globally* before chunking, so the
   chunked reconstruction is **bit-identical** to the single-shot one.
 
-Determinism contract (enforced by ``tests/test_engine_differential.py``):
-for every jobs/pool/chunking configuration, per-field streams are
-byte-identical to the single-shot reference and reconstructions are
-bit-identical.  Parallelism changes wall-clock, never bytes.
+* **fault tolerance** — every task runs under a bounded-retry loop with
+  exponential backoff: transient failures (:class:`TransientTaskError`),
+  worker crashes (a broken process pool is rebuilt and its in-flight tasks
+  resubmitted) and per-task timeouts are retried up to ``retries`` times;
+  a task that keeps failing is *quarantined* with a structured
+  :class:`TaskFailure` instead of a stringly exception, and a corrupted
+  multi-chunk container can be **salvage-decoded**
+  (``decompress_chunked_from(..., salvage=True)``), recovering every
+  intact segment and accounting for the rest in a
+  :class:`~repro.engine.container.SalvageReport`.  See
+  ``docs/RELIABILITY.md`` for the fault model.
+
+Determinism contract (enforced by ``tests/test_engine_differential.py``
+and the chaos suite ``tests/test_faults.py``): for every
+jobs/pool/chunking configuration — including runs that recover from
+injected faults — per-field streams are byte-identical to the single-shot
+reference and reconstructions are bit-identical.  Parallelism and
+recovery change wall-clock, never bytes.
 """
 
 from __future__ import annotations
@@ -30,7 +44,13 @@ import math
 import os
 import pathlib
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from collections import deque
 from dataclasses import dataclass
 from io import BytesIO
@@ -38,23 +58,94 @@ from typing import BinaryIO, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.core.pipeline import (
     FZGPU,
     CompressionResult,
     resolve_error_bound_range,
 )
 from repro.engine import container as fzmc
-from repro.errors import ConfigError, FormatError
+from repro.errors import (
+    ConfigError,
+    FormatError,
+    ReproError,
+    TaskError,
+    TaskTimeoutError,
+    TransientTaskError,
+    WorkerCrashError,
+)
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.pool import BufferPool, Scratch
 from repro.utils.safeio import check_consistent
 from repro.utils.validation import ensure_positive
 
-__all__ = ["Engine", "FileReport", "plan_chunks", "DEFAULT_CHUNK_BYTES"]
+__all__ = [
+    "Engine",
+    "FileReport",
+    "TaskFailure",
+    "plan_chunks",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_RETRIES",
+    "MAX_BACKOFF_S",
+]
 
 #: Default streaming chunk size (uncompressed bytes per container segment).
 DEFAULT_CHUNK_BYTES = 4 << 20
+
+#: Default retry budget: how many times a retryable task failure (transient
+#: error, worker crash, timeout) is re-enqueued before quarantine.
+DEFAULT_RETRIES = 2
+
+#: Hard cap on one exponential-backoff sleep.
+MAX_BACKOFF_S = 2.0
+
+#: Exception classes the engine re-enqueues; anything else (a malformed
+#: stream, a bad parameter, an unexpected bug) is deterministic — retrying
+#: cannot help, so those quarantine immediately.
+RETRYABLE_ERRORS = (TransientTaskError, WorkerCrashError, TaskTimeoutError)
+
+
+def _failure_kind(exc: BaseException) -> str:
+    if isinstance(exc, TransientTaskError):
+        return "transient"
+    if isinstance(exc, WorkerCrashError):
+        return "crash"
+    if isinstance(exc, TaskTimeoutError):
+        return "timeout"
+    return "error"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a quarantined engine task.
+
+    Returned in-place of the result when a batch runs with
+    ``on_error="return"``; attached to the raised :class:`TaskError` as
+    ``.failure`` otherwise.  ``history`` holds one failure kind
+    (``"transient"``/``"crash"``/``"timeout"``/``"error"``) per attempt.
+    """
+
+    index: int
+    attempts: int
+    error: str
+    error_type: str
+    history: tuple[str, ...]
+
+
+class _Task:
+    """Mutable in-flight state for one submitted work item."""
+
+    __slots__ = ("index", "item", "attempts", "history", "future", "failure",
+                 "last_exc")
+
+    def __init__(self, index: int, item) -> None:
+        self.index = index
+        self.item = item
+        self.attempts = 0
+        self.history: list[str] = []
+        self.future = None
+        self.failure: TaskFailure | None = None
+        self.last_exc: BaseException | None = None
 
 
 def plan_chunks(
@@ -139,12 +230,18 @@ def _instrumented_task(fn):
 _PROC_TELEM_FRESH = False
 
 
-def _proc_run(telem: bool, fn):
+def _proc_run(telem: bool, fn, index: int, attempt: int, plan_text: str):
     """Worker-process task wrapper: record iff the parent was recording.
 
     Returns ``(result, telemetry_payload_or_None)`` — the worker drains its
     recorder after every task and ships the buffer home with the result,
     where :meth:`Recorder.merge` folds it into the parent's trace.
+
+    ``plan_text`` is the parent's serialized fault plan, applied for
+    exactly this task: the parent stays authoritative over injection even
+    when the worker's fork-inherited environment or module state is stale,
+    and ``fire_task(..., hard=True)`` makes an injected ``worker_crash``
+    a *real* process death (the parent sees ``BrokenProcessPool``).
     """
     global _PROC_TELEM_FRESH
     rec = telemetry.get_recorder()
@@ -152,25 +249,33 @@ def _proc_run(telem: bool, fn):
         rec.clear()
         _PROC_TELEM_FRESH = True
     rec.enabled = bool(telem)
-    result = _instrumented_task(fn)
+    with faults.applied(plan_text):
+        faults.fire_task(index, attempt, hard=True)
+        result = _instrumented_task(fn)
     return result, (rec.take() if telem else None)
 
 
 def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
-    data, eb, mode, chunk, pooled, telem = args
+    (data, eb, mode, chunk, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
         lambda: FZGPU(chunk=chunk).compress(
             data, eb, mode, scratch=_proc_scratch(pooled)
         ),
+        index,
+        attempt,
+        plan_text,
     )
 
 
 def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
-    stream, chunk, pooled, telem = args
+    (stream, chunk, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
         lambda: FZGPU(chunk=chunk).decompress(stream, scratch=_proc_scratch(pooled)),
+        index,
+        attempt,
+        plan_text,
     )
 
 
@@ -196,6 +301,20 @@ class Engine:
         across engines.
     chunk:
         Optional FZ-GPU chunk-shape override, forwarded to every codec.
+    retries:
+        How many times a *retryable* task failure (transient error, worker
+        crash, timeout) is re-enqueued before the task is quarantined with
+        a :class:`TaskFailure`.  Deterministic errors (malformed streams,
+        bad inputs) never retry.
+    task_timeout:
+        Per-task wall-clock budget in seconds while the engine waits on
+        the task at the head of the result queue (``None`` = no timeout;
+        only enforced when ``jobs > 1``).  A timed-out process-pool task
+        wedges its worker, so the pool is rebuilt and in-flight tasks are
+        resubmitted; a timed-out thread is abandoned and the task retried.
+    backoff:
+        Base delay of the exponential retry backoff: attempt ``k`` sleeps
+        ``backoff * 2**(k-1)`` seconds (capped at :data:`MAX_BACKOFF_S`).
     """
 
     def __init__(
@@ -205,19 +324,33 @@ class Engine:
         pooled: bool = True,
         buffer_pool: BufferPool | None = None,
         chunk: tuple[int, ...] | None = None,
+        retries: int = DEFAULT_RETRIES,
+        task_timeout: float | None = None,
+        backoff: float = 0.05,
     ) -> None:
         jobs = int(jobs)
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if pool not in ("thread", "process"):
             raise ConfigError(f"pool must be 'thread' or 'process', got {pool!r}")
+        retries = int(retries)
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if task_timeout is not None:
+            task_timeout = ensure_positive(task_timeout, "task_timeout")
+        if backoff < 0:
+            raise ConfigError(f"backoff must be >= 0, got {backoff}")
         self.jobs = jobs
         self.pool_kind = pool
         self.pooled = bool(pooled)
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.backoff = float(backoff)
         self._chunk = chunk
         self._codec = FZGPU(chunk=chunk)
         self._executor: Executor | None = None
+        self._degraded = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -233,11 +366,33 @@ class Engine:
                 self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
 
+    def _rebuild_executor(self, reason: str) -> Executor:
+        """Tear down a broken/wedged pool and stand up a fresh one."""
+        if telemetry.enabled():
+            telemetry.counter("engine.pool_rebuild", 1, {"reason": reason})
+        old = self._executor
+        self._executor = None
+        self._degraded = True
+        if old is not None:
+            try:
+                old.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # a broken pool may refuse even shutdown
+                pass
+        return self._ensure_executor()
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        After a worker crash or an abandoned hung task the engine is
+        *degraded*: close then tears the pool down without waiting, so a
+        wedged worker can never block ``close()``/``__exit__`` — the old
+        leak where a dead process pool left the engine unusable.  A fresh
+        pool is created lazily on next use either way.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.shutdown(wait=not self._degraded, cancel_futures=True)
             self._executor = None
+        self._degraded = False
 
     def __enter__(self) -> "Engine":
         return self
@@ -247,6 +402,93 @@ class Engine:
 
     # -- task plumbing -----------------------------------------------------
 
+    def _note_failure(self, task: _Task, exc: BaseException, kind: str) -> bool:
+        """Record one failed attempt; True means the task will be retried.
+
+        Retryable failures consume the ``retries`` budget; everything else
+        — and any retryable failure past the budget — quarantines the task
+        with a structured :class:`TaskFailure`.
+        """
+        task.attempts += 1
+        task.history.append(kind)
+        task.last_exc = exc
+        if isinstance(exc, RETRYABLE_ERRORS) and task.attempts <= self.retries:
+            if telemetry.enabled():
+                telemetry.counter("engine.retry", 1, {"reason": kind})
+            return True
+        task.failure = TaskFailure(
+            index=task.index,
+            attempts=task.attempts,
+            error=repr(exc),
+            error_type=type(exc).__name__,
+            history=tuple(task.history),
+        )
+        if telemetry.enabled():
+            telemetry.counter("engine.task_quarantined", 1, {"reason": kind})
+        return False
+
+    def _backoff_sleep(self, attempts: int, reason: str, index: int) -> None:
+        """Exponential backoff before a retry, traced as ``engine.retry``."""
+        delay = min(self.backoff * (2 ** (attempts - 1)), MAX_BACKOFF_S)
+        with telemetry.span("engine.retry") as sp:
+            sp.set("task", index)
+            sp.set("reason", reason)
+            sp.set("delay_s", delay)
+            if delay > 0:
+                time.sleep(delay)
+
+    def _emit_failure(self, task: _Task, on_error: str):
+        """Surface a quarantined task per the caller's error policy.
+
+        ``"return"`` yields the :class:`TaskFailure` in the result slot.
+        ``"raise"`` re-raises the original exception when the very first
+        attempt failed deterministically (preserving the documented
+        `ReproError` taxonomy for malformed streams and bad inputs) and
+        raises :class:`TaskError` carrying the failure record otherwise.
+        """
+        if on_error == "return":
+            return task.failure
+        exc = task.last_exc
+        if (
+            task.attempts == 1
+            and isinstance(exc, ReproError)
+            and not isinstance(exc, RETRYABLE_ERRORS)
+        ):
+            raise exc
+        raise TaskError(
+            f"task {task.index} quarantined after {task.attempts} attempt(s) "
+            f"[{'/'.join(task.history)}]: {exc!r}",
+            failure=task.failure,
+        ) from exc
+
+    def _run_inline(self, thread_fn: Callable, thread_items: Iterable,
+                    on_error: str) -> Iterator:
+        """jobs=1 path: no executor, but the same retry/quarantine loop."""
+        scratch = self.buffer_pool.acquire() if self.pooled else None
+        try:
+            for index, item in enumerate(thread_items):
+                task = _Task(index, item)
+                while True:
+                    def body(item=item, attempt=task.attempts):
+                        faults.fire_task(index, attempt, hard=False)
+                        return thread_fn(item, scratch)
+
+                    try:
+                        out = _instrumented_task(body)
+                    except Exception as exc:
+                        kind = _failure_kind(exc)
+                        if self._note_failure(task, exc, kind):
+                            self._backoff_sleep(task.attempts, kind, index)
+                            continue
+                        yield self._emit_failure(task, on_error)
+                        break
+                    else:
+                        yield out
+                        break
+        finally:
+            if scratch is not None:
+                self.buffer_pool.release(scratch)
+
     def _run_ordered(
         self,
         thread_fn: Callable,
@@ -254,30 +496,34 @@ class Engine:
         thread_items: Iterable,
         proc_items: Iterable,
         window: int | None = None,
+        on_error: str = "raise",
     ) -> Iterator:
         """Run tasks through the pool, yielding results in submission order.
 
         At most ``window`` futures are in flight (default ``4 * jobs``), so
         streaming callers keep bounded memory even when one slow chunk
-        heads the queue.
+        heads the queue.  Each task runs under the retry loop described in
+        the class docstring; quarantined tasks surface per ``on_error``
+        (``"raise"`` — the default — or ``"return"``, which yields the
+        :class:`TaskFailure` in the task's result slot so surviving
+        results never reorder).
         """
+        if on_error not in ("raise", "return"):
+            raise ConfigError(f"on_error must be 'raise' or 'return', got {on_error!r}")
         executor = self._ensure_executor()
         if executor is None:
-            scratch = self.buffer_pool.acquire() if self.pooled else None
-            try:
-                for item in thread_items:
-                    out = _instrumented_task(lambda: thread_fn(item, scratch))
-                    yield out
-            finally:
-                if scratch is not None:
-                    self.buffer_pool.release(scratch)
+            yield from self._run_inline(thread_fn, thread_items, on_error)
             return
+        plan_text = faults.serialized()
         window = window if window is not None else 4 * self.jobs
-        pending: deque = deque()
         if self.pool_kind == "process":
-            submit = lambda item: executor.submit(proc_fn, item)  # noqa: E731
             items: Iterable = proc_items
             recorder = telemetry.get_recorder()
+
+            def submit(task: _Task) -> None:
+                task.future = executor.submit(
+                    proc_fn, (task.item, task.index, task.attempts, plan_text)
+                )
 
             def finalize(res):
                 # unwrap (result, telemetry payload) from the worker process
@@ -286,32 +532,115 @@ class Engine:
                     recorder.merge(payload)
                 return result
         else:
-            def _with_scratch(item):
-                def run():
-                    if not self.pooled:
-                        return thread_fn(item, None)
-                    with self.buffer_pool.borrow() as scratch:
-                        return thread_fn(item, scratch)
-
-                return _instrumented_task(run)
-
-            submit = lambda item: executor.submit(_with_scratch, item)  # noqa: E731
             items = thread_items
+
+            def submit(task: _Task) -> None:
+                index, attempt, item = task.index, task.attempts, task.item
+
+                def run():
+                    def body():
+                        faults.fire_task(index, attempt, hard=False)
+                        if not self.pooled:
+                            return thread_fn(item, None)
+                        with self.buffer_pool.borrow() as scratch:
+                            return thread_fn(item, scratch)
+
+                    return _instrumented_task(body)
+
+                task.future = executor.submit(run)
 
             def finalize(res):
                 return res
+
+        def safe_submit(task: _Task) -> None:
+            # a pool can break between the head-wait and a submission;
+            # rebuild once — a freshly built pool accepts work
+            nonlocal executor
+            try:
+                submit(task)
+            except BrokenExecutor:
+                executor = self._rebuild_executor("crash")
+                submit(task)
+
         track_queue = telemetry.enabled()
-        for item in items:
-            pending.append(submit(item))
-            if track_queue:
-                telemetry.gauge("engine.queue_depth", len(pending))
-            if len(pending) >= window:
-                yield finalize(pending.popleft().result())
+        pending: deque[_Task] = deque()
+        source = enumerate(items)
+        exhausted = False
+
+        def refill() -> None:
+            nonlocal exhausted
+            while not exhausted and len(pending) < window:
+                nxt = next(source, None)
+                if nxt is None:
+                    exhausted = True
+                    return
+                task = _Task(*nxt)
+                safe_submit(task)
+                pending.append(task)
+                if track_queue:
+                    telemetry.gauge("engine.queue_depth", len(pending))
+
+        refill()
         while pending:
-            out = finalize(pending.popleft().result())
-            if track_queue:
-                telemetry.gauge("engine.queue_depth", len(pending))
-            yield out
+            task = pending[0]
+            if task.failure is not None:
+                pending.popleft()
+                yield self._emit_failure(task, on_error)
+                refill()
+                continue
+            try:
+                res = task.future.result(timeout=self.task_timeout)
+            except TimeoutError:
+                exc = TaskTimeoutError(
+                    f"task {task.index} exceeded task_timeout="
+                    f"{self.task_timeout}s (attempt {task.attempts + 1})"
+                )
+                retry = self._note_failure(task, exc, "timeout")
+                if retry:
+                    self._backoff_sleep(task.attempts, "timeout", task.index)
+                if self.pool_kind == "process":
+                    # the hung task wedges its worker process: rebuild the
+                    # pool and resubmit every in-flight task (only the
+                    # timed-out head consumed a retry)
+                    executor = self._rebuild_executor("timeout")
+                    for t in pending:
+                        if t.failure is None and (t is not task or retry):
+                            submit(t)
+                else:
+                    # a hung thread cannot be killed: abandon its future
+                    # (it releases its scratch when it eventually wakes)
+                    # and run the retry on a fresh worker thread
+                    self._degraded = True
+                    if retry:
+                        safe_submit(task)
+            except BrokenExecutor as exc:
+                # a worker died; the whole pool is broken and every pending
+                # future is lost.  Rebuild, charge one crash attempt to each
+                # in-flight task (the crasher is indistinguishable), then
+                # resubmit the survivors.
+                executor = self._rebuild_executor("crash")
+                crash = WorkerCrashError(f"worker pool broke mid-batch: {exc!r}")
+                crash.__cause__ = exc
+                deepest = 0
+                for t in pending:
+                    if t.failure is None and self._note_failure(t, crash, "crash"):
+                        deepest = max(deepest, t.attempts)
+                if deepest:
+                    self._backoff_sleep(deepest, "crash", task.index)
+                for t in pending:
+                    if t.failure is None:
+                        submit(t)
+            except Exception as exc:
+                kind = _failure_kind(exc)
+                if self._note_failure(task, exc, kind):
+                    self._backoff_sleep(task.attempts, kind, task.index)
+                    safe_submit(task)
+            else:
+                pending.popleft()
+                if track_queue:
+                    telemetry.gauge("engine.queue_depth", len(pending))
+                yield finalize(res)
+                refill()
 
     # -- batch API ---------------------------------------------------------
 
@@ -320,12 +649,17 @@ class Engine:
         fields: Sequence[np.ndarray],
         eb: float,
         mode: str = "rel",
+        on_error: str = "raise",
     ) -> list[CompressionResult]:
         """Compress many independent fields; results keep input order.
 
         Each field is compressed exactly as ``FZGPU().compress(field, eb,
         mode)`` would — per-field streams are byte-identical to single-shot
-        output regardless of ``jobs``/``pool``/``pooled``.
+        output regardless of ``jobs``/``pool``/``pooled``, including runs
+        that recovered from worker crashes or transient failures.  With
+        ``on_error="return"`` a quarantined field yields its
+        :class:`TaskFailure` in the corresponding result slot instead of
+        raising, so surviving results never shift position.
         """
         fields = list(fields)
         telem = telemetry.enabled()
@@ -337,12 +671,18 @@ class Engine:
                     _proc_compress,
                     fields,
                     [(f, eb, mode, self._chunk, self.pooled, telem) for f in fields],
+                    on_error=on_error,
                 )
             )
         return results
 
-    def decompress_batch(self, streams: Sequence[bytes]) -> list[np.ndarray]:
-        """Decompress many streams; results keep input order."""
+    def decompress_batch(
+        self, streams: Sequence[bytes], on_error: str = "raise"
+    ) -> list[np.ndarray]:
+        """Decompress many streams; results keep input order.
+
+        ``on_error`` behaves as in :meth:`compress_batch`.
+        """
         streams = list(streams)
         telem = telemetry.enabled()
         with telemetry.span("engine.decompress_batch") as sp:
@@ -353,6 +693,7 @@ class Engine:
                     _proc_decompress,
                     streams,
                     [(b, self._chunk, self.pooled, telem) for b in streams],
+                    on_error=on_error,
                 )
             )
         return results
@@ -444,13 +785,24 @@ class Engine:
         self.compress_chunked_to(buf, data, eb, mode, chunk_bytes)
         return buf.getvalue()
 
-    def decompress_chunked_from(self, fileobj: BinaryIO) -> np.ndarray:
+    def decompress_chunked_from(
+        self, fileobj: BinaryIO, salvage: bool = False
+    ):
         """Decode a (possibly concatenated) multi-chunk container.
 
         Concatenated containers must agree on their trailing dimensions and
         are stitched along axis 0 — the natural "append more chunks by
         appending a container" streaming idiom.
+
+        With ``salvage=True`` a damaged container is decoded best-effort
+        instead of raising: every CRC-valid segment is recovered
+        bit-identically, damaged extents are NaN-filled, and the method
+        returns ``(array, SalvageReport)`` where the report accounts for
+        every byte (``recovered_bytes + lost_bytes == total_bytes``).  See
+        :meth:`_decompress_salvage` for the two recovery strategies.
         """
+        if salvage:
+            return self._decompress_salvage(fileobj)
         with telemetry.span("engine.read_index"):
             indexes = fzmc.read_containers(fileobj)
         tail = indexes[0].shape[1:]
@@ -494,9 +846,204 @@ class Engine:
             row += expected[0]
         return out
 
-    def decompress_chunked(self, blob: bytes) -> np.ndarray:
+    def decompress_chunked(self, blob: bytes, salvage: bool = False):
         """In-memory variant of :meth:`decompress_chunked_from`."""
-        return self.decompress_chunked_from(BytesIO(blob))
+        return self.decompress_chunked_from(BytesIO(blob), salvage=salvage)
+
+    # -- salvage decode ----------------------------------------------------
+
+    def _decode_tolerant(self, payloads: Sequence[bytes]) -> list:
+        """Decode core streams through the pool, one result slot per input.
+
+        Runs with ``on_error="return"`` so a payload that fails to decode
+        lands as a :class:`TaskFailure` in its slot instead of aborting the
+        surviving segments.
+        """
+        payloads = list(payloads)
+        telem = telemetry.enabled()
+        return list(
+            self._run_ordered(
+                lambda b, s: self._codec.decompress(b, scratch=s),
+                _proc_decompress,
+                payloads,
+                [(b, self._chunk, self.pooled, telem) for b in payloads],
+                on_error="return",
+            )
+        )
+
+    def _decompress_salvage(
+        self, fileobj: BinaryIO
+    ) -> tuple[np.ndarray, fzmc.SalvageReport]:
+        """Best-effort decode of a damaged container.
+
+        Two strategies, picked by whether the end-anchored index trailer
+        still parses:
+
+        * **indexed** — the index survived (payload-only damage): every
+          declared segment slot is checked against the CRC-valid segments
+          actually present at its offset; damaged slots are NaN-filled in
+          an output of the full declared shape.
+        * **re-sync** — the index itself is unreadable (truncation, trailer
+          damage): a forward scan for CRC-valid ``FZSG`` segment frames
+          (:func:`~repro.engine.container.resync_segments`) recovers what
+          remains, stitched along axis 0 in file order.
+        """
+        fileobj.seek(0)
+        blob = fileobj.read()
+        index_error = ""
+        with telemetry.span("engine.salvage") as root:
+            try:
+                indexes = fzmc.read_containers(BytesIO(blob))
+            except FormatError as exc:
+                indexes = None
+                index_error = str(exc)
+            hits = fzmc.resync_segments(blob)
+            if indexes is not None:
+                out, report = self._salvage_indexed(indexes, hits)
+            else:
+                root.set("index_error", index_error)
+                out, report = self._salvage_resync(hits)
+            root.set("resynced", report.resynced)
+            root.set("recovered_bytes", report.recovered_bytes)
+            root.set("lost_bytes", report.lost_bytes)
+        if telemetry.enabled():
+            telemetry.counter("engine.salvage")
+            for seg in report.segments:
+                telemetry.counter(
+                    "engine.salvage_segments", 1, {"status": seg.status}
+                )
+                telemetry.counter(
+                    "engine.salvage_bytes", seg.nbytes, {"status": seg.status}
+                )
+        return out, report
+
+    def _salvage_indexed(
+        self, indexes: list[fzmc.ContainerIndex], hits: list[fzmc.SegmentHit]
+    ) -> tuple[np.ndarray, fzmc.SalvageReport]:
+        """Salvage with a surviving index: NaN-fill exactly the damaged rows."""
+        tail = indexes[0].shape[1:]
+        for idx in indexes[1:]:
+            if idx.shape[1:] != tail:
+                raise FormatError(
+                    f"concatenated containers disagree on trailing dims: "
+                    f"{idx.shape[1:]} vs {tail}"
+                )
+        row_bytes = 4 * math.prod(tail)
+        by_offset = {h.offset: h for h in hits}
+        # one slot per declared segment: (extent, payload-or-None)
+        slots: list[tuple[int, bytes | None]] = []
+        start = 0
+        for idx in indexes:
+            for entry in idx.segments:
+                hit = by_offset.get(start + entry.offset)
+                slots.append((entry.extent, hit.payload if hit else None))
+            start += idx.container_bytes
+        decoded = iter(
+            self._decode_tolerant([p for _, p in slots if p is not None])
+        )
+        total_rows = sum(idx.shape[0] for idx in indexes)
+        out = np.full((total_rows,) + tail, np.nan, dtype=np.float32)
+        outcomes: list[fzmc.SegmentOutcome] = []
+        recovered = 0
+        row = 0
+        for ordinal, (extent, payload) in enumerate(slots):
+            nbytes = extent * row_bytes
+            detail = "segment corrupt or missing"
+            ok = False
+            if payload is not None:
+                res = next(decoded)
+                if isinstance(res, TaskFailure):
+                    detail = f"payload decode failed: {res.error_type}"
+                elif tuple(res.shape) != (extent,) + tail:
+                    detail = (
+                        f"decoded shape {tuple(res.shape)} does not match "
+                        f"declared {(extent,) + tail}"
+                    )
+                else:
+                    out[row : row + extent] = res
+                    ok = True
+            if ok:
+                recovered += nbytes
+                outcomes.append(
+                    fzmc.SegmentOutcome(ordinal, extent, nbytes, "recovered")
+                )
+            else:
+                outcomes.append(
+                    fzmc.SegmentOutcome(ordinal, extent, nbytes, "lost", detail)
+                )
+            row += extent
+        total = total_rows * row_bytes
+        report = fzmc.SalvageReport(
+            shape=(total_rows,) + tail,
+            resynced=False,
+            total_bytes=total,
+            recovered_bytes=recovered,
+            lost_bytes=total - recovered,
+            segments=tuple(outcomes),
+        )
+        return out, report
+
+    def _salvage_resync(
+        self, hits: list[fzmc.SegmentHit]
+    ) -> tuple[np.ndarray, fzmc.SalvageReport]:
+        """Salvage without an index: stitch re-synced segments in file order.
+
+        Extents come from the decoded payloads themselves (each core stream
+        carries its own shape), so the report's ``total_bytes`` covers only
+        what was *found* — bytes inside wholly destroyed regions are
+        unknowable without the index.
+        """
+        hits = sorted(hits, key=lambda h: h.offset)
+        results = self._decode_tolerant([h.payload for h in hits])
+        outcomes: list[fzmc.SegmentOutcome] = []
+        parts: list[np.ndarray] = []
+        tail: tuple[int, ...] | None = None
+        recovered = 0
+        lost = 0
+        for hit, res in zip(hits, results):
+            if isinstance(res, TaskFailure):
+                outcomes.append(
+                    fzmc.SegmentOutcome(
+                        hit.ordinal, 0, 0, "lost",
+                        f"payload decode failed: {res.error_type}",
+                    )
+                )
+                continue
+            arr = np.atleast_1d(np.asarray(res, dtype=np.float32))
+            nbytes = 4 * int(arr.size)
+            seg_tail = tuple(arr.shape[1:])
+            if tail is None:
+                tail = seg_tail
+            if seg_tail != tail:
+                lost += nbytes
+                outcomes.append(
+                    fzmc.SegmentOutcome(
+                        hit.ordinal, int(arr.shape[0]), nbytes, "lost",
+                        f"trailing dims {seg_tail} disagree with {tail}",
+                    )
+                )
+                continue
+            recovered += nbytes
+            parts.append(arr)
+            outcomes.append(
+                fzmc.SegmentOutcome(
+                    hit.ordinal, int(arr.shape[0]), nbytes, "recovered"
+                )
+            )
+        out = (
+            np.concatenate(parts, axis=0)
+            if parts
+            else np.empty((0,), dtype=np.float32)
+        )
+        report = fzmc.SalvageReport(
+            shape=None,
+            resynced=True,
+            total_bytes=recovered + lost,
+            recovered_bytes=recovered,
+            lost_bytes=lost,
+            segments=tuple(outcomes),
+        )
+        return out, report
 
     # -- file API ----------------------------------------------------------
 
@@ -526,15 +1073,23 @@ class Engine:
         self,
         input_path: str | pathlib.Path,
         output_path: str | pathlib.Path | None = None,
-    ) -> np.ndarray:
-        """Decode a multi-chunk container file (optionally saving the field)."""
+        salvage: bool = False,
+    ):
+        """Decode a multi-chunk container file (optionally saving the field).
+
+        With ``salvage=True`` returns ``(array, SalvageReport)`` and never
+        raises on payload damage — see :meth:`decompress_chunked_from`.
+        """
         with open(input_path, "rb") as f:
-            out = self.decompress_chunked_from(f)
+            if salvage:
+                out, report = self.decompress_chunked_from(f, salvage=True)
+            else:
+                out = self.decompress_chunked_from(f)
         if output_path is not None:
             from repro.io import save_field
 
             save_field(output_path, out)
-        return out
+        return (out, report) if salvage else out
 
 
 def _open_field_mmap(

@@ -25,3 +25,36 @@ class UnsupportedDataError(ReproError):
 
 class DecompressionError(ReproError):
     """Internal inconsistency detected while decoding a stream."""
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine failures (workers, timeouts, tasks)."""
+
+
+class TransientTaskError(EngineError):
+    """A task failed in a way that is expected to succeed on retry.
+
+    Raised by injected transient faults and usable by task bodies to signal
+    "re-enqueue me"; the engine retries these up to its ``retries`` budget.
+    """
+
+
+class WorkerCrashError(EngineError):
+    """A worker died mid-task (process pool broke, or an injected crash)."""
+
+
+class TaskTimeoutError(EngineError):
+    """A task exceeded the engine's per-task ``task_timeout``."""
+
+
+class TaskError(EngineError):
+    """A task was quarantined after exhausting its retry budget.
+
+    Carries the structured :class:`repro.engine.TaskFailure` describing the
+    attempt history as :attr:`failure`, so callers get machine-readable
+    context instead of a stringly exception chain.
+    """
+
+    def __init__(self, message: str, failure=None) -> None:
+        super().__init__(message)
+        self.failure = failure

@@ -11,6 +11,10 @@ Fixtures under ``tests/golden/``:
 * ``golden_v2.fz``        — current (v2, CRC-trailed) single-shot stream
 * ``golden_v1.fz``        — the same payload framed as a legacy v1 stream
 * ``golden_container.fz`` — the same field as a multi-chunk FZMC container
+* ``golden_salvage.fz``   — the container with segment 1 deterministically
+  bit-flipped (built under a ``segment_corrupt`` fault plan, so the damage
+  is itself reproducible), plus ``golden_salvage_report.txt`` holding the
+  expected byte-exact salvage report
 
 Regenerate after an *intentional* format change with::
 
@@ -39,7 +43,17 @@ GOLDEN_EB = 0.0625
 #: Small enough that the container fixture holds several segments.
 GOLDEN_CHUNK_BYTES = 2048
 
-FIXTURES = ("golden_v2.fz", "golden_v1.fz", "golden_container.fz")
+FIXTURES = (
+    "golden_v2.fz",
+    "golden_v1.fz",
+    "golden_container.fz",
+    "golden_salvage.fz",
+    "golden_salvage_report.txt",
+)
+
+#: Fault plan that damages the salvage fixture: one deterministic byte flip
+#: in segment 1, position derived from a pure hash (see repro.faults).
+SALVAGE_PLAN = "segment_corrupt:at=1,seed=5"
 
 
 def golden_field() -> np.ndarray:
@@ -52,7 +66,9 @@ def golden_field() -> np.ndarray:
 
 
 def build_golden() -> dict[str, bytes]:
-    """Encode the golden field into all three fixture layouts."""
+    """Encode the golden field into every fixture layout."""
+    from repro import faults
+
     data = golden_field()
     fz = FZGPU()
     v2 = fz.compress(data, GOLDEN_EB, "abs").stream
@@ -62,10 +78,17 @@ def build_golden() -> dict[str, bytes]:
         container = engine.compress_chunked(
             data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
         )
+        with faults.installed(faults.FaultPlan.parse(SALVAGE_PLAN)):
+            damaged = engine.compress_chunked(
+                data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
+            )
+        _, report = engine.decompress_chunked(damaged, salvage=True)
     return {
         "golden_v2.fz": v2,
         "golden_v1.fz": v1,
         "golden_container.fz": container,
+        "golden_salvage.fz": damaged,
+        "golden_salvage_report.txt": (report.summary() + "\n").encode(),
     }
 
 

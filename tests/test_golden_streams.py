@@ -77,21 +77,54 @@ def test_container_fixture_decodes_identically(stored):
     assert np.array_equal(got, FZGPU().decompress(stored["golden_v2.fz"]))
 
 
-@pytest.mark.parametrize("name", FIXTURES)
+def test_salvage_fixture_recovers_everything_else(stored):
+    """The checked-in damaged container salvages deterministically.
+
+    Segment 1 is lost (the fault plan flipped one byte under its CRC); the
+    other segments must come back bit-identical to the clean container's
+    reconstruction, and the report must byte-match the stored fixture.
+    """
+    blob = stored["golden_salvage.fz"]
+    with Engine() as engine:
+        with pytest.raises(FormatError):
+            engine.decompress_chunked(blob)  # strict decode still refuses
+        out, report = engine.decompress_chunked(blob, salvage=True)
+        ref = engine.decompress_chunked(stored["golden_container.fz"])
+    (idx,) = read_containers(io.BytesIO(stored["golden_container.fz"]))
+    extents = [s.extent for s in idx.segments]
+    assert out.shape == ref.shape == GOLDEN_SHAPE
+    assert not report.resynced
+    assert report.total_bytes == ref.nbytes
+    assert report.recovered_bytes + report.lost_bytes == report.total_bytes
+    assert [s.status for s in report.segments] == [
+        "lost" if i == 1 else "recovered" for i in range(len(extents))
+    ]
+    assert report.lost_bytes == extents[1] * GOLDEN_SHAPE[1] * 4
+    lo, hi = extents[0], extents[0] + extents[1]
+    assert np.isnan(out[lo:hi]).all()
+    assert np.array_equal(out[:lo], ref[:lo])
+    assert np.array_equal(out[hi:], ref[hi:])
+    # byte-exact report: salvage output text is part of the golden contract
+    assert (report.summary() + "\n").encode() == stored[
+        "golden_salvage_report.txt"
+    ]
+
+
+@pytest.mark.parametrize("name", [n for n in FIXTURES if n.endswith(".fz")])
 def test_corrupted_fixture_rejected(stored, name):
     blob = stored[name]
     bad_magic = b"XXXX" + blob[4:]
     truncated = blob[: len(blob) - 3]
     if name == "golden_v2.fz":
         flipped = blob[:200] + bytes([blob[200] ^ 0x40]) + blob[201:]
-    elif name == "golden_container.fz":
+    elif name in ("golden_container.fz", "golden_salvage.fz"):
         flipped = blob[:40] + bytes([blob[40] ^ 0x40]) + blob[41:]
     else:
         # v1 has no CRC; only framing-level corruption is detectable
         flipped = None
     for mutated in filter(None, (bad_magic, truncated, flipped)):
         with pytest.raises(FormatError):
-            if name == "golden_container.fz":
+            if name in ("golden_container.fz", "golden_salvage.fz"):
                 with Engine() as engine:
                     engine.decompress_chunked(mutated)
             else:
