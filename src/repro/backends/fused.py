@@ -1,0 +1,330 @@
+"""The ``fused`` backend: single-pass quantize + bitshuffle + zero-block encode.
+
+The paper's biggest ablation win (Fig. 10) comes from fusing bitshuffle
+into the dual-quantization kernel so the quantization-code array never
+round-trips through global memory (§3.3).  This backend reproduces that
+bandwidth argument on the CPU: instead of three full-array passes
+(``stage.quantize`` → ``stage.bitshuffle`` → ``stage.encode``, each
+streaming the whole field through memory), it processes the field in
+cache-sized *slabs* of whole Lorenzo chunk-rows and pushes each slab all
+the way to encoded output while it is still resident:
+
+1. pre-quantize the slab in float64 and take the per-chunk Lorenzo
+   residuals **without materializing the int64 grid** — ``rint`` output is
+   an exact float64 integer, and integer differences in float64 are exact
+   while ``max |q| < 2**51``, so float64 subtraction commutes bit-for-bit
+   with the reference's int64 pipeline (a guard falls back to the staged
+   pooled path for pathological ``data/eb`` ratios);
+2. sign-magnitude encode in int16 — when no residual saturates (checked
+   per slab), a two's-complement int16 of a magnitude ≤ 0x7FFF has bit 15
+   set exactly when negative, i.e. the int16 bit pattern's top bit *is*
+   the format's sign bit, collapsing the clamp/compare/mask sequence to
+   ``|x| | (x & 0x8000)``;
+3. gather the slab's codes to chunk-major order and emit whole 32x32-bit
+   tiles through a pending-codes buffer (slab size need not divide the
+   2048-code tile);
+4. bit-transpose each batch of tiles in *bit-plane-major* layout — all
+   five masked-swap passes then run over long contiguous runs instead of
+   the tile-major layout's stride-``j`` hops — and derive zero-block flags
+   and literal blocks directly from that layout, so the word-transposed
+   "shuffled" array of the staged pipeline is never materialized either.
+
+Output is **byte-identical** to the ``reference`` backend for every input
+(enforced by ``tests/test_backends_conformance.py``); the speedup over
+``pooled`` is recorded in ``BENCH_backends.json`` and gated in CI.
+
+Decoding has no equivalent single-pass trick to exploit (the literal
+scatter is already the only full pass), so :meth:`FusedBackend.decode`
+reuses the pooled staged decoders.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import telemetry
+from repro.backends.base import EncodeOutcome, KernelBackend
+from repro.backends.reference import padded_stage_sizes
+from repro.core import hotpath
+from repro.core.bitshuffle import TILE_WORDS
+from repro.core.encoder import BLOCK_WORDS, EncodedBlocks
+from repro.core.quantize import MAX_MAGNITUDE, SIGN_BIT, QuantizerStats
+from repro.utils.bits import _SWAP_DISTANCES, _SWAP_MASKS, pack_bitflags
+from repro.utils.pool import Scratch
+
+__all__ = ["FusedBackend", "TILE_CODES", "TARGET_SLAB_CODES"]
+
+#: Quantization codes per bitshuffle tile (2048 = 4 KiB of uint16).
+TILE_CODES = 2 * TILE_WORDS
+
+#: Aim for ~64K codes (128 KiB of uint16 + the float64 working set) per
+#: slab: big enough to amortize ufunc dispatch, small enough to stay
+#: L2-resident through all fused steps.
+TARGET_SLAB_CODES = 1 << 16
+
+#: Residual magnitudes are exact in float64 subtraction only below this;
+#: 2**51 leaves two doublings of headroom under the 2**53 integer limit
+#: for the up-to-two extra Lorenzo difference levels.
+_EXACT_LIMIT = float(2**51)
+
+
+class _NeedsExactPath(Exception):
+    """Raised when ``max |q|`` breaks the float64-exactness guard."""
+
+
+def _transpose_bitplanes(B: np.ndarray, scratch: Scratch) -> None:
+    """In-place 32x32 bit transpose of ``B`` in bit-plane-major layout.
+
+    ``B[c, t*32 + i]`` holds in-row word ``c`` of row ``i`` of tile ``t``.
+    The masked-swap network pairs rows ``c`` and ``c ^ j``, so every pass
+    operates on contiguous ``(j * M)``-element slices — unlike the
+    tile-major layout, where the ``j in (1, 2, 4)`` passes degrade to
+    stride-``j`` inner loops.  Same arithmetic as
+    :func:`repro.utils.bits.bit_transpose_32x32_fast`, hence bit-exact.
+    """
+    M = B.shape[1]
+    for j, mask in zip(_SWAP_DISTANCES, _SWAP_MASKS):
+        pairs = B.reshape(32 // (2 * j), 2, j, M)
+        lo = pairs[:, 0]
+        hi = pairs[:, 1]
+        t = scratch.take("fz.swap", lo.shape, np.uint32)
+        np.right_shift(lo, j, out=t)
+        np.bitwise_xor(t, hi, out=t)
+        np.bitwise_and(t, mask, out=t)
+        np.bitwise_xor(hi, t, out=hi)
+        np.left_shift(t, j, out=t)
+        np.bitwise_xor(lo, t, out=lo)
+
+
+def _fused_encode_codes(
+    data: np.ndarray,
+    eb_abs: float,
+    chunk: tuple[int, ...],
+    scratch: Scratch,
+) -> tuple[EncodedBlocks, tuple[int, ...], QuantizerStats]:
+    """The fused slab loop.  See the module docstring for the algorithm."""
+    nd = data.ndim
+    shape = data.shape
+    padded = tuple(-(-s // c) * c for s, c in zip(shape, chunk))
+    inner = shape[1:]
+    inner_p = padded[1:]
+    inner_n = math.prod(inner_p)
+    c0 = chunk[0]
+    slab_rows = max(1, TARGET_SLAB_CODES // (c0 * inner_n)) * c0
+    slab_rows = min(slab_rows, padded[0])
+    inv = np.float64(2.0 * eb_abs)
+
+    fbuf = scratch.take("fz.f64a", (slab_rows,) + inner_p, np.float64)
+    dbuf = scratch.take("fz.f64b", (slab_rows,) + inner_p, np.float64)
+    codes_rm = scratch.take("fz.c16", (slab_rows,) + inner_p, np.uint16)
+    pend = scratch.take("fz.pend", (TILE_CODES,), np.uint16)
+    n_pend = 0
+    flags_parts: list[np.ndarray] = []
+    lit_parts: list[np.ndarray] = []
+    n_sat = 0
+    max_abs = 0
+
+    def encode_tiles(codes_part: np.ndarray) -> None:
+        """Bitshuffle + zero-block encode a whole number of tiles."""
+        flat = codes_part.view(np.uint32).reshape(-1, 32)
+        n_tiles = flat.shape[0] // 32
+        M = n_tiles * 32
+        B = scratch.take("fz.planes", (32, M), np.uint32)
+        np.copyto(B, flat.T)
+        _transpose_bitplanes(B, scratch)
+        # per-block OR without materializing the word-transposed layout:
+        # shuffled block (t, c, m) is B[c, t*32 + 4m : t*32 + 4m + 4]
+        grp = B.reshape(32, n_tiles, 8, BLOCK_WORDS)
+        acc = scratch.take("fz.acc", (32, n_tiles, 8), np.uint32)
+        np.bitwise_or(grp[..., 0], grp[..., 1], out=acc)
+        for w in range(2, BLOCK_WORDS):
+            np.bitwise_or(acc, grp[..., w], out=acc)
+        bf = scratch.take("fz.bf", (n_tiles * 256,), bool)
+        np.not_equal(acc.transpose(1, 0, 2), 0, out=bf.reshape(n_tiles, 32, 8))
+        flags_parts.append(pack_bitflags(bf))
+        # gather only the nonzero blocks, straight from the plane layout
+        idx = np.nonzero(bf)[0]
+        c = (idx >> 3) & 31
+        tm = ((idx >> 8) << 3) | (idx & 7)
+        lit_parts.append(
+            B.reshape(32, n_tiles * 8, BLOCK_WORDS)[c, tm].reshape(-1)
+        )
+
+    def flush_tiles(codes_cm: np.ndarray) -> None:
+        """Emit whole tiles from contiguous chunk-major codes + the carry."""
+        nonlocal n_pend
+        if n_pend:
+            need = TILE_CODES - n_pend
+            if codes_cm.size >= need:
+                pend[n_pend:] = codes_cm[:need]
+                n_pend = 0
+                encode_tiles(pend)
+                codes_cm = codes_cm[need:]
+            else:
+                pend[n_pend : n_pend + codes_cm.size] = codes_cm
+                n_pend += codes_cm.size
+                return
+        n_full = codes_cm.size // TILE_CODES
+        rest = codes_cm[n_full * TILE_CODES :]
+        if n_full:
+            encode_tiles(codes_cm[: n_full * TILE_CODES])
+        if rest.size:
+            pend[: rest.size] = rest
+            n_pend = rest.size
+
+    for a in range(0, padded[0], slab_rows):
+        b = min(a + slab_rows, padded[0])
+        rows = b - a
+        real = max(0, min(shape[0], b) - a)
+        f = fbuf[:rows]
+        if real < rows:
+            f[real:] = 0.0
+        if real:
+            for k in range(1, nd):
+                if padded[k] != shape[k]:
+                    sl = [slice(0, real)] + [slice(None)] * (nd - 1)
+                    sl[k] = slice(shape[k], None)
+                    f[tuple(sl)] = 0.0
+            interior = (slice(0, real),) + tuple(slice(0, s) for s in inner)
+            np.divide(data[a : a + real], inv, out=f[interior])
+        np.rint(f, out=f)
+        if real and max(float(f.max()), -float(f.min())) >= _EXACT_LIMIT:
+            raise _NeedsExactPath
+        # per-chunk Lorenzo residuals: prepend-0 diff along every axis,
+        # restarting at chunk boundaries (the strided writeback); diff
+        # axes commute, ping-ponging between the two float64 buffers
+        src, dst = f, dbuf[:rows]
+        for k in range(nd - 1, -1, -1):
+            hi = [slice(None)] * nd
+            hi[k] = slice(1, None)
+            lo = [slice(None)] * nd
+            lo[k] = slice(None, -1)
+            np.subtract(src[tuple(hi)], src[tuple(lo)], out=dst[tuple(hi)])
+            starts = [slice(None)] * nd
+            starts[k] = slice(None, None, chunk[k])
+            dst[tuple(starts)] = src[tuple(starts)]
+            src, dst = dst, src
+        delta = src
+        slab_max = float(max(delta.max(), -delta.min())) if rows else 0.0
+        max_abs = max(max_abs, int(slab_max))
+        cr = codes_rm[:rows]
+        if slab_max > MAX_MAGNITUDE:
+            # rare saturating slab: clamp in float64 exactly as reference
+            mg = dst
+            np.absolute(delta, out=mg)
+            mask = scratch.take("fz.mask", (rows,) + inner_p, bool)
+            np.greater(mg, MAX_MAGNITUDE, out=mask)
+            n_sat += int(np.count_nonzero(mask))
+            np.minimum(mg, float(MAX_MAGNITUDE), out=mg)
+            np.copyto(cr, mg, casting="unsafe")
+            np.less(delta, 0, out=mask)
+            np.bitwise_or(cr, SIGN_BIT, out=cr, where=mask)
+        else:
+            # |delta| <= 0x7FFF fits int16 exactly, and the int16 sign bit
+            # of such a value is set iff negative — it *is* SIGN_BIT
+            xi = cr.view(np.int16)
+            np.copyto(xi, delta, casting="unsafe")
+            mg16 = scratch.take("fz.m16", (rows,) + inner_p, np.uint16)
+            np.absolute(xi, out=mg16.view(np.int16))
+            np.bitwise_and(cr, SIGN_BIT, out=cr)
+            np.bitwise_or(cr, mg16, out=cr)
+        if nd == 1:
+            flush_tiles(cr)  # 1-D chunk-major order is row-major order
+            continue
+        # chunk-major gather: (g, c0, n1, c1[, n2, c2]) ->
+        #                     (g, n1[, n2], c0, c1[, c2])
+        g_rows = rows // c0
+        grid = tuple(p // c for p, c in zip(inner_p, chunk[1:]))
+        view_shape = (g_rows, c0)
+        for n, c in zip(grid, chunk[1:]):
+            view_shape += (n, c)
+        perm = (
+            (0,)
+            + tuple(range(2, 2 * nd, 2))
+            + (1,)
+            + tuple(range(3, 2 * nd + 1, 2))
+        )
+        cm = scratch.take("fz.cm", (rows * inner_n,), np.uint16)
+        view = cr.reshape(view_shape).transpose(perm)
+        np.copyto(cm.reshape(view.shape), view)
+        flush_tiles(cm)
+
+    if n_pend:
+        pend[n_pend:] = 0  # zero-pad the final partial tile, as reference
+        n_pend = 0
+        encode_tiles(pend)
+    bitflags = (
+        np.concatenate(flags_parts) if flags_parts else np.zeros(0, np.uint8)
+    )
+    literals = (
+        np.concatenate(lit_parts) if lit_parts else np.zeros(0, np.uint32)
+    )
+    encoded = EncodedBlocks(
+        bitflags=bitflags,
+        literals=literals,
+        n_blocks=sum(fp.size * 8 for fp in flags_parts),
+        n_nonzero=literals.size // BLOCK_WORDS,
+    )
+    return encoded, padded, QuantizerStats(n_sat, 0, max_abs)
+
+
+class FusedBackend(KernelBackend):
+    """Cache-blocked single-pass encode; staged pooled decode."""
+
+    name = "fused"
+
+    def encode(
+        self,
+        data: np.ndarray,
+        eb_abs: float,
+        chunk: tuple[int, ...],
+        scratch: Scratch | None = None,
+    ) -> EncodeOutcome:
+        scratch = self._own_scratch(scratch)
+        try:
+            with telemetry.span("stage.fused_encode"):
+                encoded, padded_shape, stats = _fused_encode_codes(
+                    data, eb_abs, chunk, scratch
+                )
+        except _NeedsExactPath:
+            # data/eb ratio beyond float64-exact Lorenzo territory: the
+            # staged pooled path does int64 arithmetic and stays
+            # byte-identical by its own contract
+            with telemetry.span("stage.quantize"):
+                codes, padded_shape, stats = hotpath.dual_quantize_pooled(
+                    data, eb_abs, chunk, scratch
+                )
+            with telemetry.span("stage.bitshuffle"):
+                shuffled = hotpath.bitshuffle_pooled(codes, scratch)
+            with telemetry.span("stage.encode"):
+                encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
+        codes_bytes, shuffled_bytes = padded_stage_sizes(padded_shape)
+        return EncodeOutcome(
+            encoded=encoded,
+            padded_shape=padded_shape,
+            stats=stats,
+            codes_bytes=codes_bytes,
+            shuffled_bytes=shuffled_bytes,
+        )
+
+    def decode(
+        self,
+        encoded: EncodedBlocks,
+        padded_shape: tuple[int, ...],
+        orig_shape: tuple[int, ...],
+        eb_abs: float,
+        chunk: tuple[int, ...] | None,
+        scratch: Scratch | None = None,
+    ) -> np.ndarray:
+        scratch = self._own_scratch(scratch)
+        n_codes = int(np.prod(padded_shape))
+        with telemetry.span("stage.decode"):
+            words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
+        with telemetry.span("stage.bitunshuffle"):
+            codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
+        with telemetry.span("stage.dequantize"):
+            return hotpath.dual_dequantize_pooled(
+                codes, padded_shape, orig_shape, eb_abs, chunk, scratch
+            )

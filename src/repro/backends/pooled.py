@@ -1,0 +1,70 @@
+"""The ``pooled`` backend: allocation-free staged kernels from ``core/hotpath``.
+
+Same three-stage structure as ``reference`` but every large temporary
+lives in a :class:`~repro.utils.pool.Scratch` arena and the bit transpose
+runs the masked-swap network.  Byte-identical by the hotpath contract
+(``tests/test_engine_differential.py``); this module only adapts it to the
+:class:`~repro.backends.base.KernelBackend` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import telemetry
+from repro.backends.base import EncodeOutcome, KernelBackend
+from repro.core import hotpath
+from repro.core.encoder import EncodedBlocks
+from repro.utils.pool import Scratch
+
+__all__ = ["PooledBackend"]
+
+
+class PooledBackend(KernelBackend):
+    """Scratch-arena staged kernels (the engine's historical hot path)."""
+
+    name = "pooled"
+
+    def encode(
+        self,
+        data: np.ndarray,
+        eb_abs: float,
+        chunk: tuple[int, ...],
+        scratch: Scratch | None = None,
+    ) -> EncodeOutcome:
+        scratch = self._own_scratch(scratch)
+        with telemetry.span("stage.quantize"):
+            codes, padded_shape, stats = hotpath.dual_quantize_pooled(
+                data, eb_abs, chunk, scratch
+            )
+        with telemetry.span("stage.bitshuffle"):
+            shuffled = hotpath.bitshuffle_pooled(codes, scratch)
+        with telemetry.span("stage.encode"):
+            encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
+        return EncodeOutcome(
+            encoded=encoded,
+            padded_shape=padded_shape,
+            stats=stats,
+            codes_bytes=int(codes.nbytes),
+            shuffled_bytes=int(shuffled.nbytes),
+        )
+
+    def decode(
+        self,
+        encoded: EncodedBlocks,
+        padded_shape: tuple[int, ...],
+        orig_shape: tuple[int, ...],
+        eb_abs: float,
+        chunk: tuple[int, ...] | None,
+        scratch: Scratch | None = None,
+    ) -> np.ndarray:
+        scratch = self._own_scratch(scratch)
+        n_codes = int(np.prod(padded_shape))
+        with telemetry.span("stage.decode"):
+            words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
+        with telemetry.span("stage.bitunshuffle"):
+            codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
+        with telemetry.span("stage.dequantize"):
+            return hotpath.dual_dequantize_pooled(
+                codes, padded_shape, orig_shape, eb_abs, chunk, scratch
+            )

@@ -49,7 +49,7 @@ def _make_codec(name: str, args: argparse.Namespace):
     from repro.core.pipeline import FZGPU
 
     if name == "fz-gpu":
-        return FZGPU()
+        return FZGPU(backend=getattr(args, "backend", None))
     if name == "cusz":
         return CuSZ()
     if name == "cusz-rle":
@@ -130,6 +130,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(render_table(rows, title="per-stage breakdown (Fig. 1 view)"))
     else:
         print("no stage.* / sim.* spans in this trace")
+    brows = stats.backend_breakdown(events)
+    if brows:
+        for row in brows:
+            row["total_ms"] = f"{row['total_ms']:.3f}"
+            row["mean_us"] = f"{row['mean_us']:.1f}"
+            row["mb_per_s"] = f"{row['mb_per_s']:.1f}"
+        print(render_table(brows, title="per-backend breakdown"))
     return 0
 
 
@@ -141,6 +148,7 @@ def _cli_engine(args: argparse.Namespace):
     return Engine(
         jobs=args.jobs,
         pool=args.pool,
+        backend=getattr(args, "backend", None),
         retries=retries,
         task_timeout=args.task_timeout,
     )
@@ -368,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--mode", choices=("rel", "abs"), default="rel")
         sp.add_argument("--rate", type=float, default=None,
                         help="bits/value (cuZFP only)")
+        sp.add_argument("--backend", default=None, metavar="NAME",
+                        help="fz-gpu kernel backend: reference, pooled, fused "
+                             "or auto (default: $REPRO_BACKEND, then auto; "
+                             "output bytes are identical for every backend)")
 
     def add_engine_opts(sp):
         sp.add_argument("--jobs", type=int, default=1,

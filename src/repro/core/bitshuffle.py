@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import DecompressionError
 from repro.utils.bits import bit_transpose_32x32
 
 __all__ = ["bitshuffle", "bitunshuffle", "TILE_WORDS", "TILE_BYTES"]
@@ -74,12 +75,20 @@ def bitunshuffle(words: np.ndarray, n_codes: int) -> np.ndarray:
 
     The bit transpose is an involution and the word transpose is its own
     inverse, so decompression applies them in the opposite order.
+
+    ``n_codes`` comes from an untrusted stream header, so it is validated
+    here: a count that is negative or exceeds the decoded word capacity
+    raises :class:`~repro.errors.DecompressionError` (a negative slice
+    bound would otherwise silently mis-slice the code array).
     """
     words = np.ascontiguousarray(words, dtype=np.uint32)
     tiles = _as_tiles(words)
+    n_codes = int(n_codes)
+    if not 0 <= n_codes <= 2 * words.size:
+        raise DecompressionError(
+            f"stream holds {2 * words.size} codes, {n_codes} requested"
+        )
     unswapped = np.ascontiguousarray(tiles.swapaxes(-1, -2))
     restored = bit_transpose_32x32(unswapped)
     codes = np.ascontiguousarray(restored).reshape(-1).view(np.uint16)
-    if n_codes > codes.size:
-        raise ValueError(f"stream holds {codes.size} codes, {n_codes} requested")
     return codes[:n_codes]

@@ -204,6 +204,12 @@ def bitunshuffle_pooled(
     """Pooled :func:`repro.core.bitshuffle.bitunshuffle` (bit-identical)."""
     if words.size % TILE_WORDS:
         raise DecompressionError("word count must be a multiple of TILE_WORDS")
+    n_codes = int(n_codes)
+    if not 0 <= n_codes <= 2 * words.size:
+        # header-supplied count: negative values would silently mis-slice
+        raise DecompressionError(
+            f"stream holds {2 * words.size} codes, {n_codes} requested"
+        )
     tiles = words.reshape(-1, 32, 32)
     unswapped = scratch.take("bus.unswap", tiles.shape, np.uint32)
     np.copyto(unswapped, tiles.swapaxes(-1, -2))
@@ -211,10 +217,6 @@ def bitunshuffle_pooled(
         unswapped, out=scratch.take("bus.out", tiles.shape, np.uint32), scratch=scratch
     )
     codes = restored.reshape(-1).view(np.uint16)
-    if n_codes > codes.size:
-        raise DecompressionError(
-            f"stream holds {codes.size} codes, {n_codes} requested"
-        )
     return codes[:n_codes]
 
 

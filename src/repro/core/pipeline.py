@@ -21,18 +21,25 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 
 from repro import telemetry
-from repro.core.bitshuffle import bitshuffle, bitunshuffle
-from repro.core.encoder import decode_zero_blocks, encode_zero_blocks
 from repro.core.format import StreamHeader, pack_stream, unpack_stream
-from repro.core.quantize import QuantizerStats, dual_dequantize, dual_quantize
-from repro.errors import ConfigError, DecompressionError
+from repro.core.quantize import QuantizerStats
+from repro.errors import ConfigError, DecompressionError, UnsupportedDataError
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.validation import ensure_float32, ensure_ndim, ensure_positive
+
+
+def _resolve_backend(selected, pooled: bool):
+    # deferred: repro.backends pulls in the core kernel modules, which would
+    # cycle with this module during ``repro.core`` package initialization
+    from repro.backends import resolve_backend
+
+    return resolve_backend(selected, pooled)
 
 __all__ = [
     "FZGPU",
@@ -57,6 +64,12 @@ def resolve_error_bound_range(lo: float, hi: float, eb: float, mode: str) -> flo
     if mode == "abs":
         return eb
     if mode == "rel":
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            # NaN/inf extrema would propagate into the absolute bound and
+            # quantize the whole field to garbage without any error
+            raise UnsupportedDataError(
+                f"rel mode needs finite data extrema, got [{lo}, {hi}]"
+            )
         value_range = hi - lo
         if value_range == 0.0:
             value_range = abs(hi) if hi != 0 else 1.0
@@ -131,12 +144,24 @@ class FZGPU:
     chunk:
         Optional chunk-shape override for the dual-quantization stage
         (defaults to cuSZ geometry: 256 / 16x16 / 8x8x8).
+    backend:
+        Kernel backend selection: a registered name (``"reference"``,
+        ``"pooled"``, ``"fused"``), a :class:`~repro.backends.KernelBackend`
+        instance, or ``None``/``"auto"`` to consult the ``REPRO_BACKEND``
+        environment variable and fall back to the historical rule (pooled
+        kernels when a scratch arena is passed, reference otherwise).  All
+        backends produce byte-identical streams.
     """
 
     name = "FZ-GPU"
 
-    def __init__(self, chunk: tuple[int, ...] | None = None):
+    def __init__(
+        self,
+        chunk: tuple[int, ...] | None = None,
+        backend=None,
+    ):
         self._chunk = chunk
+        self._backend = backend
 
     def compress(
         self,
@@ -165,33 +190,18 @@ class FZGPU:
         """
         data = ensure_ndim(ensure_float32(data))
         chunk = chunk_shape_for(data.ndim, self._chunk)
+        backend = _resolve_backend(self._backend, pooled=scratch is not None)
         with telemetry.span("fz.compress") as root:
             eb_abs = resolve_error_bound(data, eb, mode)
 
-            with telemetry.span("stage.quantize"):
-                if scratch is None:
-                    codes, padded_shape, qstats = dual_quantize(data, eb_abs, chunk)
-                else:
-                    from repro.core import hotpath
-
-                    codes, padded_shape, qstats = hotpath.dual_quantize_pooled(
-                        data, eb_abs, chunk, scratch
-                    )
-            with telemetry.span("stage.bitshuffle"):
-                if scratch is None:
-                    shuffled = bitshuffle(codes)
-                else:
-                    shuffled = hotpath.bitshuffle_pooled(codes, scratch)
-            with telemetry.span("stage.encode"):
-                if scratch is None:
-                    encoded = encode_zero_blocks(shuffled)
-                else:
-                    encoded = hotpath.encode_zero_blocks_pooled(shuffled, scratch)
+            outcome = backend.encode(data, eb_abs, chunk, scratch)
+            encoded = outcome.encoded
+            qstats = outcome.stats
 
             header = StreamHeader(
                 ndim=data.ndim,
                 shape=data.shape,
-                padded_shape=padded_shape,
+                padded_shape=outcome.padded_shape,
                 eb=eb_abs,
                 chunk=chunk,
                 n_blocks=encoded.n_blocks,
@@ -203,6 +213,7 @@ class FZGPU:
             root.set("bytes_in", int(data.nbytes))
             root.set("bytes_out", len(stream))
             root.set("pooled", scratch is not None)
+            root.set("backend", backend.name)
         if telemetry.enabled():
             telemetry.counter("fz.compress_calls")
             telemetry.counter("fz.bytes_in", int(data.nbytes))
@@ -221,8 +232,8 @@ class FZGPU:
             n_blocks=encoded.n_blocks,
             n_nonzero_blocks=encoded.n_nonzero,
             stage_sizes={
-                "codes_bytes": int(codes.nbytes),
-                "shuffled_bytes": int(shuffled.nbytes),
+                "codes_bytes": outcome.codes_bytes,
+                "shuffled_bytes": outcome.shuffled_bytes,
                 "flags_bytes": int(encoded.bitflags.nbytes),
                 "literals_bytes": int(encoded.literals.nbytes),
             },
@@ -241,33 +252,15 @@ class FZGPU:
         makes the decode temporaries allocation-free in the steady state
         while reconstructing a bit-identical array.
         """
+        backend = _resolve_backend(self._backend, pooled=scratch is not None)
         with telemetry.span("fz.decompress") as root:
             with telemetry.span("stage.unpack"):
                 header, encoded = unpack_stream(stream)
             try:
-                n_codes = int(np.prod(header.padded_shape))
-                if scratch is None:
-                    with telemetry.span("stage.decode"):
-                        words = decode_zero_blocks(encoded)
-                    with telemetry.span("stage.bitunshuffle"):
-                        codes = bitunshuffle(words, n_codes)
-                    with telemetry.span("stage.dequantize"):
-                        out = dual_dequantize(
-                            codes, header.padded_shape, header.shape, header.eb,
-                            header.chunk,
-                        )
-                else:
-                    from repro.core import hotpath
-
-                    with telemetry.span("stage.decode"):
-                        words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
-                    with telemetry.span("stage.bitunshuffle"):
-                        codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
-                    with telemetry.span("stage.dequantize"):
-                        out = hotpath.dual_dequantize_pooled(
-                            codes, header.padded_shape, header.shape, header.eb,
-                            header.chunk, scratch,
-                        )
+                out = backend.decode(
+                    encoded, header.padded_shape, header.shape, header.eb,
+                    header.chunk, scratch,
+                )
             except ValueError as exc:
                 # residual shape/size validation from NumPy on streams the
                 # header checks could not rule out
@@ -275,6 +268,7 @@ class FZGPU:
             root.set("bytes_in", len(stream))
             root.set("bytes_out", int(out.nbytes))
             root.set("pooled", scratch is not None)
+            root.set("backend", backend.name)
         if telemetry.enabled():
             telemetry.counter("fz.decompress_calls")
         return out

@@ -256,10 +256,10 @@ def _proc_run(telem: bool, fn, index: int, attempt: int, plan_text: str):
 
 
 def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
-    (data, eb, mode, chunk, pooled, telem), index, attempt, plan_text = args
+    (data, eb, mode, chunk, backend, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
-        lambda: FZGPU(chunk=chunk).compress(
+        lambda: FZGPU(chunk=chunk, backend=backend).compress(
             data, eb, mode, scratch=_proc_scratch(pooled)
         ),
         index,
@@ -269,10 +269,12 @@ def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
 
 
 def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
-    (stream, chunk, pooled, telem), index, attempt, plan_text = args
+    (stream, chunk, backend, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
-        lambda: FZGPU(chunk=chunk).decompress(stream, scratch=_proc_scratch(pooled)),
+        lambda: FZGPU(chunk=chunk, backend=backend).decompress(
+            stream, scratch=_proc_scratch(pooled)
+        ),
         index,
         attempt,
         plan_text,
@@ -301,6 +303,14 @@ class Engine:
         across engines.
     chunk:
         Optional FZ-GPU chunk-shape override, forwarded to every codec.
+    backend:
+        Optional kernel-backend selection forwarded to every codec: a
+        registered name (``"reference"``, ``"pooled"``, ``"fused"``), a
+        :class:`~repro.backends.KernelBackend` instance (thread pools
+        only; process workers receive the *name*, so the backend must be
+        registered on import in the child too), or ``None``/``"auto"``
+        for the ``REPRO_BACKEND``-then-historical default.  Output bytes
+        are identical for every choice.
     retries:
         How many times a *retryable* task failure (transient error, worker
         crash, timeout) is re-enqueued before the task is quarantined with
@@ -324,6 +334,7 @@ class Engine:
         pooled: bool = True,
         buffer_pool: BufferPool | None = None,
         chunk: tuple[int, ...] | None = None,
+        backend=None,
         retries: int = DEFAULT_RETRIES,
         task_timeout: float | None = None,
         backoff: float = 0.05,
@@ -348,7 +359,14 @@ class Engine:
         self.task_timeout = task_timeout
         self.backoff = float(backoff)
         self._chunk = chunk
-        self._codec = FZGPU(chunk=chunk)
+        if isinstance(backend, str) and backend != "auto":
+            from repro.backends import get_backend
+
+            get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
+        # process workers get the selection by name (instances don't pickle)
+        self._backend_sel = getattr(backend, "name", backend)
+        self._codec = FZGPU(chunk=chunk, backend=backend)
         self._executor: Executor | None = None
         self._degraded = False
 
@@ -670,7 +688,8 @@ class Engine:
                     lambda f, s: self._codec.compress(f, eb, mode, scratch=s),
                     _proc_compress,
                     fields,
-                    [(f, eb, mode, self._chunk, self.pooled, telem) for f in fields],
+                    [(f, eb, mode, self._chunk, self._backend_sel, self.pooled,
+                      telem) for f in fields],
                     on_error=on_error,
                 )
             )
@@ -692,7 +711,8 @@ class Engine:
                     lambda b, s: self._codec.decompress(b, scratch=s),
                     _proc_decompress,
                     streams,
-                    [(b, self._chunk, self.pooled, telem) for b in streams],
+                    [(b, self._chunk, self._backend_sel, self.pooled, telem)
+                     for b in streams],
                     on_error=on_error,
                 )
             )
@@ -754,7 +774,7 @@ class Engine:
                 spans,
                 (
                     (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk,
-                     self.pooled, telem)
+                     self._backend_sel, self.pooled, telem)
                     for a, b in spans
                 ),
             )
@@ -834,7 +854,8 @@ class Engine:
                 lambda b, s: self._codec.decompress(b, scratch=s),
                 _proc_decompress,
                 payloads,
-                [(b, self._chunk, self.pooled, telem) for b in payloads],
+                [(b, self._chunk, self._backend_sel, self.pooled, telem)
+                 for b in payloads],
             ),
         ):
             check_consistent(
@@ -866,7 +887,8 @@ class Engine:
                 lambda b, s: self._codec.decompress(b, scratch=s),
                 _proc_decompress,
                 payloads,
-                [(b, self._chunk, self.pooled, telem) for b in payloads],
+                [(b, self._chunk, self._backend_sel, self.pooled, telem)
+                 for b in payloads],
                 on_error="return",
             )
         )

@@ -14,7 +14,13 @@ import json
 import pathlib
 from typing import IO
 
-__all__ = ["load_trace", "stage_breakdown", "span_summary", "STAGE_PREFIXES"]
+__all__ = [
+    "load_trace",
+    "stage_breakdown",
+    "backend_breakdown",
+    "span_summary",
+    "STAGE_PREFIXES",
+]
 
 #: Span-name prefixes that count as pipeline stages in the breakdown.
 STAGE_PREFIXES = ("stage.", "sim.")
@@ -111,6 +117,42 @@ def stage_breakdown(events: list[dict]) -> list[dict]:
                 "total_ms": dur / 1e3,
                 "mean_us": dur / count,
                 "time_pct": 100.0 * dur / denom if denom else 0.0,
+            }
+        )
+    return rows
+
+
+def backend_breakdown(events: list[dict]) -> list[dict]:
+    """Aggregate codec root spans per kernel backend.
+
+    ``fz.compress``/``fz.decompress`` spans carry a ``backend`` attribute
+    naming the kernel backend that executed them; this groups the trace by
+    (backend, operation) so a mixed trace — e.g. the same batch run once
+    per backend — reads as a direct throughput comparison.  Traces from
+    before the attribute existed produce no rows.
+    """
+    totals: dict[tuple[str, str], list[float]] = {}
+    for ev in events:
+        if ev["name"] not in ("fz.compress", "fz.decompress"):
+            continue
+        backend = ev.get("attrs", {}).get("backend")
+        if backend is None:
+            continue
+        agg = totals.setdefault((str(backend), ev["name"]), [0, 0.0, 0])
+        agg[0] += 1
+        agg[1] += ev["dur_us"]
+        agg[2] += int(ev["attrs"].get("bytes_in", 0))
+    rows = []
+    for backend, op in sorted(totals):
+        count, dur, nbytes = totals[(backend, op)]
+        rows.append(
+            {
+                "backend": backend,
+                "op": op,
+                "calls": count,
+                "total_ms": dur / 1e3,
+                "mean_us": dur / count,
+                "mb_per_s": (nbytes / 1e6) / (dur / 1e6) if dur else 0.0,
             }
         )
     return rows

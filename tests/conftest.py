@@ -1,10 +1,36 @@
-"""Shared fixtures and hypothesis settings for the test suite."""
+"""Shared fixtures, test tiering, and hypothesis settings for the suite."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (chaos suite, deep fuzz, full "
+        "conformance matrix); RUN_SLOW=1 does the same",
+    )
+
+
+def _slow_enabled(config) -> bool:
+    return bool(config.getoption("--run-slow") or os.environ.get("RUN_SLOW"))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tier-1 (plain ``pytest``) skips @slow; CI tier-2 jobs opt back in."""
+    if _slow_enabled(config):
+        return
+    skip = pytest.mark.skip(reason="slow tier: set RUN_SLOW=1 or --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 # A single moderate profile: property tests should stay fast but meaningful.
 settings.register_profile(

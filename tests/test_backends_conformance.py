@@ -1,0 +1,156 @@
+"""Cross-backend conformance: every backend must match ``reference`` exactly.
+
+The contract of :mod:`repro.backends` is that backends are pure execution
+strategies — compressed streams are **byte-identical** and decodes are
+**bit-identical** across all of them, for every input.  The matrix here is
+registry-driven: registering a new backend automatically subjects it to
+the full sweep (shapes across 1-D/2-D/3-D including tails that are not
+multiples of the chunk or of the 2048-code bitshuffle tile, abs/rel
+modes, an error-bound sweep, constant and all-zero fields, plus the
+saturating and huge-quantum paths that exercise the fused backend's
+fallbacks).
+
+A representative fast subset runs in tier-1; the exhaustive matrix is
+``@pytest.mark.slow`` and runs in the ``backends`` CI job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, get_backend, resolve_backend
+from repro.core.pipeline import FZGPU
+from repro.errors import ConfigError, DecompressionError
+
+BACKENDS = available_backends()
+
+SHAPES = [
+    (256,),          # one whole 1-D chunk
+    (2049,),         # tile boundary + 1
+    (1000,),         # chunk tail
+    (1,),            # single element
+    (64, 64),        # whole 2-D chunks
+    (31, 33),        # tails on both axes, not multiple of 32
+    (7, 300),        # short-fat
+    (450, 71),       # tall-thin with tail
+    (16, 16, 16),    # whole 3-D chunks
+    (9, 17, 33),     # tails on all axes
+    (8, 8, 7),       # single chunk with tail
+    (20, 50, 50),    # multi-slab 3-D
+]
+
+FAST_SHAPES = [(1000,), (31, 33), (9, 17, 33)]
+
+EBS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+
+FIELD_KINDS = ["smooth", "rough", "constant", "zero"]
+
+
+def make_field(shape: tuple[int, ...], kind: str) -> np.ndarray:
+    rng = np.random.default_rng(hash((shape, kind)) % (2**32))
+    if kind == "zero":
+        return np.zeros(shape, dtype=np.float32)
+    if kind == "constant":
+        return np.full(shape, -7.125, dtype=np.float32)
+    if kind == "smooth":
+        idx = np.indices(shape, dtype=np.float32)
+        field = sum(np.sin(ax / (2.0 + k)) for k, ax in enumerate(idx))
+        return (field + 0.01 * rng.standard_normal(shape)).astype(np.float32)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+def assert_conformant(backend: str, data: np.ndarray, eb: float, mode: str):
+    ref = FZGPU(backend="reference")
+    other = FZGPU(backend=backend)
+    want = ref.compress(data, eb, mode)
+    got = other.compress(data, eb, mode)
+    assert got.stream == want.stream, (
+        f"{backend} stream diverged for shape={data.shape} eb={eb} {mode}"
+    )
+    assert got.stage_sizes == want.stage_sizes
+    assert got.quantizer == want.quantizer
+    recon_ref = ref.decompress(want.stream)
+    recon = other.decompress(want.stream)
+    assert np.array_equal(recon, recon_ref), (
+        f"{backend} decode diverged for shape={data.shape} eb={eb} {mode}"
+    )
+
+
+def test_registry_lists_required_backends():
+    assert {"reference", "pooled", "fused"} <= set(BACKENDS)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigError):
+        FZGPU(backend="warp-speed").compress(np.zeros(8, np.float32), 1e-3)
+
+
+def test_resolve_auto_and_env(monkeypatch):
+    assert resolve_backend(None, pooled=False).name == "reference"
+    assert resolve_backend(None, pooled=True).name == "pooled"
+    assert resolve_backend("auto", pooled=True).name == "pooled"
+    monkeypatch.setenv("REPRO_BACKEND", "fused")
+    assert resolve_backend(None, pooled=True).name == "fused"
+    # explicit selection beats the environment
+    assert resolve_backend("reference", pooled=True).name == "reference"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shape", FAST_SHAPES, ids=str)
+@pytest.mark.parametrize("kind", ["smooth", "zero"])
+@pytest.mark.parametrize("mode", ["rel", "abs"])
+def test_conformance_fast(backend, shape, kind, mode):
+    assert_conformant(backend, make_field(shape, kind), 1e-3, mode)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conformance_saturating(backend):
+    """Tiny eb forces |delta| > 0x7FFF — the clamped quantizer path."""
+    rng = np.random.default_rng(99)
+    data = (rng.standard_normal((40, 40)) * 1e6).astype(np.float32)
+    assert_conformant(backend, data, 1e-3, "abs")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conformance_huge_quantum(backend):
+    """eb so small that max |q| >= 2**51 — the fused exact-path fallback."""
+    rng = np.random.default_rng(7)
+    data = (rng.standard_normal((32, 32)) * 1e4).astype(np.float32)
+    with np.errstate(invalid="ignore"):
+        assert_conformant(backend, data, 1e-13, "abs")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conformance_custom_chunks(backend):
+    for shape, chunk in [((21,), (7,)), ((13, 9), (5, 3)), ((10, 12, 9), (3, 4, 3))]:
+        data = make_field(shape, "rough")
+        ref = FZGPU(chunk=chunk, backend="reference")
+        other = FZGPU(chunk=chunk, backend=backend)
+        want = ref.compress(data, 1e-3)
+        got = other.compress(data, 1e-3)
+        assert got.stream == want.stream, (backend, shape, chunk)
+        assert np.array_equal(other.decompress(want.stream), ref.decompress(want.stream))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_decode_rejects_bad_code_count(backend):
+    """All backend decode paths validate the header-supplied code count."""
+    b = get_backend(backend)
+    data = make_field((64, 64), "smooth")
+    out = b.encode(data, 1e-3, (16, 16))
+    for bad in (-1, -(2**40), 64 * 64 * 2048):
+        with pytest.raises(DecompressionError):
+            bad_shape = (bad, 1)
+            b.decode(out.encoded, bad_shape, (64, 64), 1e-3, (16, 16))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("kind", FIELD_KINDS)
+@pytest.mark.parametrize("mode", ["rel", "abs"])
+def test_conformance_matrix(backend, shape, kind, mode):
+    data = make_field(shape, kind)
+    for eb in EBS:
+        assert_conformant(backend, data, eb, mode)

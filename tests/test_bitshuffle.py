@@ -10,6 +10,9 @@ from hypothesis.extra import numpy as hnp
 
 from repro.core.bitshuffle import TILE_BYTES, TILE_WORDS, bitshuffle, bitunshuffle
 from repro.core.encoder import encode_zero_blocks
+from repro.core.hotpath import bitunshuffle_pooled
+from repro.errors import DecompressionError
+from repro.utils.pool import Scratch
 
 
 class TestRoundtrip:
@@ -33,8 +36,25 @@ class TestRoundtrip:
 
     def test_requesting_too_many_codes_raises(self):
         words = bitshuffle(np.zeros(10, dtype=np.uint16))
-        with pytest.raises(ValueError):
+        with pytest.raises(DecompressionError):
             bitunshuffle(words, 10**9)
+
+    @pytest.mark.parametrize("bad", [-1, -(2**40), 2 * TILE_WORDS + 1, 10**9])
+    def test_out_of_range_code_count_raises_repro_error(self, bad):
+        """``n_codes`` comes from an untrusted header; out-of-range values
+        (including negative, which would silently mis-slice) must raise the
+        library's error type, in the plain and the pooled decoder alike."""
+        words = bitshuffle(np.arange(100, dtype=np.uint16))
+        with pytest.raises(DecompressionError):
+            bitunshuffle(words, bad)
+        with pytest.raises(DecompressionError):
+            bitunshuffle_pooled(words, bad, Scratch())
+
+    def test_boundary_code_counts_accepted(self):
+        words = bitshuffle(np.arange(100, dtype=np.uint16))
+        assert bitunshuffle(words, 0).size == 0
+        assert bitunshuffle(words, 2 * TILE_WORDS).size == 2 * TILE_WORDS
+        assert bitunshuffle_pooled(words, 0, Scratch()).size == 0
 
     @given(
         hnp.arrays(np.uint16, st.integers(1, 3000)),

@@ -42,6 +42,10 @@ from repro.errors import (
     WorkerCrashError,
 )
 
+# Chaos runs spin real pools through crash/hang/retry schedules — minutes,
+# not seconds.  Tier-2: the chaos CI job opts in with RUN_SLOW=1.
+pytestmark = pytest.mark.slow
+
 JOBS = int(os.environ.get("ENGINE_JOBS", "2"))
 POOL_MATRIX = (
     [os.environ["ENGINE_POOL"]]

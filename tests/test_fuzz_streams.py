@@ -33,6 +33,10 @@ from repro.errors import FormatError, ReproError
 # surface as the library's own error hierarchy.
 ACCEPTABLE = (ReproError,)
 
+# Deep fuzzing is tier-2: the fuzz CI job opts in with RUN_SLOW=1 and a
+# large FUZZ_EXAMPLES budget.
+pytestmark = pytest.mark.slow
+
 _EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "25"))
 
 

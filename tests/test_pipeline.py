@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import FZGPU, compress, decompress
-from repro.core.pipeline import resolve_error_bound
+from repro.core.pipeline import resolve_error_bound, resolve_error_bound_range
 from repro.errors import ConfigError, FormatError, UnsupportedDataError
 
 REL_EBS = [1e-2, 5e-3, 1e-3, 5e-4, 1e-4]
@@ -48,6 +48,38 @@ class TestErrorBound:
     def test_resolve_constant_field(self):
         data = np.full(10, 5.0, dtype=np.float32)
         assert resolve_error_bound(data, 1e-2, "rel") == pytest.approx(0.05)
+
+    def test_resolve_range_constant_falls_back_to_magnitude(self):
+        # hi == lo (constant field): zero range must not zero the bound
+        assert resolve_error_bound_range(5.0, 5.0, 1e-2, "rel") == pytest.approx(0.05)
+        assert resolve_error_bound_range(-7.0, -7.0, 1e-2, "rel") == pytest.approx(0.07)
+
+    def test_resolve_range_all_zero_falls_back_to_unit(self):
+        # constant-zero field: |hi| is also zero, unit range is the fallback
+        assert resolve_error_bound_range(0.0, 0.0, 1e-2, "rel") == pytest.approx(1e-2)
+
+    def test_resolve_single_element(self):
+        data = np.array([3.0], dtype=np.float32)
+        assert resolve_error_bound(data, 1e-2, "rel") == pytest.approx(0.03)
+
+    def test_resolve_range_rejects_non_finite_extrema(self):
+        for lo, hi in [
+            (float("nan"), 1.0),
+            (0.0, float("nan")),
+            (float("-inf"), 1.0),
+            (0.0, float("inf")),
+            (float("nan"), float("nan")),
+        ]:
+            with pytest.raises(UnsupportedDataError):
+                resolve_error_bound_range(lo, hi, 1e-2, "rel")
+        # abs mode never consults the extrema, so they may be anything
+        assert resolve_error_bound_range(float("nan"), float("nan"), 1e-2, "abs") == 1e-2
+
+    def test_resolve_range_still_validates_eb_and_mode(self):
+        with pytest.raises(ConfigError):
+            resolve_error_bound_range(0.0, 1.0, 0.0, "rel")
+        with pytest.raises(ConfigError):
+            resolve_error_bound_range(0.0, 1.0, 1e-3, "relative")
 
     def test_bad_mode(self, smooth_2d):
         with pytest.raises(ConfigError):

@@ -36,6 +36,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.backends import available_backends
 from repro.baselines import CuSZ, CuSZx, MGARDGPU
 from repro.baselines.cusz_rle import CuSZRLE
 from repro.core.pipeline import FZGPU, resolve_error_bound
@@ -62,6 +63,12 @@ EBS = tuple(float(x) for x in np.logspace(-5, -1, 5))
 
 MODES = ("rel", "abs")
 
+#: Kernel backends swept by the FZ-GPU properties (registry-driven, so a
+#: newly registered backend enters the sweep automatically).  ``reference``
+#: is the shrink target: a failing case simplifies toward it, separating
+#: "the codec is wrong" from "this backend diverges from the codec".
+BACKENDS = available_backends()
+
 #: Shared bound tolerance used across the whole repo's conformance checks.
 BOUND_SLACK = 1.0 + 1e-5
 
@@ -86,6 +93,7 @@ class Case:
     eb: float
     mode: str
     seed: int
+    backend: str = "reference"
 
     def field(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed)
@@ -116,6 +124,7 @@ def generate_cases(n: int, seed: int = MASTER_SEED) -> list[Case]:
                 eb=EBS[rng.integers(len(EBS))],
                 mode=MODES[rng.integers(len(MODES))],
                 seed=int(rng.integers(2**31)),
+                backend=BACKENDS[rng.integers(len(BACKENDS))],
             )
         )
     return cases
@@ -136,6 +145,8 @@ def shrink_candidates(case: Case):
         yield dataclasses.replace(case, eb=1e-2)
     if case.mode != "abs":
         yield dataclasses.replace(case, mode="abs")
+    if case.backend != "reference":
+        yield dataclasses.replace(case, backend="reference")
 
 
 def _failure(check, case: Case) -> AssertionError | None:
@@ -189,11 +200,17 @@ CODECS = {
 }
 
 
+def _codec_for(codec_name: str, case: Case):
+    """Build the codec; FZ-GPU runs on the case's swept kernel backend."""
+    if codec_name == "fz-gpu":
+        return FZGPU(backend=case.backend)
+    return CODECS[codec_name]()
+
+
 @pytest.mark.parametrize("codec_name", sorted(CODECS))
 def test_error_bound_holds(codec_name):
-    codec = CODECS[codec_name]()
-
     def check(case: Case) -> None:
+        codec = _codec_for(codec_name, case)
         data = case.field()
         result = codec.compress(data, eb=case.eb, mode=case.mode)
         recon = codec.decompress(result.stream)
@@ -217,9 +234,8 @@ def test_error_bound_holds(codec_name):
 
 
 def test_fzgpu_restream_stability():
-    fz = FZGPU()
-
     def check(case: Case) -> None:
+        fz = FZGPU(backend=case.backend)
         data = case.field()
         eb_abs = resolve_error_bound(data, case.eb, case.mode)
         first = fz.compress(data, eb_abs, "abs")
@@ -242,9 +258,8 @@ def test_fzgpu_restream_stability():
 
 
 def test_float64_input_matches_float32_cast():
-    fz = FZGPU()
-
     def check(case: Case) -> None:
+        fz = FZGPU(backend=case.backend)
         data64 = case.field().astype(np.float64)
         a = fz.compress(data64, eb=case.eb, mode=case.mode)
         b = fz.compress(data64.astype(np.float32), eb=case.eb, mode=case.mode)
