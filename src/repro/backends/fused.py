@@ -33,9 +33,27 @@ Output is **byte-identical** to the ``reference`` backend for every input
 (enforced by ``tests/test_backends_conformance.py``); the speedup over
 ``pooled`` is recorded in ``BENCH_backends.json`` and gated in CI.
 
-Decoding has no equivalent single-pass trick to exploit (the literal
-scatter is already the only full pass), so :meth:`FusedBackend.decode`
-reuses the pooled staged decoders.
+Decoding runs the same argument in reverse: instead of four staged
+full-array passes (zero-block scatter → bit un-transpose → sign-magnitude
+decode → inverse Lorenzo/dequant), :func:`_fused_decode_codes` walks the
+field in the encoder's slabs and, per slab, scatters only the needed
+tiles' literal blocks straight into the bit-plane-major layout, applies
+the masked-swap network once more (the transpose is an involution), and
+un-gathers chunk-major codes into an int32 slab that never leaves cache
+until the float32 rows are written out.  Decode magnitudes are masked to
+15 bits, so every per-chunk prefix sum — intermediates included — is
+bounded by ``0x7FFF * chunk_elems``; a single up-front ``uint16``
+max-reduction proves the whole slab fits int32 exactly; chunk geometries
+that might not take the same ``_NeedsExactPath`` fallback to the staged
+pooled decoders, which do int64 arithmetic.  The inverse Lorenzo
+itself runs in place as a ladder of vectorized adds along each axis
+(``cumsum``'s element-by-element carry is far slower on short accumulate
+axes; long-chunk 1-D keeps ``cumsum``), and the final dequantize
+multiplies the cropped int32 view by ``2eb`` straight into the caller's
+output through NumPy's float64 ufunc loop — bit-identical to the staged
+multiply-then-cast.  Decoded arrays are **bit-identical** to
+``reference`` everywhere; the decode speedup is recorded in
+``BENCH_decode.json`` and gated in CI alongside the encode gate.
 """
 
 from __future__ import annotations
@@ -51,7 +69,14 @@ from repro.core import hotpath
 from repro.core.bitshuffle import TILE_WORDS
 from repro.core.encoder import BLOCK_WORDS, EncodedBlocks
 from repro.core.quantize import MAX_MAGNITUDE, SIGN_BIT, QuantizerStats
-from repro.utils.bits import _SWAP_DISTANCES, _SWAP_MASKS, pack_bitflags
+from repro.errors import DecompressionError
+from repro.utils.bits import (
+    _SWAP_DISTANCES,
+    _SWAP_MASKS,
+    pack_bitflags,
+    unpack_bitflags,
+)
+from repro.utils.chunking import chunk_shape_for
 from repro.utils.pool import Scratch
 
 __all__ = ["FusedBackend", "TILE_CODES", "TARGET_SLAB_CODES"]
@@ -68,6 +93,8 @@ TARGET_SLAB_CODES = 1 << 16
 #: 2**51 leaves two doublings of headroom under the 2**53 integer limit
 #: for the up-to-two extra Lorenzo difference levels.
 _EXACT_LIMIT = float(2**51)
+#: Decode-side bound: per-chunk prefix sums must fit int32 exactly.
+_I32_LIMIT = 2**31
 
 
 class _NeedsExactPath(Exception):
@@ -270,8 +297,187 @@ def _fused_encode_codes(
     return encoded, padded, QuantizerStats(n_sat, 0, max_abs)
 
 
+def _fused_decode_codes(
+    encoded: EncodedBlocks,
+    padded_shape: tuple[int, ...],
+    orig_shape: tuple[int, ...],
+    eb_abs: float,
+    chunk: tuple[int, ...] | None,
+    scratch: Scratch,
+) -> np.ndarray:
+    """The fused slab decode loop.  See the module docstring for the idea.
+
+    Validation mirrors the staged decoders' ladder (same conditions, same
+    messages, same order), so crafted streams fail identically whichever
+    backend decodes them.
+    """
+    # -- validation ladder (decode_zero_blocks / bitunshuffle / dequantize) --
+    n_blocks = int(encoded.n_blocks)
+    if n_blocks < 0:
+        raise DecompressionError(f"negative block count {n_blocks} in stream")
+    n_nonzero = int(encoded.n_nonzero)
+    if not 0 <= n_nonzero <= n_blocks:
+        raise DecompressionError(
+            f"stream claims {n_nonzero} non-zero blocks of {n_blocks}"
+        )
+    if int(encoded.bitflags.size) != (n_blocks + 7) // 8:
+        raise DecompressionError(
+            f"flag array is {int(encoded.bitflags.size)} bytes, "
+            f"{n_blocks} blocks need {(n_blocks + 7) // 8}"
+        )
+    try:
+        byteflags = unpack_bitflags(encoded.bitflags, encoded.n_blocks)
+    except ValueError as exc:
+        raise DecompressionError(str(exc)) from exc
+    n_set = int(np.count_nonzero(byteflags))
+    if n_set != encoded.n_nonzero:
+        raise DecompressionError(
+            f"flag array has {n_set} set bits but stream claims {encoded.n_nonzero}"
+        )
+    literals = np.ascontiguousarray(encoded.literals, dtype=np.uint32)
+    if literals.size != encoded.n_nonzero * BLOCK_WORDS:
+        raise DecompressionError(
+            "literal payload length does not match non-zero block count"
+        )
+    n_words = encoded.n_blocks * BLOCK_WORDS
+    if n_words % TILE_WORDS:
+        raise DecompressionError("word count must be a multiple of TILE_WORDS")
+    padded = tuple(int(p) for p in padded_shape)
+    nd = len(padded)
+    n_codes = math.prod(padded)
+    if not 0 <= n_codes <= 2 * n_words:
+        raise DecompressionError(
+            f"stream holds {2 * n_words} codes, {n_codes} requested"
+        )
+    chunk = chunk_shape_for(nd, chunk)
+    if any(p % c for p, c in zip(padded, chunk)):
+        raise DecompressionError(
+            f"padded shape {padded} is not aligned to chunk {chunk}"
+        )
+    chunk_elems = math.prod(chunk)
+
+    orig_shape = tuple(orig_shape)
+    inner = orig_shape[1:]
+    inner_p = padded[1:]
+    inner_n = math.prod(inner_p)
+    c0 = chunk[0]
+    slab_rows = max(1, TARGET_SLAB_CODES // (c0 * inner_n)) * c0
+    slab_rows = min(slab_rows, padded[0])
+    inv = np.float64(2.0 * eb_abs)
+
+    # literal-block start offset of every tile: exclusive cumsum of per-tile
+    # flag popcounts, so any tile range scatters without a global pass
+    n_tiles_total = encoded.n_blocks // 256
+    lit_tile_start = np.zeros(n_tiles_total + 1, dtype=np.int64)
+    np.cumsum(
+        byteflags.reshape(n_tiles_total, 256).sum(axis=1, dtype=np.int64),
+        out=lit_tile_start[1:],
+    )
+    lit_blocks = literals.reshape(-1, BLOCK_WORDS)
+
+    # chunk-major -> row-major scatter: the encoder's gather permutation,
+    # applied through a transposed destination view
+    grid = tuple(p // c for p, c in zip(inner_p, chunk[1:]))
+    perm = (
+        (0,)
+        + tuple(range(2, 2 * nd, 2))
+        + (1,)
+        + tuple(range(3, 2 * nd + 1, 2))
+    )
+
+    out = np.empty(orig_shape, dtype=np.float32)
+    for a in range(0, padded[0], slab_rows):
+        b = min(a + slab_rows, padded[0])
+        rows = b - a
+        real = min(orig_shape[0], b) - a
+        if real <= 0:
+            continue  # rows of pure chunk padding never reach the output
+        # the slab's chunk-major codes span these positions of the stream
+        # (slab boundaries are chunk-row boundaries, so spans are exact);
+        # decode the covering whole tiles, tolerating a shared boundary tile
+        lo = a * inner_n
+        hi = b * inner_n
+        t_lo = lo // TILE_CODES
+        t_hi = -(-hi // TILE_CODES)
+        n_tiles = t_hi - t_lo
+        M = n_tiles * 32
+        # zero-block scatter straight into the bit-plane-major layout:
+        # batch flag t*256 + c*8 + m is block B[c, t*32 + 4m : t*32 + 4m + 4]
+        B = scratch.take("fzd.planes", (32, M), np.uint32)
+        B.fill(0)
+        bf = byteflags[t_lo * 256 : t_hi * 256]
+        idx = np.nonzero(bf)[0]
+        if idx.size:
+            B.reshape(32, n_tiles * 8, BLOCK_WORDS)[
+                (idx >> 3) & 31, ((idx >> 8) << 3) | (idx & 7)
+            ] = lit_blocks[lit_tile_start[t_lo] : lit_tile_start[t_hi]]
+        # the masked-swap network is an involution: one more pass undoes
+        # the encoder's transpose
+        _transpose_bitplanes(B, scratch)
+        cm32 = scratch.take("fzd.cm32", (M, 32), np.uint32)
+        np.copyto(cm32, B.T)
+        sl = cm32.reshape(-1).view(np.uint16)[
+            lo - t_lo * TILE_CODES : hi - t_lo * TILE_CODES
+        ]
+        # un-gather chunk-major -> row-major (1-D is already row-major)
+        g_rows = rows // c0
+        view_shape = (g_rows, c0)
+        for n_blk, c_blk in zip(grid, chunk[1:]):
+            view_shape += (n_blk, c_blk)
+        if nd == 1:
+            cr = sl
+        else:
+            cr = scratch.take("fzd.c16", (rows * inner_n,), np.uint16)
+            view = cr.reshape(view_shape).transpose(perm)
+            np.copyto(view, sl.reshape(view.shape))
+        # sign-magnitude decode into int32: magnitudes are masked to 15
+        # bits, and every prefix sum — intermediate cumsum passes included
+        # — is a sub-box sum of one chunk's deltas, so max|mag| *
+        # prod(chunk) bounds them all.  One cheap uint16 reduction proves
+        # the whole slab fits int32 (default chunks can never trip it:
+        # 0x7FFF * 512 << 2**31); oversized custom chunks take the exact
+        # staged path instead
+        f = scratch.take("fzd.i32a", view_shape, np.int32)
+        bsrc = cr.reshape(view_shape)
+        mag = scratch.take("fzd.m16", view_shape, np.uint16)
+        np.bitwise_and(bsrc, np.uint16(MAX_MAGNITUDE), out=mag)
+        if int(mag.max(initial=0)) * chunk_elems >= _I32_LIMIT:
+            raise _NeedsExactPath
+        neg = scratch.take("fzd.neg", view_shape, bool)
+        np.greater_equal(bsrc, SIGN_BIT, out=neg)
+        np.copyto(f, mag)
+        np.negative(f, out=f, where=neg)
+        # in-place inverse Lorenzo: per-chunk prefix sums along every chunk
+        # axis.  np.cumsum runs a scalar carry loop, so when the slices
+        # perpendicular to the axis are wide, an explicit add ladder over
+        # the (short) chunk edge vectorizes much better; the long-thin case
+        # (1-D's 512-wide chunk edge) keeps the cumsum kernel
+        n_slab = f.size
+        for k in range(nd):
+            ax = 2 * k + 1
+            length = view_shape[ax]
+            if n_slab >= length * 1024:
+                mov = np.moveaxis(f, ax, 0)
+                for i in range(1, length):
+                    np.add(mov[i - 1], mov[i], out=mov[i])
+            else:
+                np.cumsum(f, axis=ax, out=f)
+        src = f
+        # dequantize straight into the output: int32 * float64 runs the
+        # float64 ufunc loop and casts once to float32 — bit-identical to
+        # the staged decoders' multiply-then-astype
+        crop = (slice(0, real),) + tuple(slice(0, s) for s in inner)
+        np.multiply(
+            src.reshape((rows,) + inner_p)[crop],
+            inv,
+            out=out[a : a + real],
+            casting="unsafe",
+        )
+    return out
+
+
 class FusedBackend(KernelBackend):
-    """Cache-blocked single-pass encode; staged pooled decode."""
+    """Cache-blocked single-pass encode and decode."""
 
     name = "fused"
 
@@ -319,12 +525,21 @@ class FusedBackend(KernelBackend):
         scratch: Scratch | None = None,
     ) -> np.ndarray:
         scratch = self._own_scratch(scratch)
-        n_codes = int(np.prod(padded_shape))
-        with telemetry.span("stage.decode"):
-            words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
-        with telemetry.span("stage.bitunshuffle"):
-            codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
-        with telemetry.span("stage.dequantize"):
-            return hotpath.dual_dequantize_pooled(
-                codes, padded_shape, orig_shape, eb_abs, chunk, scratch
-            )
+        try:
+            with telemetry.span("stage.fused_decode"):
+                return _fused_decode_codes(
+                    encoded, padded_shape, orig_shape, eb_abs, chunk, scratch
+                )
+        except _NeedsExactPath:
+            # a prefix sum crossed float64-exact territory (only crafted or
+            # pathological streams get here): the staged pooled path runs
+            # the inverse Lorenzo in int64 and is bit-identical by contract
+            n_codes = int(np.prod(padded_shape))
+            with telemetry.span("stage.decode"):
+                words = hotpath.decode_zero_blocks_pooled(encoded, scratch)
+            with telemetry.span("stage.bitunshuffle"):
+                codes = hotpath.bitunshuffle_pooled(words, n_codes, scratch)
+            with telemetry.span("stage.dequantize"):
+                return hotpath.dual_dequantize_pooled(
+                    codes, padded_shape, orig_shape, eb_abs, chunk, scratch
+                )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.baselines.base import Codec, CodecResult
 from repro.baselines.huffman import HuffmanCodec
+from repro.baselines.huffman_gpu import GapArrayHuffman
 from repro.core.format import MAX_ELEMENTS
 from repro.core.pipeline import resolve_error_bound
 from repro.core.quantize import (
@@ -66,6 +67,12 @@ class CuSZ(Codec):
         performance model treats codebook construction as free.
     chunk:
         Chunk-shape override for the Lorenzo stage.
+    stream_version:
+        On-disk sub-version to emit.  Version 2 (the default) carries a
+        gap-array Huffman payload so decode is segment-parallel (Rivera et
+        al., the technique cuSZ's serial Huffman decode lacks per §5);
+        version 1 is the legacy serial-Huffman layout.  ``decompress``
+        accepts both regardless of this setting.
     """
 
     def __init__(
@@ -73,12 +80,22 @@ class CuSZ(Codec):
         radius: int = DEFAULT_RADIUS,
         ncb: bool = False,
         chunk: tuple[int, ...] | None = None,
+        stream_version: int = 2,
     ):
         if not (1 < radius <= 0x7FFF):
             raise ValueError("radius must be in (1, 32767]")
+        if stream_version not in (1, 2):
+            raise ValueError("stream_version must be 1 or 2")
         self.radius = int(radius)
         self.ncb = bool(ncb)
         self._chunk = chunk
+        self.stream_version = int(stream_version)
+
+    @staticmethod
+    def _huffman(version: int, radius: int) -> HuffmanCodec | GapArrayHuffman:
+        if version == 2:
+            return GapArrayHuffman(2 * radius)
+        return HuffmanCodec(2 * radius)
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -94,7 +111,7 @@ class CuSZ(Codec):
         delta = lorenzo_delta_chunked(q, chunk)
         codes, out_idx, out_val, stats = encode_radius_shift(delta, self.radius)
 
-        huff = HuffmanCodec(2 * self.radius)
+        huff = self._huffman(self.stream_version, self.radius)
         encoded = huff.encode(codes.astype(np.int64))
 
         # Outliers are stored compactly (u32 index + i32 value, 8 bytes, like
@@ -113,7 +130,7 @@ class CuSZ(Codec):
         header = struct.pack(
             _HDR,
             _MAGIC,
-            1,
+            self.stream_version,
             data.ndim,
             1 if wide else 0,
             0,
@@ -139,6 +156,7 @@ class CuSZ(Codec):
                 "codebook_symbols": 2 * self.radius,
                 "max_abs_delta": stats.max_abs_delta,
                 "ncb": self.ncb,
+                "stream_version": self.stream_version,
             },
         )
 
@@ -175,7 +193,7 @@ class CuSZ(Codec):
         ) = reader.read_struct(_HDR, "header")
         if magic != _MAGIC:
             raise FormatError("not a cuSZ stream")
-        if version != 1:
+        if version not in (1, 2):
             raise FormatError(f"unsupported cuSZ stream version {version}")
         if not 1 <= ndim <= 3:
             raise FormatError(f"bad ndim {ndim} in cuSZ stream")
@@ -203,7 +221,7 @@ class CuSZ(Codec):
                 f"padded element count {n_codes} exceeds the cap {MAX_ELEMENTS}"
             )
 
-        huff = HuffmanCodec(2 * radius)
+        huff = self._huffman(version, radius)
         codes = huff.decode(reader.read_bytes(huff_bytes, "Huffman payload"))
         check_consistent(
             codes.size == n_codes,

@@ -150,29 +150,45 @@ class GapArrayHuffman:
         windows = np.lib.stride_tricks.sliding_window_view(padded, MAX_CODE_LEN)[:n_bits]
         weights = (1 << np.arange(MAX_CODE_LEN - 1, -1, -1)).astype(np.int64)
         win_vals = windows @ weights
-        sym_at = sym_table[win_vals].tolist()
-        len_at = len_table[win_vals].tolist()
+        sym_at = sym_table[win_vals]
+        len_at = len_table[win_vals]
 
+        # Wavefront decode: one position cursor per segment, advanced in
+        # lock-step — iteration i decodes symbol i of *every* live segment
+        # at once, which is exactly the GPU schedule (segment = thread
+        # block, iteration = warp step).  The Python loop is bounded by
+        # segment_symbols, not n_values, so work per step is a handful of
+        # vector ops across all segments.  A zero entry appended past the
+        # last bit acts as a sentinel: a cursor that runs off the stream
+        # lands on step 0, the same signal as an invalid prefix, and the
+        # two are told apart only on the error path.
+        len_ext = np.concatenate([len_at, np.zeros(1, dtype=len_at.dtype)])
         out = np.empty(n_values, dtype=np.int64)
-        for s in range(n_segments):
-            pos = int(gaps[s])
-            first = s * seg_sym
-            last = min(first + seg_sym, n_values)
-            for i in range(first, last):
-                if pos >= n_bits:
+        pos = gaps.copy()
+        last_count = n_values - (n_segments - 1) * seg_sym
+        for i in range(seg_sym):
+            k = n_segments if i < last_count else n_segments - 1
+            if k <= 0:
+                break
+            p = pos[:k]
+            steps = len_ext[np.minimum(p, n_bits)]
+            if not steps.all():
+                bad = int(p[steps == 0][0])
+                if bad >= n_bits:
                     raise DecompressionError("segment ran past the bitstream")
-                step = len_at[pos]
-                if step == 0:
-                    raise DecompressionError(f"invalid prefix at bit {pos}")
-                out[i] = sym_at[pos]
-                pos += step
-            # segment-boundary invariant: the exit position must equal the
-            # next segment's recorded entry (or the stream end)
-            expected = int(gaps[s + 1]) if s + 1 < n_segments else n_bits
-            if pos != expected:
-                raise DecompressionError(
-                    f"segment {s} desynchronized: exit bit {pos}, expected {expected}"
-                )
+                raise DecompressionError(f"invalid prefix at bit {bad}")
+            out[i::seg_sym] = sym_at[p]
+            p += steps
+        # segment-boundary invariant: every exit position must equal the
+        # next segment's recorded entry (or the stream end)
+        expected = np.concatenate([gaps[1:], [np.int64(n_bits)]])
+        mismatch = np.nonzero(pos != expected)[0]
+        if mismatch.size:
+            s = int(mismatch[0])
+            raise DecompressionError(
+                f"segment {s} desynchronized: exit bit {int(pos[s])}, "
+                f"expected {int(expected[s])}"
+            )
         return out
 
     def gap_overhead_bytes(self, n_values: int) -> int:

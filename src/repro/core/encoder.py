@@ -107,7 +107,23 @@ def decode_zero_blocks(encoded: EncodedBlocks, block_words: int = BLOCK_WORDS) -
     Inconsistent inputs (flag/literal count mismatches — i.e. corrupted
     streams) raise :class:`~repro.errors.DecompressionError` so API
     boundaries catching :class:`~repro.errors.ReproError` see them.
+    Count and length sanity runs up front — a negative block count, a
+    non-zero count outside ``[0, n_blocks]`` or a mis-sized flag array is
+    rejected before any NumPy reshape can turn it into a ``ValueError``.
     """
+    n_blocks = int(encoded.n_blocks)
+    if n_blocks < 0:
+        raise DecompressionError(f"negative block count {n_blocks} in stream")
+    n_nonzero = int(encoded.n_nonzero)
+    if not 0 <= n_nonzero <= n_blocks:
+        raise DecompressionError(
+            f"stream claims {n_nonzero} non-zero blocks of {n_blocks}"
+        )
+    if int(encoded.bitflags.size) != (n_blocks + 7) // 8:
+        raise DecompressionError(
+            f"flag array is {int(encoded.bitflags.size)} bytes, "
+            f"{n_blocks} blocks need {(n_blocks + 7) // 8}"
+        )
     try:
         byteflags = unpack_bitflags(encoded.bitflags, encoded.n_blocks)
     except ValueError as exc:  # flag array shorter than the declared block count

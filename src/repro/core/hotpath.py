@@ -177,8 +177,26 @@ def decode_zero_blocks_pooled(encoded: EncodedBlocks, scratch: Scratch) -> np.nd
     """Pooled :func:`repro.core.encoder.decode_zero_blocks` (bit-identical).
 
     Same validation ladder and scatter; the zero-filled destination is
-    pooled instead of ``np.zeros``-allocated per call.
+    pooled instead of ``np.zeros``-allocated per call.  Crafted-stream
+    counts that the ladder could not rule out — a negative block count, a
+    non-zero count outside ``[0, n_blocks]``, a flag array that is not
+    exactly ``ceil(n_blocks / 8)`` bytes — fail up front with
+    :class:`~repro.errors.DecompressionError` instead of surfacing as
+    downstream NumPy ``ValueError``s (``tests/test_hotpath.py`` pins them).
     """
+    n_blocks = int(encoded.n_blocks)
+    if n_blocks < 0:
+        raise DecompressionError(f"negative block count {n_blocks} in stream")
+    n_nonzero = int(encoded.n_nonzero)
+    if not 0 <= n_nonzero <= n_blocks:
+        raise DecompressionError(
+            f"stream claims {n_nonzero} non-zero blocks of {n_blocks}"
+        )
+    if int(encoded.bitflags.size) != (n_blocks + 7) // 8:
+        raise DecompressionError(
+            f"flag array is {int(encoded.bitflags.size)} bytes, "
+            f"{n_blocks} blocks need {(n_blocks + 7) // 8}"
+        )
     try:
         byteflags = unpack_bitflags(encoded.bitflags, encoded.n_blocks)
     except ValueError as exc:

@@ -271,17 +271,46 @@ class FZGPU:
             root.set("backend", backend.name)
         if telemetry.enabled():
             telemetry.counter("fz.decompress_calls")
+            telemetry.counter("fz.decompress_bytes_in", len(stream))
+            telemetry.counter("fz.decompress_bytes_out", int(out.nbytes))
         return out
 
 
 _DEFAULT = FZGPU()
 
 
-def compress(data: np.ndarray, eb: float, mode: str = "rel") -> CompressionResult:
-    """Module-level convenience wrapper over :meth:`FZGPU.compress`."""
-    return _DEFAULT.compress(data, eb, mode)
+def compress(
+    data: np.ndarray,
+    eb: float,
+    mode: str = "rel",
+    *,
+    chunk: tuple[int, ...] | None = None,
+    backend=None,
+    scratch=None,
+) -> CompressionResult:
+    """Module-level convenience wrapper over :meth:`FZGPU.compress`.
+
+    ``chunk``/``backend``/``scratch`` are forwarded so library users are
+    not pinned to the default codec configuration.
+    """
+    codec = _DEFAULT if chunk is None and backend is None else FZGPU(
+        chunk=chunk, backend=backend
+    )
+    return codec.compress(data, eb, mode, scratch=scratch)
 
 
-def decompress(stream: bytes) -> np.ndarray:
-    """Module-level convenience wrapper over :meth:`FZGPU.decompress`."""
-    return _DEFAULT.decompress(stream)
+def decompress(
+    stream: bytes,
+    *,
+    chunk: tuple[int, ...] | None = None,
+    backend=None,
+    scratch=None,
+) -> np.ndarray:
+    """Module-level convenience wrapper over :meth:`FZGPU.decompress`.
+
+    ``chunk``/``backend``/``scratch`` are forwarded as in :func:`compress`.
+    """
+    codec = _DEFAULT if chunk is None and backend is None else FZGPU(
+        chunk=chunk, backend=backend
+    )
+    return codec.decompress(stream, scratch=scratch)

@@ -203,6 +203,19 @@ def _proc_scratch(pooled: bool) -> Scratch | None:
     return _PROC_SCRATCH
 
 
+# one codec per (chunk, backend) per worker process — rebuilding an FZGPU
+# for every task paid backend resolution and validation on the hot path
+_PROC_CODECS: dict[tuple, FZGPU] = {}
+
+
+def _proc_codec(chunk, backend) -> FZGPU:
+    key = (chunk, backend)
+    codec = _PROC_CODECS.get(key)
+    if codec is None:
+        codec = _PROC_CODECS[key] = FZGPU(chunk=chunk, backend=backend)
+    return codec
+
+
 def _instrumented_task(fn):
     """Run one engine task under an ``engine.task`` span + worker metrics.
 
@@ -259,7 +272,7 @@ def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
     (data, eb, mode, chunk, backend, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
-        lambda: FZGPU(chunk=chunk, backend=backend).compress(
+        lambda: _proc_codec(chunk, backend).compress(
             data, eb, mode, scratch=_proc_scratch(pooled)
         ),
         index,
@@ -272,7 +285,7 @@ def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
     (stream, chunk, backend, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
-        lambda: FZGPU(chunk=chunk, backend=backend).decompress(
+        lambda: _proc_codec(chunk, backend).decompress(
             stream, scratch=_proc_scratch(pooled)
         ),
         index,
@@ -823,48 +836,52 @@ class Engine:
         """
         if salvage:
             return self._decompress_salvage(fileobj)
-        with telemetry.span("engine.read_index"):
-            indexes = fzmc.read_containers(fileobj)
-        tail = indexes[0].shape[1:]
-        for idx in indexes[1:]:
-            if idx.shape[1:] != tail:
-                raise FormatError(
-                    f"concatenated containers disagree on trailing dims: "
-                    f"{idx.shape[1:]} vs {tail}"
+        with telemetry.span("engine.decompress_file") as root:
+            with telemetry.span("engine.read_index"):
+                indexes = fzmc.read_containers(fileobj)
+            tail = indexes[0].shape[1:]
+            for idx in indexes[1:]:
+                if idx.shape[1:] != tail:
+                    raise FormatError(
+                        f"concatenated containers disagree on trailing dims: "
+                        f"{idx.shape[1:]} vs {tail}"
+                    )
+            total_rows = sum(idx.shape[0] for idx in indexes)
+            out = np.empty((total_rows,) + tail, dtype=np.float32)
+            # Collect (payload, expected_shape) per segment, decode through
+            # the worker pool, scatter into the output rows in order.
+            payloads: list[bytes] = []
+            extents: list[tuple[int, ...]] = []
+            start = 0
+            for idx in indexes:
+                for ordinal, entry in enumerate(idx.segments):
+                    payloads.append(
+                        fzmc.read_segment_payload(fileobj, start, entry, ordinal)
+                    )
+                    extents.append((entry.extent,) + tail)
+                start += idx.container_bytes
+            root.set("n_chunks", len(payloads))
+            telem = telemetry.enabled()
+            row = 0
+            for expected, chunk_arr in zip(
+                extents,
+                self._run_ordered(
+                    lambda b, s: self._codec.decompress(b, scratch=s),
+                    _proc_decompress,
+                    payloads,
+                    [(b, self._chunk, self._backend_sel, self.pooled, telem)
+                     for b in payloads],
+                ),
+            ):
+                check_consistent(
+                    tuple(chunk_arr.shape) == tuple(expected),
+                    f"chunk decoded to shape {tuple(chunk_arr.shape)}, container "
+                    f"index declares {tuple(expected)}",
                 )
-        total_rows = sum(idx.shape[0] for idx in indexes)
-        out = np.empty((total_rows,) + tail, dtype=np.float32)
-        # Collect (payload, expected_shape) per segment, decode through the
-        # worker pool, scatter into the output rows in order.
-        payloads: list[bytes] = []
-        extents: list[tuple[int, ...]] = []
-        start = 0
-        for idx in indexes:
-            for ordinal, entry in enumerate(idx.segments):
-                payloads.append(
-                    fzmc.read_segment_payload(fileobj, start, entry, ordinal)
-                )
-                extents.append((entry.extent,) + tail)
-            start += idx.container_bytes
-        telem = telemetry.enabled()
-        row = 0
-        for expected, chunk_arr in zip(
-            extents,
-            self._run_ordered(
-                lambda b, s: self._codec.decompress(b, scratch=s),
-                _proc_decompress,
-                payloads,
-                [(b, self._chunk, self._backend_sel, self.pooled, telem)
-                 for b in payloads],
-            ),
-        ):
-            check_consistent(
-                tuple(chunk_arr.shape) == tuple(expected),
-                f"chunk decoded to shape {tuple(chunk_arr.shape)}, container "
-                f"index declares {tuple(expected)}",
-            )
-            out[row : row + expected[0]] = chunk_arr
-            row += expected[0]
+                out[row : row + expected[0]] = chunk_arr
+                row += expected[0]
+            root.set("bytes_in", sum(len(p) for p in payloads))
+            root.set("bytes_out", int(out.nbytes))
         return out
 
     def decompress_chunked(self, blob: bytes, salvage: bool = False):

@@ -15,6 +15,10 @@ Fixtures under ``tests/golden/``:
   bit-flipped (built under a ``segment_corrupt`` fault plan, so the damage
   is itself reproducible), plus ``golden_salvage_report.txt`` holding the
   expected byte-exact salvage report
+* ``golden_cusz_v1.csz``  — the field through the cuSZ baseline with the
+  legacy serial-Huffman payload (stream version 1)
+* ``golden_cusz_v2.csz``  — the same through the current gap-array
+  segment-parallel payload (stream version 2)
 
 Regenerate after an *intentional* format change with::
 
@@ -49,6 +53,8 @@ FIXTURES = (
     "golden_container.fz",
     "golden_salvage.fz",
     "golden_salvage_report.txt",
+    "golden_cusz_v1.csz",
+    "golden_cusz_v2.csz",
 )
 
 #: Fault plan that damages the salvage fixture: one deterministic byte flip
@@ -68,6 +74,7 @@ def golden_field() -> np.ndarray:
 def build_golden() -> dict[str, bytes]:
     """Encode the golden field into every fixture layout."""
     from repro import faults
+    from repro.baselines.cusz import CuSZ
 
     data = golden_field()
     fz = FZGPU()
@@ -89,6 +96,12 @@ def build_golden() -> dict[str, bytes]:
         "golden_container.fz": container,
         "golden_salvage.fz": damaged,
         "golden_salvage_report.txt": (report.summary() + "\n").encode(),
+        "golden_cusz_v1.csz": CuSZ(stream_version=1).compress(
+            data, GOLDEN_EB, "abs"
+        ).stream,
+        "golden_cusz_v2.csz": CuSZ(stream_version=2).compress(
+            data, GOLDEN_EB, "abs"
+        ).stream,
     }
 
 

@@ -145,6 +145,20 @@ def test_decode_rejects_bad_code_count(backend):
             b.decode(out.encoded, bad_shape, (64, 64), 1e-3, (16, 16))
 
 
+@pytest.mark.parametrize("enc", BACKENDS)
+@pytest.mark.parametrize("dec", BACKENDS)
+@pytest.mark.parametrize("shape", FAST_SHAPES, ids=str)
+def test_cross_backend_fast(enc, dec, shape):
+    """Every decode backend reads every encode backend's stream identically."""
+    data = make_field(shape, "smooth")
+    stream = FZGPU(backend=enc).compress(data, 1e-3, "rel").stream
+    ref = FZGPU(backend="reference").decompress(stream)
+    got = FZGPU(backend=dec).decompress(stream)
+    assert np.array_equal(got, ref), (
+        f"decode backend {dec} diverged on a stream encoded by {enc}"
+    )
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shape", SHAPES, ids=str)
@@ -154,3 +168,22 @@ def test_conformance_matrix(backend, shape, kind, mode):
     data = make_field(shape, kind)
     for eb in EBS:
         assert_conformant(backend, data, eb, mode)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("enc", BACKENDS)
+@pytest.mark.parametrize("dec", BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("kind", FIELD_KINDS)
+def test_cross_backend_matrix(enc, dec, shape, kind):
+    """Exhaustive encode-backend x decode-backend sweep (slow tier)."""
+    data = make_field(shape, kind)
+    ref_codec = FZGPU(backend="reference")
+    for eb in (1e-2, 1e-4):
+        stream = FZGPU(backend=enc).compress(data, eb, "rel").stream
+        ref = ref_codec.decompress(stream)
+        got = FZGPU(backend=dec).decompress(stream)
+        assert np.array_equal(got, ref), (
+            f"decode {dec} diverged from reference on an {enc}-encoded "
+            f"stream: shape={shape} kind={kind} eb={eb}"
+        )

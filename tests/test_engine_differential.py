@@ -86,6 +86,35 @@ def test_batch_matches_single_shot(fields, reference, jobs, pool, pooled):
         assert np.array_equal(got, want)
 
 
+def test_proc_worker_codec_cache(fields, reference):
+    """Process workers reuse one codec per (chunk, backend) key.
+
+    Rebuilding an ``FZGPU`` per task paid backend resolution on every
+    submission; the cache must not change a single output byte, including
+    under a non-default backend and chunk shape.
+    """
+    from repro.engine import executor
+
+    # the cache itself: same key -> same object, different key -> different
+    executor._PROC_CODECS.clear()
+    a = executor._proc_codec(None, "fused")
+    assert executor._proc_codec(None, "fused") is a
+    b = executor._proc_codec((16, 16), "fused")
+    assert b is not a
+    assert executor._proc_codec((16, 16), "pooled") is not b
+    assert len(executor._PROC_CODECS) == 3
+    executor._PROC_CODECS.clear()
+
+    # differential proof through a real process pool
+    results, recons = reference
+    with Engine(jobs=2, pool="process", backend="fused") as engine:
+        batch = engine.compress_batch(fields, EB, "rel")
+        assert [r.stream for r in batch] == [r.stream for r in results]
+        back = engine.decompress_batch([r.stream for r in results])
+    for got, want in zip(back, recons):
+        assert np.array_equal(got, want)
+
+
 def test_batch_preserves_order(fields):
     # many more tasks than workers, distinguishable outputs
     batch = [np.full((8, 8), float(i), dtype=np.float32) for i in range(40)]

@@ -132,6 +132,26 @@ def test_salvage_fixture_recovers_everything_else(stored):
     ]
 
 
+def test_cusz_fixtures_decode_identically(stored):
+    """Both cuSZ payload generations reconstruct the same values.
+
+    v1 streams (serial Huffman) predate the gap-array codec; a current
+    ``CuSZ`` must keep decoding them bit-identically to the v2 stream it
+    writes today.
+    """
+    from repro.baselines.cusz import CuSZ
+
+    codec = CuSZ()
+    v1 = codec.decompress(stored["golden_cusz_v1.csz"])
+    v2 = codec.decompress(stored["golden_cusz_v2.csz"])
+    assert stored["golden_cusz_v1.csz"][4] == 1
+    assert stored["golden_cusz_v2.csz"][4] == 2
+    assert np.array_equal(v1, v2)
+    data = golden_field()
+    assert v2.shape == GOLDEN_SHAPE
+    assert float(np.max(np.abs(v2.astype(np.float64) - data))) <= GOLDEN_EB
+
+
 @pytest.mark.parametrize("name", [n for n in FIXTURES if n.endswith(".fz")])
 def test_corrupted_fixture_rejected(stored, name):
     blob = stored[name]

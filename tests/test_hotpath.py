@@ -1,0 +1,123 @@
+"""Crafted-stream hardening tests for the pooled/fused decode kernels.
+
+``decode_zero_blocks_pooled`` (and the fused decoder's mirrored ladder)
+must reject inconsistent block counts and flag-array lengths *up front*
+with :class:`~repro.errors.DecompressionError` — never by letting a
+downstream NumPy ``ValueError`` escape from a negative reshape or a
+mis-sized scatter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.core import hotpath
+from repro.core.encoder import EncodedBlocks, encode_zero_blocks
+from repro.errors import DecompressionError
+from repro.utils.pool import Scratch
+
+
+def _valid_encoded(n_tiles: int = 2) -> EncodedBlocks:
+    """A well-formed zero-block encoding covering set and clear flags."""
+    rng = np.random.default_rng(41)
+    words = rng.integers(0, 2**32, size=n_tiles * 1024, dtype=np.uint32)
+    words.reshape(-1, 4)[::3] = 0  # a mix of zero and literal blocks
+    return encode_zero_blocks(words)
+
+
+def _decode(encoded: EncodedBlocks) -> np.ndarray:
+    return hotpath.decode_zero_blocks_pooled(encoded, Scratch())
+
+
+class TestDecodeZeroBlocksHardening:
+    def test_roundtrip_still_exact(self):
+        encoded = _valid_encoded()
+        rng = np.random.default_rng(41)
+        words = rng.integers(0, 2**32, size=2 * 1024, dtype=np.uint32)
+        words.reshape(-1, 4)[::3] = 0
+        np.testing.assert_array_equal(_decode(encoded), words)
+
+    def test_negative_block_count(self):
+        bad = dataclasses.replace(_valid_encoded(), n_blocks=-1)
+        with pytest.raises(DecompressionError, match="negative block count"):
+            _decode(bad)
+
+    def test_huge_negative_block_count(self):
+        bad = dataclasses.replace(_valid_encoded(), n_blocks=-(2**40))
+        with pytest.raises(DecompressionError, match="negative block count"):
+            _decode(bad)
+
+    def test_negative_nonzero_count(self):
+        bad = dataclasses.replace(_valid_encoded(), n_nonzero=-5)
+        with pytest.raises(DecompressionError, match="non-zero blocks"):
+            _decode(bad)
+
+    def test_nonzero_count_beyond_blocks(self):
+        encoded = _valid_encoded()
+        bad = dataclasses.replace(encoded, n_nonzero=encoded.n_blocks + 1)
+        with pytest.raises(DecompressionError, match="non-zero blocks"):
+            _decode(bad)
+
+    def test_flag_array_too_long(self):
+        encoded = _valid_encoded()
+        padded = np.concatenate(
+            [encoded.bitflags, np.zeros(3, dtype=encoded.bitflags.dtype)]
+        )
+        bad = dataclasses.replace(encoded, bitflags=padded)
+        with pytest.raises(DecompressionError, match="flag array is"):
+            _decode(bad)
+
+    def test_flag_array_too_short(self):
+        encoded = _valid_encoded()
+        bad = dataclasses.replace(encoded, bitflags=encoded.bitflags[:-1])
+        with pytest.raises(DecompressionError):
+            _decode(bad)
+
+    def test_flag_popcount_mismatch(self):
+        encoded = _valid_encoded()
+        flipped = encoded.bitflags.copy()
+        flipped[0] ^= 0xFF
+        bad = dataclasses.replace(encoded, bitflags=flipped)
+        with pytest.raises(DecompressionError, match="set bits"):
+            _decode(bad)
+
+    def test_literal_payload_mismatch(self):
+        encoded = _valid_encoded()
+        bad = dataclasses.replace(encoded, literals=encoded.literals[:-4])
+        with pytest.raises(DecompressionError, match="literal payload"):
+            _decode(bad)
+
+
+@pytest.mark.parametrize("backend", ["reference", "pooled", "fused"])
+class TestBackendDecodeHardening:
+    """Every backend's decode rejects the same crafted-count streams."""
+
+    def _encode(self, backend):
+        b = get_backend(backend)
+        data = np.linspace(-1, 1, 64 * 64, dtype=np.float32).reshape(64, 64)
+        return b, b.encode(data, 1e-3, (16, 16))
+
+    def test_negative_block_count(self, backend):
+        b, out = self._encode(backend)
+        bad = dataclasses.replace(out.encoded, n_blocks=-1)
+        with pytest.raises(DecompressionError):
+            b.decode(bad, out.padded_shape, (64, 64), 1e-3, (16, 16))
+
+    def test_oversized_flag_array(self, backend):
+        b, out = self._encode(backend)
+        padded = np.concatenate(
+            [out.encoded.bitflags, np.zeros(8, dtype=out.encoded.bitflags.dtype)]
+        )
+        bad = dataclasses.replace(out.encoded, bitflags=padded)
+        with pytest.raises(DecompressionError):
+            b.decode(bad, out.padded_shape, (64, 64), 1e-3, (16, 16))
+
+    def test_nonzero_count_lies(self, backend):
+        b, out = self._encode(backend)
+        bad = dataclasses.replace(out.encoded, n_nonzero=out.encoded.n_nonzero + 1)
+        with pytest.raises(DecompressionError):
+            b.decode(bad, out.padded_shape, (64, 64), 1e-3, (16, 16))

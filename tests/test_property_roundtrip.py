@@ -94,6 +94,9 @@ class Case:
     mode: str
     seed: int
     backend: str = "reference"
+    #: decode-side kernel backend, swept independently of the encode side
+    #: (a fused-encoded stream must decode identically on every backend)
+    decode_backend: str = "reference"
 
     def field(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed)
@@ -125,6 +128,7 @@ def generate_cases(n: int, seed: int = MASTER_SEED) -> list[Case]:
                 mode=MODES[rng.integers(len(MODES))],
                 seed=int(rng.integers(2**31)),
                 backend=BACKENDS[rng.integers(len(BACKENDS))],
+                decode_backend=BACKENDS[rng.integers(len(BACKENDS))],
             )
         )
     return cases
@@ -147,6 +151,8 @@ def shrink_candidates(case: Case):
         yield dataclasses.replace(case, mode="abs")
     if case.backend != "reference":
         yield dataclasses.replace(case, backend="reference")
+    if case.decode_backend != "reference":
+        yield dataclasses.replace(case, decode_backend="reference")
 
 
 def _failure(check, case: Case) -> AssertionError | None:
@@ -213,7 +219,12 @@ def test_error_bound_holds(codec_name):
         codec = _codec_for(codec_name, case)
         data = case.field()
         result = codec.compress(data, eb=case.eb, mode=case.mode)
-        recon = codec.decompress(result.stream)
+        # FZ-GPU decodes on an independently swept backend: the stream
+        # contract says any decode backend reconstructs any stream
+        decoder = (
+            FZGPU(backend=case.decode_backend) if codec_name == "fz-gpu" else codec
+        )
+        recon = decoder.decompress(result.stream)
         assert recon.shape == data.shape, (
             f"shape changed: {data.shape} -> {recon.shape}"
         )
@@ -246,13 +257,14 @@ def test_fzgpu_restream_stability():
             return
         if (np.abs(data).max(initial=0.0) / (2.0 * eb_abs)) >= 2**21:
             return
-        recon = fz.decompress(first.stream)
+        fzd = FZGPU(backend=case.decode_backend)
+        recon = fzd.decompress(first.stream)
         second = fz.compress(recon, eb_abs, "abs")
         assert second.stream == first.stream, (
             "re-compressing the reconstruction changed the stream "
             f"({len(first.stream)} vs {len(second.stream)} bytes)"
         )
-        assert np.array_equal(recon, fz.decompress(second.stream))
+        assert np.array_equal(recon, fzd.decompress(second.stream))
 
     run_property(check, generate_cases(N_EXAMPLES, MASTER_SEED + 2))
 
