@@ -365,6 +365,47 @@ def cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import telemetry
+    from repro.serve import App, ServeConfig, Server
+
+    # /metrics should report live counters even without --trace/--metrics
+    telemetry.enable()
+    engine = _cli_engine(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_high_water=args.queue_high_water,
+        quota_rate=args.quota_rps,
+        quota_burst=args.quota_burst,
+        max_body_bytes=int(args.max_body_mb * (1 << 20)),
+        chunk_bytes=(int(args.chunk_mb * (1 << 20)) if args.chunk_mb
+                     else ServeConfig.chunk_bytes),
+    )
+    server = Server(App(engine, config))
+
+    async def _main() -> None:
+        task = asyncio.ensure_future(server.run())
+        while server.address is None and not task.done():
+            await asyncio.sleep(0.01)
+        if server.address is not None:
+            host, port = server.address
+            print(f"repro serve listening on http://{host}:{port} "
+                  f"(pool={engine.pool_kind} jobs={engine.jobs})")
+        await task
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        engine.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -460,6 +501,27 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--device", default="a100")
     add_codec_opts(sp)
     sp.set_defaults(fn=cmd_throughput)
+
+    sp = sub.add_parser("serve", help="run the compression service (HTTP)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8591,
+                    help="listen port (0 picks an ephemeral port)")
+    sp.add_argument("--backend", default=None, metavar="NAME",
+                    help="fz-gpu kernel backend (reference/pooled/fused/auto)")
+    sp.add_argument("--max-inflight", type=int, default=32,
+                    help="concurrent engine-bound requests before shedding 429")
+    sp.add_argument("--queue-high-water", type=int, default=0, metavar="N",
+                    help="engine queue-depth shed mark (default: 8 * jobs)")
+    sp.add_argument("--quota-rps", type=float, default=0.0, metavar="R",
+                    help="per-client requests/second quota (0 disables)")
+    sp.add_argument("--quota-burst", type=float, default=8.0, metavar="B",
+                    help="per-client burst allowance when quotas are on")
+    sp.add_argument("--max-body-mb", type=float, default=256.0,
+                    help="largest accepted request body (413 past this)")
+    sp.add_argument("--chunk-mb", type=float, default=None,
+                    help="container segment target size in MiB")
+    add_engine_opts(sp)
+    sp.set_defaults(fn=cmd_serve)
 
     sp = sub.add_parser("stats", help="summarize an exported trace file")
     sp.add_argument("trace", help="Chrome trace or JSONL file from --trace")

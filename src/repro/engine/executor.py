@@ -382,6 +382,8 @@ class Engine:
         self._codec = FZGPU(chunk=chunk, backend=backend)
         self._executor: Executor | None = None
         self._degraded = False
+        self._pending_lock = threading.Lock()
+        self._pending_tasks = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -430,6 +432,35 @@ class Engine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- load introspection ------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks currently submitted to the pool, across *all* concurrent
+        batch/stream calls on this engine.
+
+        This is the admission-control signal :mod:`repro.serve` sheds on:
+        it rises while workers fall behind the submission windows and
+        returns to zero when the engine drains.  Mirrored into the
+        ``engine.queue_depth`` telemetry gauge whenever recording is on.
+        """
+        return self._pending_tasks
+
+    @property
+    def degraded(self) -> bool:
+        """True after a pool rebuild/abandoned worker until :meth:`close`."""
+        return self._degraded
+
+    def _track_pending(self, delta: int) -> None:
+        """Adjust the global in-flight task count (and its gauge)."""
+        if delta == 0:
+            return
+        with self._pending_lock:
+            self._pending_tasks += delta
+            depth = self._pending_tasks
+        if telemetry.enabled():
+            telemetry.gauge("engine.queue_depth", depth)
 
     # -- task plumbing -----------------------------------------------------
 
@@ -593,7 +624,6 @@ class Engine:
                 executor = self._rebuild_executor("crash")
                 submit(task)
 
-        track_queue = telemetry.enabled()
         pending: deque[_Task] = deque()
         source = enumerate(items)
         exhausted = False
@@ -608,70 +638,74 @@ class Engine:
                 task = _Task(*nxt)
                 safe_submit(task)
                 pending.append(task)
-                if track_queue:
-                    telemetry.gauge("engine.queue_depth", len(pending))
+                self._track_pending(1)
 
-        refill()
-        while pending:
-            task = pending[0]
-            if task.failure is not None:
-                pending.popleft()
-                yield self._emit_failure(task, on_error)
-                refill()
-                continue
-            try:
-                res = task.future.result(timeout=self.task_timeout)
-            except TimeoutError:
-                exc = TaskTimeoutError(
-                    f"task {task.index} exceeded task_timeout="
-                    f"{self.task_timeout}s (attempt {task.attempts + 1})"
-                )
-                retry = self._note_failure(task, exc, "timeout")
-                if retry:
-                    self._backoff_sleep(task.attempts, "timeout", task.index)
-                if self.pool_kind == "process":
-                    # the hung task wedges its worker process: rebuild the
-                    # pool and resubmit every in-flight task (only the
-                    # timed-out head consumed a retry)
-                    executor = self._rebuild_executor("timeout")
-                    for t in pending:
-                        if t.failure is None and (t is not task or retry):
-                            submit(t)
-                else:
-                    # a hung thread cannot be killed: abandon its future
-                    # (it releases its scratch when it eventually wakes)
-                    # and run the retry on a fresh worker thread
-                    self._degraded = True
+        try:
+            refill()
+            while pending:
+                task = pending[0]
+                if task.failure is not None:
+                    pending.popleft()
+                    self._track_pending(-1)
+                    yield self._emit_failure(task, on_error)
+                    refill()
+                    continue
+                try:
+                    res = task.future.result(timeout=self.task_timeout)
+                except TimeoutError:
+                    exc = TaskTimeoutError(
+                        f"task {task.index} exceeded task_timeout="
+                        f"{self.task_timeout}s (attempt {task.attempts + 1})"
+                    )
+                    retry = self._note_failure(task, exc, "timeout")
                     if retry:
+                        self._backoff_sleep(task.attempts, "timeout", task.index)
+                    if self.pool_kind == "process":
+                        # the hung task wedges its worker process: rebuild the
+                        # pool and resubmit every in-flight task (only the
+                        # timed-out head consumed a retry)
+                        executor = self._rebuild_executor("timeout")
+                        for t in pending:
+                            if t.failure is None and (t is not task or retry):
+                                submit(t)
+                    else:
+                        # a hung thread cannot be killed: abandon its future
+                        # (it releases its scratch when it eventually wakes)
+                        # and run the retry on a fresh worker thread
+                        self._degraded = True
+                        if retry:
+                            safe_submit(task)
+                except BrokenExecutor as exc:
+                    # a worker died; the whole pool is broken and every pending
+                    # future is lost.  Rebuild, charge one crash attempt to each
+                    # in-flight task (the crasher is indistinguishable), then
+                    # resubmit the survivors.
+                    executor = self._rebuild_executor("crash")
+                    crash = WorkerCrashError(f"worker pool broke mid-batch: {exc!r}")
+                    crash.__cause__ = exc
+                    deepest = 0
+                    for t in pending:
+                        if t.failure is None and self._note_failure(t, crash, "crash"):
+                            deepest = max(deepest, t.attempts)
+                    if deepest:
+                        self._backoff_sleep(deepest, "crash", task.index)
+                    for t in pending:
+                        if t.failure is None:
+                            submit(t)
+                except Exception as exc:
+                    kind = _failure_kind(exc)
+                    if self._note_failure(task, exc, kind):
+                        self._backoff_sleep(task.attempts, kind, task.index)
                         safe_submit(task)
-            except BrokenExecutor as exc:
-                # a worker died; the whole pool is broken and every pending
-                # future is lost.  Rebuild, charge one crash attempt to each
-                # in-flight task (the crasher is indistinguishable), then
-                # resubmit the survivors.
-                executor = self._rebuild_executor("crash")
-                crash = WorkerCrashError(f"worker pool broke mid-batch: {exc!r}")
-                crash.__cause__ = exc
-                deepest = 0
-                for t in pending:
-                    if t.failure is None and self._note_failure(t, crash, "crash"):
-                        deepest = max(deepest, t.attempts)
-                if deepest:
-                    self._backoff_sleep(deepest, "crash", task.index)
-                for t in pending:
-                    if t.failure is None:
-                        submit(t)
-            except Exception as exc:
-                kind = _failure_kind(exc)
-                if self._note_failure(task, exc, kind):
-                    self._backoff_sleep(task.attempts, kind, task.index)
-                    safe_submit(task)
-            else:
-                pending.popleft()
-                if track_queue:
-                    telemetry.gauge("engine.queue_depth", len(pending))
-                yield finalize(res)
-                refill()
+                else:
+                    pending.popleft()
+                    self._track_pending(-1)
+                    yield finalize(res)
+                    refill()
+        finally:
+            # a consumer that abandons the generator mid-stream (or a fatal
+            # error) must not leave unfinished tasks counted as in-flight
+            self._track_pending(-len(pending))
 
     # -- batch API ---------------------------------------------------------
 
@@ -730,6 +764,37 @@ class Engine:
                 )
             )
         return results
+
+    def decompress_stream(
+        self, streams: Iterable[bytes], on_error: str = "raise"
+    ) -> Iterator[np.ndarray]:
+        """Decompress streams lazily, yielding arrays in submission order.
+
+        Unlike :meth:`decompress_batch` this is a generator: each array is
+        yielded as soon as it (and everything before it) completes, and
+        ``streams`` itself is consumed incrementally — at most one retry
+        window of payloads is in flight at a time.  This is the serving
+        fast path: :mod:`repro.serve` feeds container segments in and flushes
+        each decoded chunk to the client before the next finishes.
+        """
+        telem = telemetry.enabled()
+
+        def tasks():
+            for blob in streams:
+                yield (blob, self._chunk, self._backend_sel, self.pooled, telem)
+
+        with telemetry.span("engine.decompress_stream") as sp:
+            n = 0
+            for result in self._run_ordered(
+                lambda b, s: self._codec.decompress(b, scratch=s),
+                _proc_decompress,
+                streams,
+                tasks(),
+                on_error=on_error,
+            ):
+                n += 1
+                yield result
+            sp.set("n_streams", n)
 
     # -- chunked / streaming API -------------------------------------------
 

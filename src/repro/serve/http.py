@@ -1,0 +1,329 @@
+"""Minimal HTTP/1.1 framing for :mod:`repro.serve` (stdlib asyncio only).
+
+The service speaks just enough HTTP to front the compression engine:
+request-line + headers, bodies framed by ``Content-Length`` or chunked
+transfer coding (clients stream uploads without knowing their size), and
+responses that are either fixed (``Content-Length``) or streamed
+chunk-by-chunk as container segments complete.
+
+Parsing follows the same trust model as :mod:`repro.utils.safeio`: every
+length is validated against a cap *before* bytes are read, so a crafted
+``Content-Length: 2**48`` or a runaway chunked upload is refused with a
+typed :class:`HttpError` (413) instead of an allocation.  Malformed framing
+is always a 400 — the server never surfaces a raw parse exception and never
+leaves a connection undrained (the error path consumes or closes, so a
+keep-alive client cannot wedge on its own half-sent body).
+
+Rendering (:func:`render_request` / :func:`render_response`) is pure and
+byte-deterministic — no ``Date`` or ``Server`` headers — which is what lets
+``tests/golden/`` pin the wire format of a canned exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+
+__all__ = [
+    "HTTP_VERSION",
+    "STATUS_REASONS",
+    "HttpError",
+    "StreamAborted",
+    "Request",
+    "Response",
+    "Limits",
+    "read_request",
+    "write_response",
+    "render_request",
+    "render_response",
+]
+
+HTTP_VERSION = "HTTP/1.1"
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Methods the router understands at all (others get 405 with Allow).
+KNOWN_METHODS = ("GET", "HEAD", "POST")
+
+
+class HttpError(ReproError):
+    """A request that cannot be served, carrying its HTTP status.
+
+    Raised by the framing layer (malformed request line, oversized body,
+    bad chunk framing) and by handlers (missing parameters, unknown
+    routes).  The app maps it to a structured JSON error response; the
+    ``code`` is the machine-readable error type in that body.
+    """
+
+    def __init__(self, status: int, message: str, code: str | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code or _default_code(status)
+        self.retry_after = retry_after
+
+
+def _default_code(status: int) -> str:
+    return STATUS_REASONS.get(status, "Error").replace(" ", "")
+
+
+class StreamAborted(ReproError):
+    """A streamed response failed after its headers were already sent.
+
+    The only safe signal left is framing: the connection is closed without
+    the terminating zero-length chunk, so the client's chunked decoder sees
+    a hard truncation instead of a silently short body — and never a
+    connection that hangs open.
+    """
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  #: header names lower-cased
+    body: bytes
+    client: str = ""  #: peer identity (ip:port) for quota keying
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One response: fixed ``body`` bytes or a chunked ``stream``."""
+
+    status: int
+    headers: list[tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    #: async iterator of body chunks; when set, the response is sent with
+    #: ``Transfer-Encoding: chunked`` and ``body`` is ignored
+    stream: object | None = None
+    close: bool = False  #: force ``Connection: close`` after this response
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Framing caps applied before any payload-sized work."""
+
+    max_header_bytes: int = 32 << 10
+    max_body_bytes: int = 256 << 20
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+async def read_request(
+    reader: asyncio.StreamReader, limits: Limits, client: str = ""
+) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on clean connection EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request-head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(
+            431, f"request head exceeds {limits.max_header_bytes} bytes"
+        ) from exc
+    if len(head) > limits.max_header_bytes:
+        raise HttpError(
+            431, f"request head exceeds {limits.max_header_bytes} bytes"
+        )
+    request_line, _, header_blob = head[:-4].partition(b"\r\n")
+    try:
+        method, target, version = request_line.decode("ascii").split(" ")
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, f"malformed request line {request_line!r}") from exc
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers = _parse_headers(header_blob)
+    body = await _read_body(reader, headers, limits)
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        client=client,
+    )
+
+
+def _parse_headers(blob: bytes) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    if not blob:
+        return headers
+    for line in blob.split(b"\r\n"):
+        name, colon, value = line.partition(b":")
+        if not colon or not name or name.strip() != name:
+            raise HttpError(400, f"malformed header line {line!r}")
+        try:
+            key = name.decode("ascii").lower()
+            headers[key] = value.strip().decode("latin-1")
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, f"non-ASCII header name in {line!r}") from exc
+    return headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str], limits: Limits
+) -> bytes:
+    coding = headers.get("transfer-encoding", "").lower()
+    if coding:
+        if coding != "chunked":
+            raise HttpError(400, f"unsupported transfer-encoding {coding!r}")
+        return await _read_chunked(reader, limits)
+    length_text = headers.get("content-length")
+    if length_text is None:
+        return b""
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, f"bad content-length {length_text!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"negative content-length {length}")
+    if length > limits.max_body_bytes:
+        raise HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{limits.max_body_bytes}-byte limit",
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(
+            400,
+            f"truncated body: declared {length} bytes, connection closed "
+            f"after {len(exc.partial)}",
+        ) from exc
+
+
+async def _read_chunked(reader: asyncio.StreamReader, limits: Limits) -> bytes:
+    """Decode a chunked body; total size is capped *before* each chunk read."""
+    parts: list[bytes] = []
+    total = 0
+    while True:
+        try:
+            size_line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, "truncated chunked body (no size line)") from exc
+        size_text = size_line[:-2].split(b";", 1)[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError as exc:
+            raise HttpError(400, f"bad chunk size line {size_line!r}") from exc
+        if size < 0:
+            raise HttpError(400, f"negative chunk size {size}")
+        if total + size > limits.max_body_bytes:
+            raise HttpError(
+                413,
+                f"chunked body exceeds the {limits.max_body_bytes}-byte limit",
+            )
+        try:
+            if size:
+                parts.append(await reader.readexactly(size))
+                total += size
+            trailer = await reader.readexactly(2)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated chunked body") from exc
+        if size == 0:
+            # a zero chunk ends the body; RFC trailers are not supported,
+            # so the terminator must be an immediate blank line
+            if trailer != b"\r\n":
+                raise HttpError(400, "trailers are not supported")
+            return b"".join(parts)
+        if trailer != b"\r\n":
+            raise HttpError(400, f"bad chunk terminator {trailer!r}")
+
+
+# ---------------------------------------------------------------------------
+# writing / rendering
+# ---------------------------------------------------------------------------
+
+
+def _head_bytes(resp: Response, extra: list[tuple[str, str]]) -> bytes:
+    reason = STATUS_REASONS.get(resp.status, "Unknown")
+    lines = [f"{HTTP_VERSION} {resp.status} {reason}"]
+    for name, value in list(resp.headers) + extra:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, resp: Response, head_only: bool = False
+) -> None:
+    """Send ``resp``; chunked when it carries a stream, fixed otherwise.
+
+    Raises :class:`StreamAborted` through if the stream iterator aborts —
+    the caller must then close the connection without the final chunk.
+    """
+    if resp.stream is not None and not head_only:
+        writer.write(_head_bytes(resp, [("Transfer-Encoding", "chunked")]))
+        await writer.drain()
+        try:
+            async for chunk in resp.stream:
+                if chunk:
+                    writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                    await writer.drain()
+        finally:
+            # a write error (client gone) must still run the generator's
+            # cleanup (in-flight accounting) promptly, not at GC time
+            aclose = getattr(resp.stream, "aclose", None)
+            if aclose is not None:
+                await aclose()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return
+    body = b"" if head_only else resp.body
+    writer.write(
+        _head_bytes(resp, [("Content-Length", str(len(resp.body)))]) + body
+    )
+    await writer.drain()
+
+
+def render_request(
+    method: str,
+    target: str,
+    headers: list[tuple[str, str]] | None = None,
+    body: bytes = b"",
+) -> bytes:
+    """Serialize one request deterministically (golden fixtures, tests)."""
+    lines = [f"{method} {target} {HTTP_VERSION}"]
+    for name, value in headers or []:
+        lines.append(f"{name}: {value}")
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(resp: Response) -> bytes:
+    """Serialize a fixed-body response deterministically (golden fixtures)."""
+    if resp.stream is not None:
+        raise ValueError("render_response only serializes fixed-body responses")
+    return _head_bytes(resp, [("Content-Length", str(len(resp.body)))]) + resp.body

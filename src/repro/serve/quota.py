@@ -1,0 +1,92 @@
+"""Per-client token-bucket rate limiting for :mod:`repro.serve`.
+
+Classic token bucket: a client holds up to ``burst`` tokens and regains
+``rate`` tokens per second; each admitted request spends one.  An empty
+bucket yields the *exact* time until the next token, which the server
+surfaces as ``Retry-After`` so well-behaved clients converge on the
+sustainable rate instead of hammering.
+
+The table is bounded: at most ``max_clients`` buckets are kept and the
+least-recently-seen client is evicted first, so an adversary cycling
+through client identities cannot grow server memory.  The clock is
+injectable — the quota tests and golden fixtures drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["TokenBucket", "QuotaTable"]
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def take(self, now: float) -> float | None:
+        """Spend one token; ``None`` on success, else seconds until one."""
+        elapsed = max(0.0, now - self.stamp)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate
+
+
+class QuotaTable:
+    """Thread-safe LRU map of client identity -> :class:`TokenBucket`.
+
+    ``rate <= 0`` disables quotas entirely (every request admitted), which
+    is the engine-benchmark and property-test configuration.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if rate > 0 and burst < 1:
+            raise ConfigError(f"quota burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ConfigError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client: str) -> float | None:
+        """Admit one request for ``client``; ``None`` or retry-after seconds."""
+        if not self.enabled:
+            return None
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            return bucket.take(now)

@@ -1,0 +1,157 @@
+"""Connection handling for :mod:`repro.serve` — the asyncio front door.
+
+One :class:`Server` owns a listening socket and drives the
+request/response loop per connection: parse with
+:func:`~repro.serve.http.read_request`, dispatch through
+:meth:`App.handle <repro.serve.app.App.handle>`, write back (possibly as a
+chunked stream), keep-alive until either side closes.  The loop's one hard
+invariant is *no wedged connections*: every failure path either sends a
+typed error response or hard-closes the socket (a mid-stream engine
+failure closes without the terminal chunk, which a chunked-decoding client
+sees as a truncation error, not a stall).
+
+Two ways to run it:
+
+* :meth:`Server.run` — an awaitable that serves until cancelled; what
+  ``repro serve`` drives via ``asyncio.run``.
+* :meth:`Server.start` / :meth:`Server.stop` — spins the loop on a
+  background thread and returns the bound ``(host, port)``; the in-process
+  fixture used throughout ``tests/test_serve*.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.app import App, error_response
+from repro.serve.http import (
+    HttpError,
+    StreamAborted,
+    read_request,
+    write_response,
+)
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Bind ``app`` to a socket and serve it (inline or on a thread)."""
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+        self.address: tuple[str, int] | None = None  #: set once bound
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    # -- asyncio side ------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve until :meth:`stop` (or task cancellation)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._connection,
+            self.app.config.host,
+            self.app.config.port,
+            # a generous reader buffer: large uploads arrive in few gulps
+            # instead of cycling the transport's pause/resume flow control
+            # every 128 KiB (readexactly itself is not bounded by `limit`)
+            limit=max(4 << 20, 2 * self.app.limits.max_header_bytes),
+        )
+        sock = server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    async def _connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.app.limits, client)
+                except HttpError as exc:
+                    # framing is broken: answer if possible, then drop the
+                    # connection — the stream position is unrecoverable
+                    resp = error_response(exc)
+                    resp.close = True
+                    await write_response(writer, resp)
+                    return
+                if request is None:
+                    return  # clean EOF between requests
+                resp = await self.app.handle(request)
+                try:
+                    await write_response(
+                        writer, resp, head_only=request.method == "HEAD"
+                    )
+                except StreamAborted:
+                    # headers already sent: the missing terminal chunk is
+                    # the error signal; never leave the client waiting
+                    self.app.recorder.counter("serve.aborted_streams")
+                    return
+                if resp.close or request.header("connection", "").lower() == "close":
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client vanished or server shutting down
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # asyncio.run() cancels pending connection tasks on
+                # shutdown; swallowing here keeps teardown silent
+                pass
+
+    # -- threaded harness --------------------------------------------------
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Run the server on a daemon thread; returns the bound address."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+
+        def main() -> None:
+            try:
+                asyncio.run(self.run())
+            except BaseException as exc:  # noqa: BLE001 — surfaced to start()
+                self._failure = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._failure is not None:
+            raise RuntimeError(f"server failed to start: {self._failure!r}")
+        assert self.address is not None
+        return self.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal shutdown and join the server thread (idempotent)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already torn down
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "Server":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -36,6 +36,8 @@ scheme and metric catalog are documented in ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import time
+
 from repro.telemetry.recorder import NULL_SPAN, NullSpan, Recorder, Span
 
 __all__ = [
@@ -52,7 +54,20 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "monotonic",
 ]
+
+
+def monotonic() -> float:
+    """The repo-wide monotonic duration clock.
+
+    The telemetry package is the single owner of the clock discipline
+    (``tools/check_perf_counter.py`` forbids direct ``perf_counter`` use
+    elsewhere in ``src/repro/``).  Code that needs a raw monotonic
+    timestamp rather than a span — e.g. token-bucket refill and request
+    latency in :mod:`repro.serve` — reads it through this accessor.
+    """
+    return time.perf_counter()
 
 _RECORDERS: dict[str, Recorder] = {}
 

@@ -76,6 +76,21 @@ class MetricsRegistry:
             hist[2] += value
             hist[3] += 1
 
+    # -- introspection ------------------------------------------------------
+
+    def value(self, name: str, labels: dict | None = None) -> float | None:
+        """Current value of a counter or gauge, or ``None`` if never set.
+
+        A point read for tests and health endpoints (the serve layer reports
+        its in-flight/shed state from here) — full exports should use
+        :meth:`snapshot`.
+        """
+        key = _key(name, labels)
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key]
+            return self._gauges.get(key)
+
     # -- snapshot / merge ---------------------------------------------------
 
     def snapshot(self) -> dict:

@@ -105,9 +105,116 @@ def build_golden() -> dict[str, bytes]:
     }
 
 
+# ---------------------------------------------------------------------------
+# serve wire-format fixtures
+# ---------------------------------------------------------------------------
+
+#: HTTP fixtures are built separately (they need an event loop) but follow
+#: the same protocol: byte-compare fresh output, regenerate deliberately.
+SERVE_FIXTURES = ("golden_serve_exchange.http", "golden_serve_metrics.txt")
+
+
+class _FixedStepClock:
+    """Deterministic request clock: each read advances by an exact 2^-9 s."""
+
+    STEP = 0.001953125  # 2^-9: exactly representable, sums stay exact
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.STEP
+        return self.now
+
+
+class _CaptureWriter:
+    """Just enough of ``asyncio.StreamWriter`` to record response bytes."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, blob: bytes) -> None:
+        self.data += blob
+
+    async def drain(self) -> None:
+        return None
+
+
+def build_golden_serve() -> dict[str, bytes]:
+    """Run a canned exchange through the real serve stack, deterministically.
+
+    No sockets and no wall clock: requests are rendered with
+    :func:`repro.serve.render_request`, parsed by the real
+    :func:`repro.serve.read_request`, dispatched through a real
+    :class:`repro.serve.App` (inline engine, injected fixed-step clock and
+    metrics recorder) and serialized by the real
+    :func:`repro.serve.write_response` — so the fixture pins the actual
+    wire format, including the chunked framing of streamed responses and
+    the ``/metrics`` Prometheus scrape.
+    """
+    import asyncio
+
+    from repro.serve import App, ServeConfig
+    from repro.serve.http import read_request, render_request, write_response
+    from repro.telemetry.export import to_prometheus
+    from repro.telemetry.recorder import Recorder
+
+    data = golden_field()
+
+    async def run() -> dict[str, bytes]:
+        recorder = Recorder(
+            enabled=True, clock=lambda: 0.0, wall_clock=lambda: 0, pid=1, tid=1
+        )
+        parts: list[bytes] = []
+        with Engine(jobs=1) as engine:
+            app = App(
+                engine, ServeConfig(), recorder=recorder,
+                clock=_FixedStepClock(),
+            )
+            container = engine.compress_chunked(
+                data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
+            )
+
+            async def exchange(method: str, target: str, body: bytes = b"") -> None:
+                wire_req = render_request(method, target, body=body)
+                reader = asyncio.StreamReader()
+                reader.feed_data(wire_req)
+                reader.feed_eof()
+                request = await read_request(reader, app.limits, "golden-client")
+                response = await app.handle(request)
+                writer = _CaptureWriter()
+                await write_response(writer, response)
+                parts.append(
+                    b"=== request " + f"{method} {target}".encode() + b" ===\n"
+                    + wire_req
+                    + b"\n=== response ===\n"
+                    + bytes(writer.data)
+                    + b"\n"
+                )
+
+            await exchange("GET", "/healthz")
+            await exchange(
+                "POST",
+                f"/v1/compress?shape={GOLDEN_SHAPE[0]},{GOLDEN_SHAPE[1]}"
+                f"&eb={GOLDEN_EB!r}&mode=abs&chunk_bytes={GOLDEN_CHUNK_BYTES}",
+                data.tobytes(),
+            )
+            await exchange("POST", "/v1/decompress", container)
+            await exchange("POST", "/v1/info", container)
+            metrics = to_prometheus(recorder.snapshot()).encode()
+        return {
+            "golden_serve_exchange.http": b"".join(parts),
+            "golden_serve_metrics.txt": metrics,
+        }
+
+    return asyncio.run(run())
+
+
 def main() -> None:
     GOLDEN_DIR.mkdir(exist_ok=True)
-    for name, blob in build_golden().items():
+    fixtures = build_golden()
+    fixtures.update(build_golden_serve())
+    for name, blob in fixtures.items():
         (GOLDEN_DIR / name).write_bytes(blob)
         print(f"wrote {GOLDEN_DIR / name} ({len(blob)} bytes)")
 

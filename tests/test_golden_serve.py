@@ -1,0 +1,68 @@
+"""Golden wire-format conformance for ``repro.serve``.
+
+Re-runs the canned deterministic HTTP exchange of
+``tests/golden_support.build_golden_serve`` — real request parsing, real
+routing, real chunked response serialization, fixed-step clock — and
+byte-compares it against the checked-in fixtures.  Any drift in the wire
+format (headers, chunk framing, error-body shape, Prometheus rendering) is
+a test failure here before it is a surprise for a client.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_support import (
+    GOLDEN_DIR,
+    SERVE_FIXTURES,
+    build_golden_serve,
+)
+
+
+@pytest.fixture(scope="module")
+def stored() -> dict[str, bytes]:
+    missing = [n for n in SERVE_FIXTURES if not (GOLDEN_DIR / n).exists()]
+    assert not missing, (
+        f"serve golden fixtures missing: {missing} — run "
+        f"`PYTHONPATH=src python tests/golden_support.py`"
+    )
+    return {n: (GOLDEN_DIR / n).read_bytes() for n in SERVE_FIXTURES}
+
+
+@pytest.fixture(scope="module")
+def fresh() -> dict[str, bytes]:
+    return build_golden_serve()
+
+
+@pytest.mark.parametrize("name", SERVE_FIXTURES)
+def test_fresh_exchange_matches_stored_bytes(stored, fresh, name):
+    assert fresh[name] == stored[name], (
+        f"{name}: the serve wire format changed — if intentional, "
+        f"regenerate via tests/golden/README.md"
+    )
+
+
+def test_exchange_fixture_carries_the_golden_container(stored):
+    """The chunked compress response embeds golden_container.fz verbatim."""
+    container = (GOLDEN_DIR / "golden_container.fz").read_bytes()
+    assert container in stored["golden_serve_exchange.http"]
+
+
+def test_exchange_fixture_has_no_nondeterministic_headers(stored):
+    text = stored["golden_serve_exchange.http"]
+    for banned in (b"\r\nDate:", b"\r\nServer:", b"\r\nETag:"):
+        assert banned not in text
+
+
+def test_metrics_fixture_covers_the_serve_catalog(stored):
+    text = stored["golden_serve_metrics.txt"].decode()
+    for series in (
+        "repro_serve_requests",
+        "repro_serve_bytes_in",
+        "repro_serve_bytes_out",
+        "repro_serve_inflight",
+        "repro_serve_request_seconds_bucket",
+    ):
+        assert series in text, f"missing {series} in the metrics scrape"
+    # the fixed-step clock makes every request exactly one step long
+    assert 'repro_serve_request_seconds_sum{route="/healthz"} 0.001953125' in text

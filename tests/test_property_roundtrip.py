@@ -97,6 +97,10 @@ class Case:
     #: decode-side kernel backend, swept independently of the encode side
     #: (a fused-encoded stream must decode identically on every backend)
     decode_backend: str = "reference"
+    #: roundtrip route: "direct" (in-process engine) or "http" (through a
+    #: live repro.serve server).  Shrinks toward "direct", separating "the
+    #: server mangles bytes" from "the codec/engine is wrong".
+    transport: str = "direct"
 
     def field(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed)
@@ -153,6 +157,8 @@ def shrink_candidates(case: Case):
         yield dataclasses.replace(case, backend="reference")
     if case.decode_backend != "reference":
         yield dataclasses.replace(case, decode_backend="reference")
+    if case.transport != "direct":
+        yield dataclasses.replace(case, transport="direct")
 
 
 def _failure(check, case: Case) -> AssertionError | None:
@@ -436,6 +442,66 @@ def test_salvage_property_middle_gouge():
             else np.empty((0,), dtype=np.float32)
         )
         assert np.array_equal(out, expected)
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport property: the live server is byte-transparent
+# ---------------------------------------------------------------------------
+
+
+def test_http_transport_is_byte_transparent():
+    """Random field/eb/mode/backend cases pushed through a live
+    ``repro.serve`` server must produce containers byte-identical to the
+    in-process engine path and reconstructions bit-identical to the direct
+    decode.  ``transport`` shrinks toward "direct", so a minimal failing
+    case tells you whether the server or the engine/codec is at fault."""
+    from repro.engine import Engine
+    from tests.serve_support import http_compress, http_decompress, live_server
+
+    rng = np.random.default_rng(MASTER_SEED + 7)
+    base = generate_cases(max(12, N_EXAMPLES // 3), MASTER_SEED + 7)
+    cases = [
+        dataclasses.replace(
+            c,
+            transport="http" if rng.integers(4) else "direct",
+            mode="abs" if c.kind in ("zeros",) else c.mode,
+        )
+        for c in base
+    ]
+    assert any(c.transport == "http" for c in cases)
+
+    with Engine(jobs=1) as reference:
+        with live_server(jobs=2, pool="thread") as (srv, app, engine):
+
+            def check(case: Case) -> None:
+                data = case.field()
+                expected = reference.compress_chunked(data, case.eb, case.mode)
+                recon_ref = reference.decompress_chunked(expected)
+                if case.transport == "http":
+                    status, _, blob = http_compress(
+                        srv.address, data, case.eb, case.mode
+                    )
+                    assert status == 200, f"compress failed: {blob!r}"
+                    assert blob == expected, (
+                        f"server container diverges from the engine path "
+                        f"({len(blob)} vs {len(expected)} bytes)"
+                    )
+                    status, _, recon = http_decompress(srv.address, blob)
+                    assert status == 200, f"decompress failed: {recon!r}"
+                    assert np.array_equal(recon, recon_ref), (
+                        "server reconstruction diverges from direct decode"
+                    )
+                else:
+                    with Engine(jobs=1, backend=case.backend) as eng:
+                        assert (
+                            eng.compress_chunked(data, case.eb, case.mode)
+                            == expected
+                        ), "backend diverges from reference on the direct path"
+                        assert np.array_equal(
+                            eng.decompress_chunked(expected), recon_ref
+                        )
+
+            run_property(check, cases)
 
 
 def test_shrinker_reaches_local_minimum():

@@ -1,0 +1,356 @@
+"""Integration suite for ``repro.serve`` — full lifecycle over a real socket.
+
+Every test here talks to an in-process :class:`~repro.serve.Server` bound
+to an ephemeral port through plain ``http.client``/raw sockets, so the
+whole stack is exercised: asyncio framing, routing, admission, the engine
+bridge, and response streaming.  The core contract is byte-identity: what
+comes back from ``/v1/compress`` is exactly what ``Engine.compress_chunked``
+produces for the same field, and ``/v1/decompress`` inverts it exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, read_containers
+from repro.errors import ConfigError
+from repro.serve import ServeConfig
+from repro.serve.quota import QuotaTable, TokenBucket
+from repro.telemetry.recorder import Recorder
+
+from tests.serve_support import (
+    http_compress,
+    http_decompress,
+    live_server,
+    request,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A shared default-config server (thread pool, 2 jobs)."""
+    with live_server(jobs=2, pool="thread") as (srv, app, engine):
+        yield srv, app, engine
+
+
+def _field(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape, dtype=np.float32)
+
+
+# ---------------------------------------------------------------------------
+# roundtrips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "shape,mode", [((512,), "rel"), ((64, 48), "rel"), ((8, 16, 12), "abs")]
+)
+def test_roundtrip_byte_identical_to_engine(server, shape, mode):
+    srv, app, engine = server
+    data = _field(shape, seed=len(shape))
+    status, headers, blob = http_compress(srv.address, data, 1e-3, mode)
+    assert status == 200
+    assert headers["content-type"] == "application/x-fz-container"
+    assert blob == engine.compress_chunked(data, 1e-3, mode)
+
+    status, headers, recon = http_decompress(srv.address, blob)
+    assert status == 200
+    assert headers["x-repro-dtype"] == "float32"
+    assert recon.shape == data.shape
+    assert np.array_equal(recon, engine.decompress_chunked(blob))
+
+
+def test_chunked_upload_is_equivalent(server):
+    srv, app, engine = server
+    data = _field((128, 32), seed=7)
+    plain = http_compress(srv.address, data, 1e-3)[2]
+    status, _, streamed = http_compress(srv.address, data, 1e-3, chunked=True)
+    assert status == 200
+    assert streamed == plain
+
+
+def test_multi_segment_response_streams_chunked(server):
+    srv, app, engine = server
+    data = _field((256, 64), seed=3)
+    status, headers, blob = http_compress(
+        srv.address, data, 1e-3, chunk_bytes=16384
+    )
+    assert status == 200
+    assert headers.get("transfer-encoding") == "chunked"
+    index = read_containers(__import__("io").BytesIO(blob))[0]
+    assert len(index.segments) > 1
+    assert blob == engine.compress_chunked(data, 1e-3, chunk_bytes=16384)
+
+
+def test_decompress_concatenated_containers(server):
+    srv, app, engine = server
+    a, b = _field((32, 16), seed=1), _field((48, 16), seed=2)
+    blob = (
+        http_compress(srv.address, a, 1e-3)[2]
+        + http_compress(srv.address, b, 1e-3)[2]
+    )
+    status, headers, recon = http_decompress(srv.address, blob)
+    assert status == 200
+    assert recon.shape == (80, 16)
+    assert np.array_equal(recon, engine.decompress_chunked(blob))
+
+
+def test_keepalive_serves_sequential_requests(server):
+    srv, app, engine = server
+    import http.client
+
+    conn = http.client.HTTPConnection(*srv.address, timeout=30)
+    try:
+        for _ in range(3):
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# info / salvage
+# ---------------------------------------------------------------------------
+
+
+def test_info_endpoint_reports_container_layout(server):
+    srv, app, engine = server
+    data = _field((256, 64), seed=5)
+    blob = http_compress(srv.address, data, 1e-3, chunk_bytes=16384)[2]
+    status, _, body = request(srv.address, "POST", "/v1/info", blob)
+    assert status == 200
+    info = json.loads(body)
+    assert info["total_rows"] == 256
+    assert info["original_bytes"] == 256 * 64 * 4
+    assert info["compressed_bytes"] == len(blob)
+    (container,) = info["containers"]
+    assert container["shape"] == [256, 64]
+    assert container["n_segments"] == len(container["segment_extents"]) > 1
+    assert sum(container["segment_extents"]) == 256
+
+
+def test_salvage_endpoint_accounts_every_byte(server):
+    srv, app, engine = server
+    data = _field((256, 64), seed=9)
+    blob = bytearray(http_compress(srv.address, data, 1e-3, chunk_bytes=16384)[2])
+    index = read_containers(__import__("io").BytesIO(bytes(blob)))[0]
+    victim = index.segments[1]
+    blob[victim.offset + victim.seg_bytes // 2] ^= 0xFF
+
+    status, _, body = request(srv.address, "POST", "/v1/salvage", bytes(blob))
+    assert status == 200
+    report = json.loads(body)
+    assert report["recovered_bytes"] + report["lost_bytes"] == report["total_bytes"]
+    assert report["lost_segments"] == 1
+    assert report["recovered_segments"] == len(index.segments) - 1
+    assert not report["complete"]
+    statuses = [seg["status"] for seg in report["segments"]]
+    assert statuses.count("lost") == 1
+
+
+# ---------------------------------------------------------------------------
+# typed 4xx
+# ---------------------------------------------------------------------------
+
+
+def _error(body: bytes) -> dict:
+    payload = json.loads(body)
+    assert set(payload) >= {"error", "message", "status"}
+    return payload
+
+
+def test_unknown_route_404(server):
+    srv, _, _ = server
+    status, _, body = request(srv.address, "GET", "/v1/nope")
+    assert status == 404 and _error(body)["error"] == "NotFound"
+
+
+def test_wrong_method_405(server):
+    srv, _, _ = server
+    status, _, body = request(srv.address, "GET", "/v1/compress")
+    assert status == 405 and _error(body)["error"] == "MethodNotAllowed"
+
+
+@pytest.mark.parametrize(
+    "target,needle",
+    [
+        ("/v1/compress?eb=1e-3", "shape"),
+        ("/v1/compress?shape=64,64", "eb"),
+        ("/v1/compress?shape=64x64&eb=1e-3", "shape"),
+        ("/v1/compress?shape=64,64&eb=bogus", "eb"),
+        ("/v1/compress?shape=64,64&eb=1e-3&mode=weird", "mode"),
+        ("/v1/compress?shape=2,2,2,2&eb=1e-3", "dims"),
+    ],
+)
+def test_bad_compress_params_400(server, target, needle):
+    srv, _, _ = server
+    status, _, body = request(srv.address, "POST", target, b"\0" * 16384)
+    assert status == 400
+    assert needle in _error(body)["message"]
+
+
+def test_body_shape_mismatch_400(server):
+    srv, _, _ = server
+    status, _, body = request(
+        srv.address, "POST", "/v1/compress?shape=64,64&eb=1e-3", b"\0" * 100
+    )
+    assert status == 400 and "100 bytes" in _error(body)["message"]
+
+
+def test_malformed_container_400(server):
+    srv, _, _ = server
+    for blob in (b"not a container at all", b"FZMC0002" + b"\0" * 64):
+        for route in ("/v1/decompress", "/v1/info"):
+            status, _, body = request(srv.address, "POST", route, blob)
+            assert status == 400
+            assert _error(body)["error"] == "FormatError"
+
+
+def test_truncated_container_400(server):
+    srv, app, engine = server
+    blob = engine.compress_chunked(_field((64, 64)), 1e-3)
+    status, _, body = request(srv.address, "POST", "/v1/decompress", blob[:-7])
+    assert status == 400 and _error(body)["error"] == "FormatError"
+
+
+def test_truncated_upload_400():
+    """Declaring more body than is sent must produce a 400, not a hang."""
+    with live_server(jobs=1) as (srv, app, engine):
+        with socket.create_connection(srv.address, timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/decompress HTTP/1.1\r\n"
+                b"Content-Length: 4096\r\n\r\n" + b"\0" * 10
+            )
+            sock.shutdown(socket.SHUT_WR)
+            reply = sock.recv(65536)
+        assert b"400 Bad Request" in reply and b"truncated" in reply
+
+
+def test_bad_chunk_framing_400():
+    with live_server(jobs=1) as (srv, app, engine):
+        with socket.create_connection(srv.address, timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/info HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"ZZZ\r\njunk\r\n"
+            )
+            reply = sock.recv(65536)
+        assert b"400 Bad Request" in reply
+
+
+def test_oversized_body_413():
+    cfg = ServeConfig(max_body_bytes=4096)
+    with live_server(jobs=1, config=cfg) as (srv, app, engine):
+        status, _, body = request(
+            srv.address, "POST", "/v1/compress?shape=64,64&eb=1e-3",
+            b"\0" * (64 * 64 * 4),
+        )
+        assert status == 413 and _error(body)["status"] == 413
+        # chunked uploads hit the same cap while streaming
+        status, _, body = request(
+            srv.address, "POST", "/v1/info", b"\0" * 8192, chunked=True
+        )
+        assert status == 413
+
+
+def test_oversized_header_431():
+    with live_server(jobs=1) as (srv, app, engine):
+        status, _, body = request(
+            srv.address, "GET", "/healthz", headers={"X-Junk": "j" * 40000}
+        )
+        assert status == 431
+
+
+# ---------------------------------------------------------------------------
+# quotas
+# ---------------------------------------------------------------------------
+
+
+def test_quota_exhaustion_429():
+    cfg = ServeConfig(quota_rate=0.001, quota_burst=2)
+    with live_server(jobs=1, config=cfg) as (srv, app, engine):
+        data = _field((32, 32))
+        hdrs = {"X-Repro-Client": "tenant-a"}
+        for _ in range(2):
+            status, _, _ = http_compress(srv.address, data, 1e-3, headers=hdrs)
+            assert status == 200
+        status, headers, body = http_compress(srv.address, data, 1e-3, headers=hdrs)
+        assert status == 429
+        assert _error(body)["error"] == "QuotaExceeded"
+        assert float(headers["retry-after"]) > 0
+        # a different client identity still has its full burst
+        status, _, _ = http_compress(
+            srv.address, data, 1e-3, headers={"X-Repro-Client": "tenant-b"}
+        )
+        assert status == 200
+        # GETs are never metered
+        assert request(srv.address, "GET", "/healthz")[0] == 200
+
+
+def test_token_bucket_refills_exactly():
+    clock = iter([0.0, 0.0, 0.0, 0.5, 1.0]).__next__
+    table = QuotaTable(rate=2.0, burst=2, clock=clock)
+    assert table.admit("c") is None
+    assert table.admit("c") is None
+    wait = table.admit("c")  # empty at t=0
+    assert wait == pytest.approx(0.5)
+    assert table.admit("c") is None  # t=0.5: one token regenerated
+    assert table.admit("c") is None  # t=1.0: another
+
+
+def test_quota_table_bounds_memory():
+    table = QuotaTable(rate=1.0, burst=1, max_clients=4, clock=lambda: 0.0)
+    for i in range(100):
+        table.admit(f"client-{i}")
+    assert len(table._buckets) == 4
+    with pytest.raises(ConfigError):
+        QuotaTable(rate=1.0, burst=0.25)
+    bucket = TokenBucket(rate=1.0, burst=1.0, now=0.0)
+    assert bucket.take(0.0) is None
+    assert bucket.take(0.0) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# health + metrics
+# ---------------------------------------------------------------------------
+
+
+def test_healthz_reports_engine_state(server):
+    srv, app, engine = server
+    status, headers, body = request(srv.address, "GET", "/healthz")
+    assert status == 200
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert health["pool"] == "thread" and health["jobs"] == 2
+    assert health["inflight"] == 0 and health["queue_depth"] == 0
+    assert health["queue_high_water"] == app.queue_high_water
+
+
+def test_metrics_exports_serve_series():
+    rec = Recorder(enabled=True)
+    with live_server(jobs=1, recorder=rec) as (srv, app, engine):
+        data = _field((32, 32))
+        assert http_compress(srv.address, data, 1e-3)[0] == 200
+        assert request(srv.address, "POST", "/v1/info", b"junk")[0] == 400
+        status, headers, body = request(srv.address, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        text = body.decode()
+    assert 'serve_requests{route="/v1/compress",status="200"}' in text
+    assert 'serve_requests{route="/v1/info",status="400"}' in text
+    assert "serve_bytes_in" in text and "serve_bytes_out" in text
+    assert "serve_request_seconds_bucket" in text
+    assert "serve_inflight" in text
+
+
+def test_head_request_omits_body(server):
+    srv, _, _ = server
+    status, headers, body = request(srv.address, "HEAD", "/metrics")
+    assert status == 200 and body == b""
