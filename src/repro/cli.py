@@ -378,6 +378,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_inflight=args.max_inflight,
+        max_connections=args.max_connections,
         queue_high_water=args.queue_high_water,
         quota_rate=args.quota_rps,
         quota_burst=args.quota_burst,
@@ -510,6 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fz-gpu kernel backend (reference/pooled/fused/auto)")
     sp.add_argument("--max-inflight", type=int, default=32,
                     help="concurrent engine-bound requests before shedding 429")
+    sp.add_argument("--max-connections", type=int, default=256,
+                    help="concurrent TCP connections before shedding 503")
     sp.add_argument("--queue-high-water", type=int, default=0, metavar="N",
                     help="engine queue-depth shed mark (default: 8 * jobs)")
     sp.add_argument("--quota-rps", type=float, default=0.0, metavar="R",

@@ -30,6 +30,8 @@ from repro.serve.http import (
     Response,
     StreamAborted,
     read_request,
+    read_request_body,
+    read_request_head,
     render_request,
     render_response,
     write_response,
@@ -50,6 +52,8 @@ __all__ = [
     "TokenBucket",
     "error_response",
     "read_request",
+    "read_request_head",
+    "read_request_body",
     "write_response",
     "render_request",
     "render_response",

@@ -22,7 +22,10 @@ PRs and is *reused* here rather than reimplemented:
   the engine's global :attr:`~repro.engine.Engine.queue_depth`; past the
   high-water mark requests are shed with ``429`` + ``Retry-After``.
   Per-client token buckets (:mod:`repro.serve.quota`) bound request *rate*
-  the same way.
+  the same way, keyed on the **peer address** — never on a client-supplied
+  header, which would let any caller mint fresh buckets per request.
+  Admission runs on the request *head* (see :meth:`App.admit`), before the
+  body is read, so a request that will be shed is never buffered.
 * **Observability** is the existing telemetry recorder: ``serve.*``
   counters/gauges/histograms ride the same registry as the ``engine.*`` and
   ``stage.*`` metrics and are exported verbatim by ``GET /metrics``.
@@ -93,6 +96,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0  #: 0 = ephemeral (the test fixtures' default)
     max_inflight: int = 32  #: concurrent engine-bound requests before shedding
+    max_connections: int = 256  #: concurrent TCP connections before 503
     queue_high_water: int = 0  #: engine queue-depth shed mark; 0 = 8 * jobs
     quota_rate: float = 0.0  #: per-client requests/second; <= 0 disables
     quota_burst: float = 8.0  #: per-client burst allowance
@@ -149,6 +153,27 @@ class _SegmentSink:
         if self._buf:
             self._push(bytes(self._buf))
             self._buf.clear()
+
+
+class _Admission:
+    """One admitted request's claim on server capacity.
+
+    ``release()`` is idempotent: it may be called from the streamed-response
+    finalizer, from :func:`~repro.serve.http.write_response`'s ``on_done``
+    hook *and* from an error path, and the underlying in-flight slot is
+    returned exactly once.  Requests that hold no slot (non-engine routes)
+    carry a no-op admission.
+    """
+
+    __slots__ = ("_release",)
+
+    def __init__(self, release: Callable[[], None] | None = None) -> None:
+        self._release = release
+
+    def release(self) -> None:
+        release, self._release = self._release, None
+        if release is not None:
+            release()
 
 
 def _json_body(payload: dict) -> bytes:
@@ -272,8 +297,51 @@ class App:
 
     # -- entry point -------------------------------------------------------
 
-    async def handle(self, request: Request) -> Response:
+    def admit(self, request: Request) -> _Admission:
+        """Admission control on the request *head*, before the body is read.
+
+        Routing errors (404/405), quota sheds and both backpressure signals
+        all fire here as :class:`HttpError`, so the connection loop can
+        refuse a request without ever buffering its body.  Quotas are keyed
+        on the peer address — a client-supplied identity header is
+        deliberately not trusted (it would allow minting a fresh token
+        bucket per request and churning honest clients out of the LRU).
+
+        The returned admission owns this request's in-flight slot (a no-op
+        for non-engine routes); callers must ``release()`` it on any path
+        that does not hand it back to :meth:`handle`.
+        """
+        _, needs_engine = self._resolve(request)
+        if request.method == "POST":
+            wait = self.quota.admit(self._quota_key(request))
+            if wait is not None:
+                self.recorder.counter("serve.shed", labels={"reason": "quota"})
+                raise HttpError(
+                    429,
+                    f"client quota exhausted, retry in {wait:.3f}s",
+                    code="QuotaExceeded",
+                    retry_after=wait,
+                )
+        if not needs_engine:
+            return _Admission()
+        self._acquire()
+        return _Admission(self._release)
+
+    @staticmethod
+    def _quota_key(request: Request) -> str:
+        """Peer address minus the ephemeral port (stable across connections)."""
+        client = request.client or "anonymous"
+        return client.rsplit(":", 1)[0] or client
+
+    async def handle(
+        self, request: Request, admission: _Admission | None = None
+    ) -> Response:
         """Dispatch one request; every exception becomes a typed response.
+
+        ``admission`` is the ticket from an earlier :meth:`admit` call (the
+        connection loop admits on the request head); when ``None`` the
+        request is admitted here instead.  Cancellation (server shutdown)
+        and interpreter exits propagate — only genuine errors are mapped.
 
         Streamed responses may still abort *after* this returns — the
         connection loop handles :class:`StreamAborted` by closing the
@@ -282,10 +350,10 @@ class App:
         start = self.clock()
         route = _route_name(request.path)
         try:
-            resp = await self._dispatch(request)
+            resp = await self._dispatch(request, admission)
         except StreamAborted:
             raise
-        except BaseException as exc:  # noqa: BLE001 — mapped, never raw
+        except Exception as exc:  # noqa: BLE001 — mapped, never raw
             resp = error_response(exc)
         self.recorder.counter(
             "serve.requests",
@@ -302,34 +370,29 @@ class App:
         )
         return resp
 
-    async def _dispatch(self, request: Request) -> Response:
+    async def _dispatch(
+        self, request: Request, admission: _Admission | None
+    ) -> Response:
         with telemetry.span("serve.request") as sp:
             sp.set("path", request.path)
             sp.set("method", request.method)
-            handler, needs_engine = self._resolve(request)
-            if request.method == "POST":
-                wait = self.quota.admit(request.header("x-repro-client")
-                                        or request.client or "anonymous")
-                if wait is not None:
-                    self.recorder.counter("serve.shed", labels={"reason": "quota"})
-                    raise HttpError(
-                        429,
-                        f"client quota exhausted, retry in {wait:.3f}s",
-                        code="QuotaExceeded",
-                        retry_after=wait,
-                    )
-            if not needs_engine:
-                return await handler(request)
-            self._acquire()
+            if admission is None:
+                admission = self.admit(request)
+            handler, _ = self._resolve(request)
             try:
                 resp = await handler(request)
             except BaseException:
-                self._release()
+                admission.release()
                 raise
             if resp.stream is None:
-                self._release()
+                admission.release()
             else:
-                resp.stream = self._released_when_done(resp.stream)
+                # the slot is held until the stream is done; release rides
+                # BOTH the generator finalizer and the response's on_done
+                # hook, because a stream abandoned before its first chunk
+                # is closed without ever running the generator body
+                resp.stream = self._counted(resp.stream, admission)
+                resp.on_done = admission.release
             return resp
 
     def _resolve(self, request: Request):
@@ -338,7 +401,7 @@ class App:
             "/metrics": ("GET", self._metrics, False),
             "/v1/compress": ("POST", self._compress, True),
             "/v1/decompress": ("POST", self._decompress, True),
-            "/v1/info": ("POST", self._info, False),
+            "/v1/info": ("POST", self._info, True),
             "/v1/salvage": ("POST", self._salvage, True),
         }
         entry = routes.get(request.path)
@@ -352,7 +415,7 @@ class App:
             )
         return handler, needs_engine
 
-    async def _released_when_done(self, stream) -> AsyncIterator[bytes]:
+    async def _counted(self, stream, admission: _Admission) -> AsyncIterator[bytes]:
         sent = 0
         try:
             async for chunk in stream:
@@ -360,7 +423,10 @@ class App:
                 yield chunk
         finally:
             self.recorder.counter("serve.bytes_out", sent)
-            self._release()
+            aclose = getattr(stream, "aclose", None)
+            if aclose is not None:
+                await aclose()
+            admission.release()
 
     # -- plumbing for streamed handlers ------------------------------------
 
@@ -493,6 +559,16 @@ class App:
             work, [("Content-Type", "application/x-fz-container")]
         )
 
+    async def _parsed_container(self, body: bytes):
+        """Run :meth:`_parse_container` on a worker thread.
+
+        Parsing copies every segment payload of a body that may be hundreds
+        of MiB; doing it inline would stall every other connection
+        (including ``/healthz``) for the duration.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._parse_container, body)
+
     def _parse_container(self, body: bytes):
         """Read container indexes + per-segment payloads (typed 4xx on damage)."""
         fileobj = BytesIO(body)
@@ -516,7 +592,7 @@ class App:
         return indexes, payloads, extents
 
     async def _decompress(self, request: Request) -> Response:
-        indexes, payloads, extents = self._parse_container(request.body)
+        indexes, payloads, extents = await self._parsed_container(request.body)
         total_rows = sum(idx.shape[0] for idx in indexes)
         shape = (total_rows,) + indexes[0].shape[1:]
 
@@ -541,7 +617,7 @@ class App:
         )
 
     async def _info(self, request: Request) -> Response:
-        indexes, payloads, extents = self._parse_container(request.body)
+        indexes, payloads, extents = await self._parsed_container(request.body)
         containers = [
             {
                 "shape": list(idx.shape),

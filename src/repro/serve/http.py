@@ -36,6 +36,8 @@ __all__ = [
     "Response",
     "Limits",
     "read_request",
+    "read_request_head",
+    "read_request_body",
     "write_response",
     "render_request",
     "render_response",
@@ -121,6 +123,11 @@ class Response:
     #: ``Transfer-Encoding: chunked`` and ``body`` is ignored
     stream: object | None = None
     close: bool = False  #: force ``Connection: close`` after this response
+    #: cleanup hook run by :func:`write_response` once the response is done
+    #: (sent, failed, or abandoned).  Release of server resources must ride
+    #: here, not on ``stream`` finalization: closing a never-started async
+    #: generator skips its ``finally`` entirely.
+    on_done: object | None = None
 
 
 @dataclass(frozen=True)
@@ -139,7 +146,23 @@ class Limits:
 async def read_request(
     reader: asyncio.StreamReader, limits: Limits, client: str = ""
 ) -> Request | None:
-    """Parse one request off ``reader``; ``None`` on clean connection EOF."""
+    """Parse one full request off ``reader``; ``None`` on clean connection EOF."""
+    request = await read_request_head(reader, limits, client)
+    if request is not None:
+        await read_request_body(reader, request, limits)
+    return request
+
+
+async def read_request_head(
+    reader: asyncio.StreamReader, limits: Limits, client: str = ""
+) -> Request | None:
+    """Parse one request head (line + headers); ``None`` on clean EOF.
+
+    The returned request carries ``body=b""`` — the caller runs admission
+    control on the head alone, then pulls the body with
+    :func:`read_request_body`, so a request that will be refused is never
+    buffered in memory.
+    """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
@@ -162,7 +185,6 @@ async def read_request(
     if not version.startswith("HTTP/1."):
         raise HttpError(400, f"unsupported protocol version {version!r}")
     headers = _parse_headers(header_blob)
-    body = await _read_body(reader, headers, limits)
     split = urlsplit(target)
     return Request(
         method=method.upper(),
@@ -170,9 +192,16 @@ async def read_request(
         path=split.path,
         query=dict(parse_qsl(split.query)),
         headers=headers,
-        body=body,
+        body=b"",
         client=client,
     )
+
+
+async def read_request_body(
+    reader: asyncio.StreamReader, request: Request, limits: Limits
+) -> None:
+    """Read the request's body (Content-Length or chunked) into ``request``."""
+    request.body = await _read_body(reader, request.headers, limits)
 
 
 def _parse_headers(blob: bytes) -> dict[str, str]:
@@ -282,29 +311,48 @@ async def write_response(
 
     Raises :class:`StreamAborted` through if the stream iterator aborts —
     the caller must then close the connection without the final chunk.
+
+    Every exit path — including a client that resets the connection before
+    the head is even drained — runs :func:`_finish_response`, so server-side
+    resources tied to the response (in-flight admission slots) can never
+    leak on an early disconnect.
     """
-    if resp.stream is not None and not head_only:
-        writer.write(_head_bytes(resp, [("Transfer-Encoding", "chunked")]))
-        await writer.drain()
-        try:
+    try:
+        if resp.stream is not None and not head_only:
+            writer.write(_head_bytes(resp, [("Transfer-Encoding", "chunked")]))
+            await writer.drain()
             async for chunk in resp.stream:
                 if chunk:
                     writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
                     await writer.drain()
-        finally:
-            # a write error (client gone) must still run the generator's
-            # cleanup (in-flight accounting) promptly, not at GC time
-            aclose = getattr(resp.stream, "aclose", None)
-            if aclose is not None:
-                await aclose()
-        writer.write(b"0\r\n\r\n")
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            return
+        body = b"" if head_only else resp.body
+        writer.write(
+            _head_bytes(resp, [("Content-Length", str(len(resp.body)))]) + body
+        )
         await writer.drain()
-        return
-    body = b"" if head_only else resp.body
-    writer.write(
-        _head_bytes(resp, [("Content-Length", str(len(resp.body)))]) + body
-    )
-    await writer.drain()
+    finally:
+        await _finish_response(resp)
+
+
+async def _finish_response(resp: Response) -> None:
+    """Close the response stream and fire ``on_done`` exactly once.
+
+    A write error (client gone) must run the stream's cleanup promptly, not
+    at GC time — and ``on_done`` must fire even when the stream iterator
+    was never started, because closing a never-started async generator does
+    not execute its ``finally`` block.
+    """
+    try:
+        aclose = getattr(resp.stream, "aclose", None)
+        if aclose is not None:
+            await aclose()
+    finally:
+        on_done, resp.on_done = resp.on_done, None
+        if callable(on_done):
+            on_done()
 
 
 def render_request(

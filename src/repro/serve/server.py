@@ -24,11 +24,12 @@ from __future__ import annotations
 import asyncio
 import threading
 
-from repro.serve.app import App, error_response
+from repro.serve.app import App, _route_name, error_response
 from repro.serve.http import (
     HttpError,
     StreamAborted,
-    read_request,
+    read_request_body,
+    read_request_head,
     write_response,
 )
 
@@ -46,6 +47,8 @@ class Server:
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._failure: BaseException | None = None
+        #: live connection count (event-loop-confined, no lock needed)
+        self._active = 0
 
     # -- asyncio side ------------------------------------------------------
 
@@ -73,20 +76,56 @@ class Server:
     ) -> None:
         peer = writer.get_extra_info("peername")
         client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        app = self.app
+        self._active += 1
         try:
+            if self._active > app.config.max_connections:
+                # connection-level cap: bounds total body-buffer memory to
+                # max_connections * max_body_bytes no matter how many
+                # sockets are opened against the service
+                app.recorder.counter(
+                    "serve.shed", labels={"reason": "connections"}
+                )
+                resp = error_response(HttpError(
+                    503,
+                    f"server at capacity: "
+                    f"{app.config.max_connections} open connections",
+                    code="TooManyConnections",
+                    retry_after=app.config.retry_after,
+                ))
+                resp.close = True
+                await write_response(writer, resp)
+                return
             while True:
+                request, admission = None, None
                 try:
-                    request = await read_request(reader, self.app.limits, client)
+                    request = await read_request_head(
+                        reader, app.limits, client
+                    )
+                    if request is None:
+                        return  # clean EOF between requests
+                    # admission (routing, quota, backpressure) runs on the
+                    # head alone: a refused request's body is never read,
+                    # so shed uploads cost no buffer memory
+                    admission = app.admit(request)
+                    await read_request_body(reader, request, app.limits)
                 except HttpError as exc:
-                    # framing is broken: answer if possible, then drop the
+                    if admission is not None:
+                        admission.release()
+                    # framing broke or admission refused with the body
+                    # still unread: answer if possible, then drop the
                     # connection — the stream position is unrecoverable
+                    if request is not None:
+                        app.recorder.counter(
+                            "serve.requests",
+                            labels={"route": _route_name(request.path),
+                                    "status": str(exc.status)},
+                        )
                     resp = error_response(exc)
                     resp.close = True
                     await write_response(writer, resp)
                     return
-                if request is None:
-                    return  # clean EOF between requests
-                resp = await self.app.handle(request)
+                resp = await app.handle(request, admission)
                 try:
                     await write_response(
                         writer, resp, head_only=request.method == "HEAD"
@@ -94,13 +133,14 @@ class Server:
                 except StreamAborted:
                     # headers already sent: the missing terminal chunk is
                     # the error signal; never leave the client waiting
-                    self.app.recorder.counter("serve.aborted_streams")
+                    app.recorder.counter("serve.aborted_streams")
                     return
                 if resp.close or request.header("connection", "").lower() == "close":
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass  # client vanished or server shutting down
         finally:
+            self._active -= 1
             writer.close()
             try:
                 await writer.wait_closed()

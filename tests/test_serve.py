@@ -277,21 +277,55 @@ def test_quota_exhaustion_429():
     cfg = ServeConfig(quota_rate=0.001, quota_burst=2)
     with live_server(jobs=1, config=cfg) as (srv, app, engine):
         data = _field((32, 32))
-        hdrs = {"X-Repro-Client": "tenant-a"}
         for _ in range(2):
-            status, _, _ = http_compress(srv.address, data, 1e-3, headers=hdrs)
+            status, _, _ = http_compress(srv.address, data, 1e-3)
             assert status == 200
-        status, headers, body = http_compress(srv.address, data, 1e-3, headers=hdrs)
+        status, headers, body = http_compress(srv.address, data, 1e-3)
         assert status == 429
         assert _error(body)["error"] == "QuotaExceeded"
         assert float(headers["retry-after"]) > 0
-        # a different client identity still has its full burst
-        status, _, _ = http_compress(
+        # quota identity is the PEER, not a client-chosen header: varying
+        # X-Repro-Client must not mint a fresh token bucket
+        status, _, body = http_compress(
             srv.address, data, 1e-3, headers={"X-Repro-Client": "tenant-b"}
         )
-        assert status == 200
+        assert status == 429 and _error(body)["error"] == "QuotaExceeded"
+        # ...and the ephemeral source port is not part of the identity
+        # either (every helper call above already used a new connection)
+        # while a genuinely different peer address has its full burst
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            *srv.address, timeout=30, source_address=("127.0.0.2", 0)
+        )
+        try:
+            shape = ",".join(str(n) for n in data.shape)
+            conn.request(
+                "POST", f"/v1/compress?shape={shape}&eb=0.001",
+                np.ascontiguousarray(data).tobytes(),
+            )
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
         # GETs are never metered
         assert request(srv.address, "GET", "/healthz")[0] == 200
+
+
+def test_quota_shed_without_absorbing_body():
+    """A shed request's body is never read: admission runs on the head, so
+    the server answers 429 even though the declared body never arrives."""
+    cfg = ServeConfig(quota_rate=0.0001, quota_burst=1)
+    with live_server(jobs=1, config=cfg) as (srv, app, engine):
+        data = _field((32, 32))
+        assert http_compress(srv.address, data, 1e-3)[0] == 200  # burst spent
+        with socket.create_connection(srv.address, timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/compress?shape=4096,4096&eb=1e-3 HTTP/1.1\r\n"
+                b"Content-Length: 67108864\r\n\r\n"  # 64 MiB that never comes
+            )
+            reply = sock.recv(65536)
+        assert b"429 Too Many Requests" in reply
+        assert b"QuotaExceeded" in reply
 
 
 def test_token_bucket_refills_exactly():
@@ -354,3 +388,77 @@ def test_head_request_omits_body(server):
     srv, _, _ = server
     status, headers, body = request(srv.address, "HEAD", "/metrics")
     assert status == 200 and body == b""
+
+
+# ---------------------------------------------------------------------------
+# connection lifecycle (admission slots, cancellation)
+# ---------------------------------------------------------------------------
+
+
+class _ResettingWriter:
+    """StreamWriter stand-in for a client that reset the connection."""
+
+    def write(self, blob: bytes) -> None:
+        pass
+
+    async def drain(self) -> None:
+        raise ConnectionResetError("client reset during response")
+
+
+def test_client_reset_before_stream_starts_releases_slot():
+    """An early disconnect must return the in-flight slot even though the
+    response stream was never iterated (a never-started async generator's
+    ``finally`` does not run on close)."""
+    from repro.serve import Request
+    from repro.serve.app import App
+    from repro.serve.http import write_response
+
+    async def run() -> None:
+        data = _field((64, 32), seed=13)
+        with Engine(jobs=1, pool="thread") as engine:
+            app = App(engine, ServeConfig())
+            for _ in range(3):  # a leak would accumulate across requests
+                req = Request(
+                    method="POST",
+                    target="/v1/compress?shape=64,32&eb=1e-3",
+                    path="/v1/compress",
+                    query={"shape": "64,32", "eb": "1e-3"},
+                    headers={},
+                    body=data.tobytes(),
+                    client="127.0.0.1:5",
+                )
+                admission = app.admit(req)
+                resp = await app.handle(req, admission)
+                assert resp.stream is not None and app.inflight == 1
+                with pytest.raises(ConnectionResetError):
+                    await write_response(_ResettingWriter(), resp)
+                assert app.inflight == 0, "admission slot leaked on reset"
+
+    import asyncio
+
+    asyncio.run(run())
+
+
+def test_handle_propagates_cancellation():
+    """Shutdown cancellation must escape ``handle`` (not become a 500), or
+    keep-alive connections would outlive Ctrl-C."""
+    import asyncio
+
+    from repro.serve import Request
+    from repro.serve.app import App
+
+    class _Stub:
+        jobs = 1
+        pool_kind = "thread"
+        queue_depth = 0
+        degraded = False
+
+    app = App(_Stub(), ServeConfig())
+
+    async def cancelled(request):
+        raise asyncio.CancelledError
+
+    app._healthz = cancelled
+    req = Request("GET", "/healthz", "/healthz", {}, {}, b"", "127.0.0.1:5")
+    with pytest.raises(asyncio.CancelledError):
+        asyncio.run(app.handle(req))

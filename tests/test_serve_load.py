@@ -134,6 +134,11 @@ def test_shed_429_at_inflight_cap():
             assert err["error"] == "Backpressure"
             assert float(headers["retry-after"]) == pytest.approx(2.5)
 
+            # /v1/info is engine-bound too: it sheds at the same cap
+            status, _, body = request(srv.address, "POST", "/v1/info", b"x")
+            assert status == 429
+            assert json.loads(body)["error"] == "Backpressure"
+
             health = json.loads(request(srv.address, "GET", "/healthz")[2])
             assert health["status"] == "busy" and health["inflight"] == 1
         finally:
@@ -144,7 +149,7 @@ def test_shed_429_at_inflight_cap():
         # capacity is back: both the health bit and real admission recover
         assert json.loads(request(srv.address, "GET", "/healthz")[2])["status"] == "ok"
         assert http_compress(srv.address, data, 1e-3)[0] == 200
-        assert rec.metrics.value("serve.shed", {"reason": "inflight"}) == 1
+        assert rec.metrics.value("serve.shed", {"reason": "inflight"}) == 2
     engine.close()
 
 
@@ -169,6 +174,40 @@ def test_shed_429_at_queue_depth_high_water():
     assert app2.inflight == 1
     app2._release()
     assert app2.inflight == 0
+
+
+def test_connection_cap_sheds_503_and_recovers():
+    """Past ``max_connections`` new sockets get a typed 503 and are closed;
+    capacity returns as soon as a connection goes away."""
+    import socket
+    import time
+
+    cfg = ServeConfig(max_connections=2, retry_after=1.5)
+    rec = Recorder(enabled=True)
+    with live_server(jobs=1, pool="thread", config=cfg, recorder=rec) as (
+        srv, app, engine,
+    ):
+        held = [socket.create_connection(srv.address, timeout=30)
+                for _ in range(2)]
+        try:
+            status, headers, body = request(srv.address, "GET", "/healthz")
+            assert status == 503
+            assert json.loads(body)["error"] == "TooManyConnections"
+            assert float(headers["retry-after"]) == pytest.approx(1.5)
+            assert rec.metrics.value(
+                "serve.shed", {"reason": "connections"}
+            ) == 1
+        finally:
+            held[0].close()
+        # the server notices the close asynchronously; capacity comes back
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if request(srv.address, "GET", "/healthz")[0] == 200:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("connection slot never came back")
+        held[1].close()
 
 
 def test_default_high_water_scales_with_jobs():
