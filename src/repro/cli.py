@@ -16,7 +16,9 @@ to record the run through :mod:`repro.telemetry` and export a Chrome trace
 (or JSONL, if OUT ends in ``.jsonl``) and a Prometheus text snapshot; both
 take ``--retries`` / ``--task-timeout`` to tune the engine's fault
 tolerance, and ``decompress --salvage`` best-effort-recovers a damaged
-multi-chunk container (see ``docs/RELIABILITY.md``).
+multi-chunk container (see ``docs/RELIABILITY.md``).  ``compress --plan``
+selects the per-chunk planner (``auto``/``ratio`` probe each chunk and may
+route it to the interpolation or constant predictor; ``docs/PLANNING.md``).
 """
 
 from __future__ import annotations
@@ -137,6 +139,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
             row["mean_us"] = f"{row['mean_us']:.1f}"
             row["mb_per_s"] = f"{row['mb_per_s']:.1f}"
         print(render_table(brows, title="per-backend breakdown"))
+    prows = stats.plan_breakdown(events)
+    if prows:
+        for row in prows:
+            row["total_ms"] = f"{row['total_ms']:.3f}"
+            row["mean_us"] = f"{row['mean_us']:.1f}"
+            row["ratio"] = f"{row['ratio']:.2f}"
+        print(render_table(prows, title="per-plan breakdown (planner view)"))
     return 0
 
 
@@ -194,15 +203,26 @@ def cmd_compress(args: argparse.Namespace) -> int:
                     rep = engine.compress_file(
                         src, dst, args.eb, args.mode,
                         shape=args.shape, chunk_bytes=chunk_bytes,
+                        plan=args.plan,
                     )
-                    report(f"{src.name} [{rep.n_chunks} chunks]",
+                    plans = ""
+                    if any(pl != "fast" for pl in rep.plans):
+                        counts: dict[str, int] = {}
+                        for pl in rep.plans:
+                            counts[pl] = counts.get(pl, 0) + 1
+                        plans = " plans " + "+".join(
+                            f"{n}x{pl}" for pl, n in sorted(counts.items())
+                        )
+                    report(f"{src.name} [{rep.n_chunks} chunks{plans}]",
                            rep.original_bytes, rep.compressed_bytes)
                     if args.verify:
                         verify(src.name, load_field(src, shape=args.shape),
                                engine.decompress_file(dst), rep.eb_abs)
             else:
                 fields = [load_field(p, shape=args.shape) for p in inputs]
-                results = engine.compress_batch(fields, args.eb, args.mode)
+                results = engine.compress_batch(
+                    fields, args.eb, args.mode, plan=args.plan
+                )
                 for src, dst, result in zip(inputs, outputs, results):
                     save_stream(dst, result.stream)
                     report(src.name, result.original_bytes, result.compressed_bytes)
@@ -256,7 +276,14 @@ def cmd_decompress(args: argparse.Namespace) -> int:
         return 0
     stream = load_stream(args.input)
     codec = _make_codec(args.codec, args)
-    recon = codec.decompress(stream)
+    if args.codec == "fz-gpu":
+        # magic-sniffing decode: FZGP fast streams plus the planner's
+        # FZIN/FZCN single-stream layouts
+        from repro.planner import decompress_any
+
+        recon = decompress_any(stream, codec=codec)
+    else:
+        recon = codec.decompress(stream)
     save_field(args.output, recon)
     print(f"reconstructed {recon.shape} float32 -> {args.output}")
     return 0
@@ -265,6 +292,13 @@ def cmd_decompress(args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.core.format import unpack_stream
     from repro.io import load_stream
+    from repro.planner import (
+        CONSTANT_MAGIC,
+        INTERP_MAGIC,
+        constant_info,
+        interp_info,
+        plan_name,
+    )
 
     from repro.engine.container import looks_like_container, read_containers
 
@@ -273,8 +307,8 @@ def cmd_info(args: argparse.Namespace) -> int:
             indexes = read_containers(f)
         for i, idx in enumerate(indexes):
             print(
-                f"FZ-GPU multi-chunk container #{i}: shape={idx.shape} "
-                f"split_axis={idx.split_axis}"
+                f"FZ-GPU multi-chunk container #{i} (v{idx.version}): "
+                f"shape={idx.shape} split_axis={idx.split_axis}"
             )
             print(f"  error bound (abs): {idx.eb_abs:g}")
             payload = sum(s.seg_bytes for s in idx.segments)
@@ -285,10 +319,35 @@ def cmd_info(args: argparse.Namespace) -> int:
             for ordinal, seg in enumerate(idx.segments):
                 print(
                     f"    [{ordinal}] rows {seg.extent:>8d}  "
-                    f"{seg.seg_bytes:>10d} bytes @ {seg.offset}"
+                    f"{seg.seg_bytes:>10d} bytes @ {seg.offset}  "
+                    f"plan {plan_name(seg.plan)}"
                 )
         return 0
     stream = load_stream(args.input)
+    if stream[:4] == INTERP_MAGIC:
+        inf = interp_info(stream)
+        print(
+            f"FZ interp stream (FZIN): shape={inf['shape']} "
+            f"anchor stride {inf['anchor_stride']}"
+        )
+        print(f"  error bound (abs): {inf['eb_abs']:g}")
+        print(f"  anchors: {inf['n_anchors']}")
+        print(
+            f"  blocks: {inf['n_blocks']} total, {inf['n_nonzero']} literal "
+            f"({1 - inf['n_nonzero'] / inf['n_blocks']:.1%} elided)"
+            if inf["n_blocks"]
+            else "  blocks: 0"
+        )
+        if inf["n_saturated"]:
+            print(f"  WARNING: {inf['n_saturated']} saturated residuals "
+                  f"(error bound not guaranteed at those points)")
+        return 0
+    if stream[:4] == CONSTANT_MAGIC:
+        inf = constant_info(stream)
+        print(f"FZ constant stream (FZCN): shape={inf['shape']}")
+        print(f"  error bound (abs): {inf['eb_abs']:g}")
+        print(f"  fill value: {inf['fill']:g}")
+        return 0
     # unpack_stream (not just the header parser) so geometry and the v2 CRC
     # are validated — `info` then doubles as a stream integrity check.
     header, _encoded = unpack_stream(stream)
@@ -385,6 +444,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=int(args.max_body_mb * (1 << 20)),
         chunk_bytes=(int(args.chunk_mb * (1 << 20)) if args.chunk_mb
                      else ServeConfig.chunk_bytes),
+        plan=args.plan,
     )
     server = Server(App(engine, config))
 
@@ -457,6 +517,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--verify", action="store_true",
                     help="decompress and check the error bound; exit 1 on "
                          "violation")
+    sp.add_argument("--plan", choices=("auto", "fast", "ratio", "interp",
+                                       "constant"), default="fast",
+                    help="fz-gpu chunk planner: fast keeps the fused "
+                         "pipeline byte-identical, auto/ratio probe each "
+                         "chunk and may route it to the interpolation or "
+                         "constant predictor, interp/constant force one "
+                         "(see docs/PLANNING.md)")
     add_codec_opts(sp)
     add_engine_opts(sp)
     add_telemetry_opts(sp)
@@ -475,7 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_decompress)
 
-    sp = sub.add_parser("info", help="inspect an FZ-GPU stream file")
+    sp = sub.add_parser(
+        "info", help="inspect a compressed stream/container (FZGP/FZIN/FZCN)"
+    )
     sp.add_argument("input")
     sp.set_defaults(fn=cmd_info)
 
@@ -523,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="largest accepted request body (413 past this)")
     sp.add_argument("--chunk-mb", type=float, default=None,
                     help="container segment target size in MiB")
+    sp.add_argument("--plan", choices=("auto", "fast", "ratio"),
+                    default="fast",
+                    help="default chunk plan when a request omits plan= "
+                         "(forced plans are not wire-selectable)")
     add_engine_opts(sp)
     sp.set_defaults(fn=cmd_serve)
 

@@ -107,6 +107,9 @@ class CompressionResult:
         Saturation / residual statistics from the lossy stage.
     n_blocks / n_nonzero_blocks:
         Zero-block encoder statistics (drive the GPU performance model).
+    plan:
+        Segment plan that produced ``stream`` (``"fast"`` for the fused
+        pipeline; ``"interp"``/``"constant"`` from :mod:`repro.planner`).
     """
 
     stream: bytes
@@ -117,6 +120,7 @@ class CompressionResult:
     n_blocks: int
     n_nonzero_blocks: int
     stage_sizes: dict = dataclass_field(default_factory=dict)
+    plan: str = "fast"
 
     @property
     def ratio(self) -> float:

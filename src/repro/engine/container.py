@@ -1,4 +1,4 @@
-"""Segmented multi-chunk ``.fz`` container (format ``FZMC`` v2).
+"""Segmented multi-chunk ``.fz`` container (format ``FZMC``, v3 + legacy v2).
 
 The single-shot pipeline emits one monolithic stream per field; the batch
 engine needs a container that can be **written incrementally** (one segment
@@ -12,7 +12,7 @@ and the per-record CRC framing of the cuSZ family's multi-field archives.
 Layout (little-endian)::
 
     container   := magic segments index footer
-    magic       := b"FZMC0002"                                  (8 bytes)
+    magic       := b"FZMC0003"                                  (8 bytes)
     segments    := segment*
     segment     := b"FZSG" u32 ordinal  u64 payload_len         (16 bytes)
                    payload                                      (payload_len)
@@ -22,14 +22,24 @@ Layout (little-endian)::
                    3 x u64 field shape (unused dims = 1)
                    f64 absolute error bound
                    u64 container_bytes (total, incl. footer)
-                   n_segments x { u64 offset  u64 seg_bytes  u64 extent }
-    footer      := u64 index_bytes  u32 crc32(index)  b"FZMCEND2"  (20 bytes)
+                   n_segments x { u64 offset  u64 seg_bytes  u64 extent
+                                  u64 plan }
+    footer      := u64 index_bytes  u32 crc32(index)  b"FZMCEND3"  (20 bytes)
 
-Every ``payload`` is a complete FZ-GPU core stream (itself v2,
-CRC-trailed), holding the chunk's rows along ``split_axis``; ``offset`` is
+Every ``payload`` is a complete core stream, CRC-trailed, holding the
+chunk's rows along ``split_axis``: an FZ-GPU ``FZGP`` stream for the fast
+plan, or a planner stream (``FZIN`` interpolation / ``FZCN`` constant,
+:mod:`repro.planner`) as recorded by the entry's ``plan`` id — readers
+dispatch per segment from the index without re-probing.  ``offset`` is
 relative to the container start so concatenated containers stay
 self-describing, and ``container_bytes`` lets a reader walk *backwards*
 from the end of a file through every concatenated container.
+
+**v2 compatibility**: containers written before the planner existed
+(magic ``FZMC0002`` / end magic ``FZMCEND2``, 24-byte index entries with
+no ``plan`` field) still parse — their entries read back with
+``plan = 0`` (fast), which is exactly what every v2 payload is.  The
+writer always emits v3.
 
 Readers validate with the same ladder as the core format: framing first
 (magics, lengths, caps) as :class:`~repro.errors.FormatError`, then CRCs,
@@ -51,6 +61,7 @@ from repro.utils.safeio import BoundedReader, checked_count
 
 __all__ = [
     "CONTAINER_MAGIC",
+    "CONTAINER_MAGIC_V2",
     "ContainerIndex",
     "SegmentEntry",
     "SegmentHit",
@@ -63,10 +74,18 @@ __all__ = [
     "looks_like_container",
 ]
 
-CONTAINER_MAGIC = b"FZMC0002"
-END_MAGIC = b"FZMCEND2"
+#: current (v3) container start magic — what the writer emits
+CONTAINER_MAGIC = b"FZMC0003"
+END_MAGIC = b"FZMCEND3"
+#: legacy (v2, pre-planner) magics — still accepted by every reader
+CONTAINER_MAGIC_V2 = b"FZMC0002"
+END_MAGIC_V2 = b"FZMCEND2"
 _SEG_MAGIC = b"FZSG"
 _INDEX_MAGIC = b"FZIX"
+
+#: start/end magic -> container format version
+_START_VERSIONS = {CONTAINER_MAGIC_V2: 2, CONTAINER_MAGIC: 3}
+_END_VERSIONS = {END_MAGIC_V2: 2, END_MAGIC: 3}
 
 _SEG_HDR_FMT = "<4sIQ"
 _SEG_HDR_BYTES = struct.calcsize(_SEG_HDR_FMT)
@@ -74,10 +93,16 @@ _CRC_FMT = "<I"
 _CRC_BYTES = struct.calcsize(_CRC_FMT)
 _INDEX_META_FMT = "<4sIBBH3QdQ"
 _INDEX_META_BYTES = struct.calcsize(_INDEX_META_FMT)
-_INDEX_ENTRY_FMT = "<QQQ"
+#: index entry layouts by container version (v3 appends the plan id)
+_INDEX_ENTRY_FMTS = {2: "<QQQ", 3: "<QQQQ"}
+_INDEX_ENTRY_FMT = _INDEX_ENTRY_FMTS[3]
 _INDEX_ENTRY_BYTES = struct.calcsize(_INDEX_ENTRY_FMT)
 _FOOTER_FMT = "<QI8s"
 FOOTER_BYTES = struct.calcsize(_FOOTER_FMT)
+
+#: highest segment-plan id a v3 index entry may carry (repro.planner owns
+#: the taxonomy: 0 fast, 1 interp, 2 constant)
+_MAX_PLAN_ID = 2
 
 #: Cap on segments a single container may declare (a 2^20-chunk field would
 #: be >4 TiB at the minimum chunk size — far beyond anything we write, small
@@ -92,6 +117,7 @@ class SegmentEntry:
     offset: int  #: byte offset of the segment header, container-relative
     seg_bytes: int  #: total segment size (header + payload + CRC)
     extent: int  #: rows this chunk covers along the split axis
+    plan: int = 0  #: segment plan id (0 fast, 1 interp, 2 constant; v2 -> 0)
 
 
 @dataclass(frozen=True)
@@ -180,6 +206,7 @@ class ContainerIndex:
     eb_abs: float
     container_bytes: int
     segments: tuple[SegmentEntry, ...]
+    version: int = 3  #: container format version the index was read from
 
     def validate(self) -> None:
         """Cross-check the index against itself (before touching payloads)."""
@@ -204,6 +231,8 @@ class ContainerIndex:
                 )
             if seg.seg_bytes <= _SEG_HDR_BYTES + _CRC_BYTES:
                 raise FormatError(f"segment {i} size {seg.seg_bytes} too small")
+            if not 0 <= seg.plan <= _MAX_PLAN_ID:
+                raise FormatError(f"segment {i} has unknown plan id {seg.plan}")
             pos += seg.seg_bytes
 
 
@@ -244,10 +273,16 @@ class ContainerWriter:
         self._f.write(data)
         self._pos += len(data)
 
-    def add_segment(self, payload: bytes, extent: int) -> None:
-        """Append one CRC-framed segment holding ``payload`` (a core stream)."""
+    def add_segment(self, payload: bytes, extent: int, plan: int = 0) -> None:
+        """Append one CRC-framed segment holding ``payload`` (a core stream).
+
+        ``plan`` is the segment-plan id recorded in the index entry (0 fast,
+        1 interp, 2 constant) so readers can dispatch without sniffing.
+        """
         if self._finished:
             raise FormatError("container already finished")
+        if not 0 <= int(plan) <= _MAX_PLAN_ID:
+            raise FormatError(f"unknown segment plan id {plan}")
         ordinal = len(self._entries)
         header = struct.pack(_SEG_HDR_FMT, _SEG_MAGIC, ordinal, len(payload))
         crc = zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
@@ -260,7 +295,7 @@ class ContainerWriter:
         self._write(payload)
         self._write(struct.pack(_CRC_FMT, crc))
         self._entries.append(
-            SegmentEntry(offset, self._pos - offset, int(extent))
+            SegmentEntry(offset, self._pos - offset, int(extent), int(plan))
         )
         if telemetry.enabled():
             telemetry.counter("container.segments_written")
@@ -286,7 +321,7 @@ class ContainerWriter:
             self._eb_abs,
             container_bytes,
         ) + b"".join(
-            struct.pack(_INDEX_ENTRY_FMT, e.offset, e.seg_bytes, e.extent)
+            struct.pack(_INDEX_ENTRY_FMT, e.offset, e.seg_bytes, e.extent, e.plan)
             for e in self._entries
         )
         self._write(index)
@@ -300,8 +335,15 @@ class ContainerWriter:
         return idx
 
 
-def _parse_index(blob: bytes) -> ContainerIndex:
-    """Decode and validate an index trailer body (without the footer)."""
+def _parse_index(blob: bytes, version: int = 3) -> ContainerIndex:
+    """Decode and validate an index trailer body (without the footer).
+
+    ``version`` selects the entry layout: v2 entries have no plan field and
+    read back as plan 0 (fast) — the only payload kind v2 writers produced.
+    """
+    entry_fmt = _INDEX_ENTRY_FMTS.get(version)
+    if entry_fmt is None:
+        raise FormatError(f"unsupported container version {version}")
     reader = BoundedReader(blob, name="FZMC index")
     (
         magic, n_segments, ndim, axis, _r, d0, d1, d2, eb_abs, container_bytes,
@@ -313,11 +355,16 @@ def _parse_index(blob: bytes) -> ContainerIndex:
     n_segments = checked_count(n_segments, MAX_SEGMENTS, "segment count")
     entries = []
     for _ in range(n_segments):
-        off, seg_bytes, extent = reader.read_struct(_INDEX_ENTRY_FMT, "index entry")
-        entries.append(SegmentEntry(off, seg_bytes, extent))
+        fields = reader.read_struct(entry_fmt, "index entry")
+        if version >= 3:
+            off, seg_bytes, extent, plan = fields
+        else:
+            (off, seg_bytes, extent), plan = fields, 0
+        entries.append(SegmentEntry(off, seg_bytes, extent, plan))
     reader.expect_exhausted("container index")
     idx = ContainerIndex(
-        (d0, d1, d2)[:ndim], axis, eb_abs, container_bytes, tuple(entries)
+        (d0, d1, d2)[:ndim], axis, eb_abs, container_bytes, tuple(entries),
+        version=version,
     )
     idx.validate()
     return idx
@@ -345,13 +392,13 @@ def _parse_segment(blob: bytes, expected_ordinal: int, name: str) -> bytes:
 
 
 def looks_like_container(path_or_bytes) -> bool:
-    """Cheap sniff: does this file/buffer start with the FZMC magic?"""
+    """Cheap sniff: does this file/buffer start with an FZMC magic (v2/v3)?"""
     if isinstance(path_or_bytes, (bytes, bytearray, memoryview)):
         head = bytes(path_or_bytes[: len(CONTAINER_MAGIC)])
     else:
         with open(path_or_bytes, "rb") as f:
             head = f.read(len(CONTAINER_MAGIC))
-    return head == CONTAINER_MAGIC
+    return head in _START_VERSIONS
 
 
 def read_containers(fileobj: BinaryIO) -> list[ContainerIndex]:
@@ -374,7 +421,8 @@ def read_containers(fileobj: BinaryIO) -> list[ContainerIndex]:
         index_bytes, index_crc, end_magic = struct.unpack(
             _FOOTER_FMT, _read_exact(fileobj, FOOTER_BYTES, "container footer")
         )
-        if end_magic != END_MAGIC:
+        version = _END_VERSIONS.get(end_magic)
+        if version is None:
             raise FormatError(f"bad container end magic {end_magic!r}")
         if index_bytes > end - FOOTER_BYTES:
             raise FormatError(
@@ -385,7 +433,7 @@ def read_containers(fileobj: BinaryIO) -> list[ContainerIndex]:
         index_blob = _read_exact(fileobj, index_bytes, "container index")
         if (zlib.crc32(index_blob) & 0xFFFFFFFF) != index_crc:
             raise FormatError("container index CRC mismatch")
-        idx = _parse_index(index_blob)
+        idx = _parse_index(index_blob, version)
         start = end - idx.container_bytes
         if start < 0:
             raise FormatError(
@@ -393,7 +441,8 @@ def read_containers(fileobj: BinaryIO) -> list[ContainerIndex]:
                 f"{end} precede its footer"
             )
         fileobj.seek(start)
-        if _read_exact(fileobj, len(CONTAINER_MAGIC), "container magic") != CONTAINER_MAGIC:
+        start_magic = _read_exact(fileobj, len(CONTAINER_MAGIC), "container magic")
+        if _START_VERSIONS.get(start_magic) != version:
             raise FormatError("container start magic missing where the index points")
         containers.append((start, idx))
         end = start
@@ -428,8 +477,10 @@ def iter_segments(fileobj: BinaryIO) -> Iterator[tuple[ContainerIndex, int, byte
         magic = fileobj.read(len(CONTAINER_MAGIC))
         if not magic:
             break
-        if magic != CONTAINER_MAGIC:
+        version = _START_VERSIONS.get(magic)
+        if version is None:
             raise FormatError(f"bad container magic {magic!r}")
+        entry_bytes = struct.calcsize(_INDEX_ENTRY_FMTS[version])
         containers += 1
         pending: list[bytes] = []
         seg_sizes: list[int] = []
@@ -449,13 +500,13 @@ def iter_segments(fileobj: BinaryIO) -> Iterator[tuple[ContainerIndex, int, byte
                 n_segments = checked_count(n_segments, MAX_SEGMENTS, "segment count")
                 rest = _read_exact(
                     fileobj,
-                    _INDEX_META_BYTES - _SEG_HDR_BYTES + n_segments * _INDEX_ENTRY_BYTES,
+                    _INDEX_META_BYTES - _SEG_HDR_BYTES + n_segments * entry_bytes,
                     "container index",
                 )
                 index_blob = head + rest
                 footer = _read_exact(fileobj, FOOTER_BYTES, "container footer")
                 index_bytes, index_crc, end_magic = struct.unpack(_FOOTER_FMT, footer)
-                if end_magic != END_MAGIC:
+                if _END_VERSIONS.get(end_magic) != version:
                     raise FormatError(f"bad container end magic {end_magic!r}")
                 if index_bytes != len(index_blob):
                     raise FormatError(
@@ -463,7 +514,7 @@ def iter_segments(fileobj: BinaryIO) -> Iterator[tuple[ContainerIndex, int, byte
                     )
                 if (zlib.crc32(index_blob) & 0xFFFFFFFF) != index_crc:
                     raise FormatError("container index CRC mismatch")
-                idx = _parse_index(index_blob)
+                idx = _parse_index(index_blob, version)
                 if len(idx.segments) != len(pending):
                     raise FormatError(
                         f"index lists {len(idx.segments)} segments, stream held "

@@ -74,6 +74,7 @@ from repro.errors import (
     TransientTaskError,
     WorkerCrashError,
 )
+from repro.planner import compress_with_plan, decompress_any, normalize_plan, plan_id
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.pool import BufferPool, Scratch
 from repro.utils.safeio import check_consistent
@@ -178,6 +179,9 @@ class FileReport:
     eb_abs: float
     original_bytes: int
     compressed_bytes: int
+    #: segment plan chosen per chunk ("fast"/"interp"/"constant"); empty for
+    #: decode-side reports
+    plans: tuple[str, ...] = ()
 
     @property
     def ratio(self) -> float:
@@ -214,6 +218,22 @@ def _proc_codec(chunk, backend) -> FZGPU:
     if codec is None:
         codec = _PROC_CODECS[key] = FZGPU(chunk=chunk, backend=backend)
     return codec
+
+
+def _compress_task(codec: FZGPU, data, eb, mode, plan, scratch):
+    """One compression task body, shared by thread and process workers.
+
+    A ``"fast"`` plan calls the codec directly — zero planner overhead and
+    byte-identical to the pre-planner engine.  Anything else routes through
+    :func:`repro.planner.compress_with_plan` (probe + dispatch); the probe
+    is deterministic, so the chosen plan — and therefore the bytes — do not
+    depend on which pool or worker ran the task.
+    """
+    if plan == "fast":
+        return codec.compress(data, eb, mode, scratch=scratch)
+    return compress_with_plan(
+        data, eb, mode, plan=plan, codec=codec, scratch=scratch
+    )
 
 
 def _instrumented_task(fn):
@@ -269,11 +289,13 @@ def _proc_run(telem: bool, fn, index: int, attempt: int, plan_text: str):
 
 
 def _proc_compress(args) -> tuple[CompressionResult, dict | None]:
-    (data, eb, mode, chunk, backend, pooled, telem), index, attempt, plan_text = args
+    (data, eb, mode, chunk, backend, pooled, telem, plan), index, attempt, \
+        plan_text = args
     return _proc_run(
         telem,
-        lambda: _proc_codec(chunk, backend).compress(
-            data, eb, mode, scratch=_proc_scratch(pooled)
+        lambda: _compress_task(
+            _proc_codec(chunk, backend), data, eb, mode, plan,
+            _proc_scratch(pooled),
         ),
         index,
         attempt,
@@ -285,8 +307,10 @@ def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
     (stream, chunk, backend, pooled, telem), index, attempt, plan_text = args
     return _proc_run(
         telem,
-        lambda: _proc_codec(chunk, backend).decompress(
-            stream, scratch=_proc_scratch(pooled)
+        lambda: decompress_any(
+            stream,
+            codec=_proc_codec(chunk, backend),
+            scratch=_proc_scratch(pooled),
         ),
         index,
         attempt,
@@ -338,6 +362,14 @@ class Engine:
     backoff:
         Base delay of the exponential retry backoff: attempt ``k`` sleeps
         ``backoff * 2**(k-1)`` seconds (capped at :data:`MAX_BACKOFF_S`).
+    plan:
+        Default request plan (:data:`repro.planner.REQUEST_PLANS`) applied
+        by the compression entry points when they are not given an explicit
+        one.  ``"fast"`` (the default) keeps the engine byte-identical to
+        its pre-planner behavior; ``"auto"``/``"ratio"`` probe each
+        field/chunk and may route it to the interpolation or constant
+        pipeline (see :mod:`repro.planner`).  Decompression always
+        dispatches on the stream magic, independent of this setting.
     """
 
     def __init__(
@@ -351,6 +383,7 @@ class Engine:
         retries: int = DEFAULT_RETRIES,
         task_timeout: float | None = None,
         backoff: float = 0.05,
+        plan: str = "fast",
     ) -> None:
         jobs = int(jobs)
         if jobs < 1:
@@ -367,6 +400,7 @@ class Engine:
         self.jobs = jobs
         self.pool_kind = pool
         self.pooled = bool(pooled)
+        self.plan = normalize_plan(plan)
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
         self.retries = retries
         self.task_timeout = task_timeout
@@ -715,28 +749,35 @@ class Engine:
         eb: float,
         mode: str = "rel",
         on_error: str = "raise",
+        plan: str | None = None,
     ) -> list[CompressionResult]:
         """Compress many independent fields; results keep input order.
 
-        Each field is compressed exactly as ``FZGPU().compress(field, eb,
-        mode)`` would — per-field streams are byte-identical to single-shot
-        output regardless of ``jobs``/``pool``/``pooled``, including runs
-        that recovered from worker crashes or transient failures.  With
-        ``on_error="return"`` a quarantined field yields its
-        :class:`TaskFailure` in the corresponding result slot instead of
-        raising, so surviving results never shift position.
+        With the default ``"fast"`` plan each field is compressed exactly
+        as ``FZGPU().compress(field, eb, mode)`` would — per-field streams
+        are byte-identical to single-shot output regardless of
+        ``jobs``/``pool``/``pooled``, including runs that recovered from
+        worker crashes or transient failures.  ``plan`` overrides the
+        engine default (:data:`repro.planner.REQUEST_PLANS`); planner
+        routing is probe-deterministic, so streams stay independent of the
+        pool configuration for every plan.  With ``on_error="return"`` a
+        quarantined field yields its :class:`TaskFailure` in the
+        corresponding result slot instead of raising, so surviving results
+        never shift position.
         """
         fields = list(fields)
+        plan = self.plan if plan is None else normalize_plan(plan)
         telem = telemetry.enabled()
         with telemetry.span("engine.compress_batch") as sp:
             sp.set("n_fields", len(fields))
+            sp.set("plan", plan)
             results = list(
                 self._run_ordered(
-                    lambda f, s: self._codec.compress(f, eb, mode, scratch=s),
+                    lambda f, s: _compress_task(self._codec, f, eb, mode, plan, s),
                     _proc_compress,
                     fields,
                     [(f, eb, mode, self._chunk, self._backend_sel, self.pooled,
-                      telem) for f in fields],
+                      telem, plan) for f in fields],
                     on_error=on_error,
                 )
             )
@@ -747,6 +788,8 @@ class Engine:
     ) -> list[np.ndarray]:
         """Decompress many streams; results keep input order.
 
+        Streams from any plan are accepted — decoding dispatches on each
+        stream's magic (``FZGP``/``FZIN``/``FZCN``), so mixed batches work.
         ``on_error`` behaves as in :meth:`compress_batch`.
         """
         streams = list(streams)
@@ -755,7 +798,7 @@ class Engine:
             sp.set("n_streams", len(streams))
             results = list(
                 self._run_ordered(
-                    lambda b, s: self._codec.decompress(b, scratch=s),
+                    lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
                     _proc_decompress,
                     streams,
                     [(b, self._chunk, self._backend_sel, self.pooled, telem)
@@ -786,7 +829,7 @@ class Engine:
         with telemetry.span("engine.decompress_stream") as sp:
             n = 0
             for result in self._run_ordered(
-                lambda b, s: self._codec.decompress(b, scratch=s),
+                lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
                 _proc_decompress,
                 streams,
                 tasks(),
@@ -809,6 +852,7 @@ class Engine:
         mode: str = "rel",
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         name: str = "<memory>",
+        plan: str | None = None,
     ) -> FileReport:
         """Compress ``data`` into a multi-chunk container written to ``fileobj``.
 
@@ -818,6 +862,12 @@ class Engine:
         first — chunk headers then carry the same absolute bound the
         single-shot path would, which is one half of the bit-identical
         reconstruction guarantee (the other is Lorenzo-aligned splitting).
+
+        ``plan`` overrides the engine's default request plan.  Non-``fast``
+        plans probe and route **each chunk independently**, record the
+        chosen plan in the container's v3 index entry, and report the
+        per-chunk decisions in :attr:`FileReport.plans` — decompression
+        dispatches per segment with no re-probing.
         """
         if not 1 <= data.ndim <= 3 or data.size == 0:
             raise ConfigError(
@@ -825,10 +875,12 @@ class Engine:
                 f"shape {data.shape}"
             )
         eb = ensure_positive(eb, "eb")
+        plan = self.plan if plan is None else normalize_plan(plan)
         spans = plan_chunks(data.shape, self._axis0_align(data.ndim), chunk_bytes)
         telem = telemetry.enabled()
         with telemetry.span("engine.compress_file") as root:
             root.set("n_chunks", len(spans))
+            root.set("plan", plan)
             if mode == "rel":
                 with telemetry.span("engine.range_scan"):
                     lo = math.inf
@@ -843,21 +895,24 @@ class Engine:
                 eb_abs = resolve_error_bound_range(0.0, 0.0, eb, mode)
             writer = fzmc.ContainerWriter(fileobj, data.shape, eb_abs)
             compressed = 0
+            chunk_plans: list[str] = []
             results = self._run_ordered(
-                lambda span, s: self._codec.compress(
+                lambda span, s: _compress_task(
+                    self._codec,
                     np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs",
-                    scratch=s,
+                    plan, s,
                 ),
                 _proc_compress,
                 spans,
                 (
                     (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk,
-                     self._backend_sel, self.pooled, telem)
+                     self._backend_sel, self.pooled, telem, plan)
                     for a, b in spans
                 ),
             )
             for (a, b), result in zip(spans, results):
-                writer.add_segment(result.stream, b - a)
+                writer.add_segment(result.stream, b - a, plan=plan_id(result.plan))
+                chunk_plans.append(result.plan)
                 compressed += len(result.stream)
             index = writer.finish()
             root.set("bytes_in", int(data.size) * 4)
@@ -869,6 +924,7 @@ class Engine:
             eb_abs=eb_abs,
             original_bytes=int(data.size) * 4,
             compressed_bytes=compressed,
+            plans=tuple(chunk_plans),
         )
 
     def compress_chunked(
@@ -877,10 +933,11 @@ class Engine:
         eb: float,
         mode: str = "rel",
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        plan: str | None = None,
     ) -> bytes:
         """In-memory variant of :meth:`compress_chunked_to` (returns the blob)."""
         buf = BytesIO()
-        self.compress_chunked_to(buf, data, eb, mode, chunk_bytes)
+        self.compress_chunked_to(buf, data, eb, mode, chunk_bytes, plan=plan)
         return buf.getvalue()
 
     def decompress_chunked_from(
@@ -931,7 +988,7 @@ class Engine:
             for expected, chunk_arr in zip(
                 extents,
                 self._run_ordered(
-                    lambda b, s: self._codec.decompress(b, scratch=s),
+                    lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
                     _proc_decompress,
                     payloads,
                     [(b, self._chunk, self._backend_sel, self.pooled, telem)
@@ -966,7 +1023,7 @@ class Engine:
         telem = telemetry.enabled()
         return list(
             self._run_ordered(
-                lambda b, s: self._codec.decompress(b, scratch=s),
+                lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
                 _proc_decompress,
                 payloads,
                 [(b, self._chunk, self._backend_sel, self.pooled, telem)
@@ -1159,17 +1216,19 @@ class Engine:
         mode: str = "rel",
         shape: tuple[int, ...] | None = None,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        plan: str | None = None,
     ) -> FileReport:
         """Stream-compress a field file into a multi-chunk ``.fz`` container.
 
         The input is memory-mapped (``.npy`` via ``np.load(mmap_mode='r')``,
         raw ``.f32``/``.dat`` via ``np.memmap``), so peak memory is one
-        chunk per in-flight worker regardless of field size.
+        chunk per in-flight worker regardless of field size.  ``plan``
+        behaves as in :meth:`compress_chunked_to`.
         """
         data = _open_field_mmap(input_path, shape)
         with open(output_path, "wb") as f:
             report = self.compress_chunked_to(
-                f, data, eb, mode, chunk_bytes, name=str(output_path)
+                f, data, eb, mode, chunk_bytes, name=str(output_path), plan=plan
             )
         return report
 

@@ -1,0 +1,73 @@
+"""Adaptive per-chunk planner: probe, route, and high-ratio predictors.
+
+The planner decides — per chunk, per request — between three pipelines:
+
+* the fused Lorenzo fast path (FZ-GPU proper, ``FZGP`` streams),
+* a cubic multi-level interpolation predictor modeled on cuSZ-i
+  (:mod:`repro.planner.interp`, ``FZIN`` streams), and
+* a constant-block shortcut (:mod:`repro.planner.constant`, ``FZCN``).
+
+See ``docs/PLANNING.md`` for the probe thresholds, the container v3
+per-segment plan records, and the serve-side trust model.
+"""
+
+from repro.planner.codec import compress_with_plan, decompress_any
+from repro.planner.constant import (
+    CONSTANT_MAGIC,
+    constant_compress,
+    constant_decompress,
+    constant_info,
+    constant_qualifies,
+)
+from repro.planner.interp import (
+    INTERP_MAGIC,
+    default_anchor_log2,
+    interp_compress,
+    interp_decompress,
+    interp_info,
+)
+from repro.planner.plans import (
+    PLAN_CONST,
+    PLAN_FAST,
+    PLAN_INTERP,
+    PLAN_IDS,
+    PLAN_NAMES,
+    REQUEST_PLANS,
+    SERVE_PLANS,
+    PlanPolicy,
+    decide,
+    normalize_plan,
+    plan_id,
+    plan_name,
+)
+from repro.planner.probe import DEFAULT_SAMPLES, ChunkProbe, probe_chunk
+
+__all__ = [
+    "compress_with_plan",
+    "decompress_any",
+    "CONSTANT_MAGIC",
+    "constant_compress",
+    "constant_decompress",
+    "constant_info",
+    "constant_qualifies",
+    "INTERP_MAGIC",
+    "default_anchor_log2",
+    "interp_compress",
+    "interp_decompress",
+    "interp_info",
+    "PLAN_CONST",
+    "PLAN_FAST",
+    "PLAN_INTERP",
+    "PLAN_IDS",
+    "PLAN_NAMES",
+    "REQUEST_PLANS",
+    "SERVE_PLANS",
+    "PlanPolicy",
+    "decide",
+    "normalize_plan",
+    "plan_id",
+    "plan_name",
+    "DEFAULT_SAMPLES",
+    "ChunkProbe",
+    "probe_chunk",
+]

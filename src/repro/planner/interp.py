@@ -1,0 +1,519 @@
+"""Cubic multi-level interpolation predictor (the ``interp`` plan, ``FZIN``).
+
+This is the high-ratio pipeline of the planner, modeled on cuSZ-i /
+SZ3-style interpolation compression: instead of the Lorenzo predictor's
+immediate-neighbor differences, values are predicted level by level from a
+coarse *anchor grid* by cubic spline interpolation, and only the quantized
+prediction residuals are stored.  On smooth fields the cubic predictor is
+dramatically more accurate than Lorenzo, so the residual codes are almost
+all zero and the existing bitshuffle + zero-block stages collapse them to
+near nothing.
+
+Algorithm
+---------
+* **Anchors** — every grid point whose coordinates are all multiples of
+  ``2**anchor_log2`` is stored exactly as its pre-quantized integer
+  ``round(v / 2eb)`` (int64, outside the residual stream).
+* **Levels** — for stride ``s = 2**anchor_log2 / 2, ..., 1``, one pass per
+  axis predicts the points at odd multiples of ``s`` along that axis from
+  the already-reconstructed stride-``2s`` grid: a 4-point cubic midpoint
+  ``(9(f(x-s)+f(x+s)) - (f(x-3s)+f(x+3s))) / 16`` in the interior, linear
+  at boundaries, nearest-neighbor at the trailing edge.  The residual
+  ``round((v - pred) / 2eb)`` is clamped to the same 15-bit sign-magnitude
+  codes as the fused path, and the encoder reconstructs as it goes — the
+  prediction context is *identical* on both sides, which is what makes the
+  decode exact and the error bound hold (except at saturated residuals,
+  the same caveat as the fused path).
+* **Encoding** — the residual code grid (zeros at anchor positions) runs
+  through the exact bitshuffle and zero-block stages of the fused pipeline
+  into a CRC-trailed ``FZIN`` stream.
+
+Two implementations are provided and are **byte-identical** by
+construction: the staged reference walks targets one hyperplane at a time;
+the vectorized fast path computes every target of a pass at once.  Both
+share the same prediction/quantization helpers, so each target sees the
+same float64 expression tree regardless of implementation — conformance is
+pinned by ``tests/test_planner.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+import zlib
+from typing import Callable
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.bitshuffle import bitshuffle, bitunshuffle
+from repro.core.encoder import BLOCK_BYTES, BLOCK_WORDS, EncodedBlocks, decode_zero_blocks, encode_zero_blocks
+from repro.core.format import MAX_ELEMENTS, implied_block_count
+from repro.core.pipeline import CompressionResult
+from repro.core.quantize import MAX_MAGNITUDE, SIGN_BIT, QuantizerStats
+from repro.errors import ConfigError, DecompressionError, FormatError
+from repro.utils.safeio import BoundedReader
+from repro.utils.validation import ensure_float32, ensure_ndim, ensure_positive
+
+__all__ = [
+    "INTERP_MAGIC",
+    "INTERP_VERSION",
+    "interp_compress",
+    "interp_decompress",
+    "default_anchor_log2",
+]
+
+INTERP_MAGIC = b"FZIN"
+INTERP_VERSION = 1
+
+# magic, version, ndim, reserved, 3x dim, eb_abs, anchor_log2, reserved,
+# pad, n_blocks, n_nonzero, n_saturated, n_anchors
+_HEADER_FMT = "<4sBBH3QdBB2xQQQQ"
+_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+_CRC_FMT = "<I"
+_CRC_BYTES = struct.calcsize(_CRC_FMT)
+_ANCHOR_DTYPE = np.dtype("<i8")
+
+#: Hard cap on the anchor stride exponent a header may declare.
+_MAX_ANCHOR_LOG2 = 30
+
+
+def default_anchor_log2(shape: tuple[int, ...]) -> int:
+    """Default anchor stride exponent for a field shape.
+
+    1D fields use a sparser anchor grid (stride 64) because anchors cost
+    8 bytes each and a stride-16 line grid would floor the bitrate at half
+    a byte per value; in 2D/3D the anchor overhead at stride 16 is already
+    negligible (one anchor per 256 / 4096 points).
+    """
+    return 6 if len(shape) == 1 else 4
+
+
+# -- shared prediction / residual arithmetic --------------------------------
+# Both implementations call exactly these helpers, so every target sees the
+# same float64 expression tree — the root of the byte-identity guarantee.
+
+
+def _cubic(a, b, c, d):
+    """4-point cubic midpoint: ``(9(b + c) - (a + d)) / 16`` (float64)."""
+    return (9.0 * (b + c) - (a + d)) / 16.0
+
+
+def _linear(a, b):
+    return (a + b) * 0.5
+
+
+def _quantize_residual(
+    v: np.ndarray, pred: np.ndarray, eb2: float
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Quantize residuals to sign-magnitude codes, returning the clamped
+    float64 deltas the encoder must reconstruct with (codes, delta, n_sat,
+    max_abs)."""
+    t = np.rint((v - pred) / eb2)
+    mag = np.abs(t)
+    n_sat = int(np.count_nonzero(mag > MAX_MAGNITUDE))
+    m = float(np.max(mag, initial=0.0))
+    max_abs = int(m) if m <= float(1 << 62) else 1 << 62
+    mag = np.minimum(mag, float(MAX_MAGNITUDE))
+    codes = mag.astype(np.uint16)
+    neg = t < 0.0
+    codes = codes | np.where(neg, SIGN_BIT, np.uint16(0))
+    delta = np.where(neg, -mag, mag)
+    return codes, delta, n_sat, max_abs
+
+
+def _residual_from_codes(codes: np.ndarray) -> np.ndarray:
+    """Sign-magnitude codes back to float64 deltas (decode side)."""
+    mag = (codes & np.uint16(MAX_MAGNITUDE)).astype(np.float64)
+    neg = (codes & SIGN_BIT) != 0
+    return np.where(neg, -mag, mag)
+
+
+def _axis_sel(ndim: int, axis: int, at) -> tuple:
+    """Index tuple selecting position(s) ``at`` along ``axis``."""
+    return (slice(None),) * axis + (at,) + (slice(None),) * (ndim - axis - 1)
+
+
+def _region(ndim: int, axis: int, s: int) -> tuple:
+    """The sub-grid one pass operates on.
+
+    Axes before ``axis`` were filled earlier this level (stride ``s``);
+    axes after it are still on the coarser stride ``2s``; the pass axis
+    stays full so target positions are addressed in grid coordinates.
+    """
+    return tuple(
+        slice(None, None, s) if a < axis
+        else (slice(None) if a == axis else slice(None, None, 2 * s))
+        for a in range(ndim)
+    )
+
+
+# -- the two pass implementations -------------------------------------------
+
+
+def _pass_reference(rec, src, codes, axis, s, eb2, encode):
+    """Staged reference: one hyperplane of targets at a time."""
+    d = rec.shape[axis]
+    nd = rec.ndim
+    n_sat = 0
+    max_abs = 0
+    for i in range(s, d, 2 * s):
+        left = rec[_axis_sel(nd, axis, i - s)]
+        if i + s >= d:
+            pred = left
+        elif i - 3 * s >= 0 and i + 3 * s < d:
+            pred = _cubic(
+                rec[_axis_sel(nd, axis, i - 3 * s)],
+                left,
+                rec[_axis_sel(nd, axis, i + s)],
+                rec[_axis_sel(nd, axis, i + 3 * s)],
+            )
+        else:
+            pred = _linear(left, rec[_axis_sel(nd, axis, i + s)])
+        sel = _axis_sel(nd, axis, i)
+        if encode:
+            c, delta, ns, ma = _quantize_residual(src[sel], pred, eb2)
+            codes[sel] = c
+            rec[sel] = pred + delta * eb2
+            n_sat += ns
+            max_abs = max(max_abs, ma)
+        else:
+            rec[sel] = pred + _residual_from_codes(codes[sel]) * eb2
+    return n_sat, max_abs
+
+
+def _pass_vectorized(rec, src, codes, axis, s, eb2, encode):
+    """Fast path: every target of the pass in one shot.
+
+    Neighbors are never targets of the same pass (targets sit at odd
+    multiples of ``s``, neighbors at even ones), so reading them all before
+    writing any target is exactly equivalent to the reference's in-order
+    walk.  The per-target prediction rule (nearest / linear / cubic) is
+    applied through the same shared helpers, in the same precedence.
+    """
+    d = rec.shape[axis]
+    nd = rec.ndim
+    idx = np.arange(s, d, 2 * s)
+    if idx.size == 0:
+        return 0, 0
+    pred = np.take(rec, idx - s, axis=axis)  # nearest-left default
+    has_right = idx + s < d
+    if has_right.any():
+        ri = idx[has_right]
+        lin = _linear(
+            np.take(rec, ri - s, axis=axis), np.take(rec, ri + s, axis=axis)
+        )
+        pred[_axis_sel(nd, axis, np.flatnonzero(has_right))] = lin
+    cubic = has_right & (idx - 3 * s >= 0) & (idx + 3 * s < d)
+    if cubic.any():
+        ci = idx[cubic]
+        cub = _cubic(
+            np.take(rec, ci - 3 * s, axis=axis),
+            np.take(rec, ci - s, axis=axis),
+            np.take(rec, ci + s, axis=axis),
+            np.take(rec, ci + 3 * s, axis=axis),
+        )
+        pred[_axis_sel(nd, axis, np.flatnonzero(cubic))] = cub
+    sel = _axis_sel(nd, axis, idx)
+    if encode:
+        c, delta, n_sat, max_abs = _quantize_residual(src[sel], pred, eb2)
+        codes[sel] = c
+        rec[sel] = pred + delta * eb2
+        return n_sat, max_abs
+    rec[sel] = pred + _residual_from_codes(codes[sel]) * eb2
+    return 0, 0
+
+
+_IMPLS: dict[str, Callable] = {
+    "reference": _pass_reference,
+    "vectorized": _pass_vectorized,
+}
+
+
+def _resolve_impl(impl: str | None) -> Callable:
+    if impl in (None, "auto"):
+        impl = os.environ.get("REPRO_INTERP_IMPL", "vectorized") or "vectorized"
+    fn = _IMPLS.get(impl)
+    if fn is None:
+        raise ConfigError(
+            f"interp impl must be 'reference', 'vectorized' or 'auto', got {impl!r}"
+        )
+    return fn
+
+
+def _run_levels(rec, src, codes, anchor_log2, eb2, encode, impl_pass):
+    """Drive every (level, axis) pass; returns (n_saturated, max_abs)."""
+    ndim = rec.ndim
+    n_sat = 0
+    max_abs = 0
+    s = (1 << anchor_log2) // 2
+    while s >= 1:
+        for axis in range(ndim):
+            region = _region(ndim, axis, s)
+            ns, ma = impl_pass(
+                rec[region],
+                None if src is None else src[region],
+                codes[region],
+                axis,
+                s,
+                eb2,
+                encode,
+            )
+            n_sat += ns
+            max_abs = max(max_abs, ma)
+        s //= 2
+    return n_sat, max_abs
+
+
+def _anchor_grid_shape(shape: tuple[int, ...], anchor_log2: int) -> tuple[int, ...]:
+    s0 = 1 << anchor_log2
+    return tuple(-(-d // s0) for d in shape)
+
+
+def _pad3(dims: tuple[int, ...]) -> tuple[int, int, int]:
+    dims = tuple(int(d) for d in dims)
+    return tuple(list(dims) + [1] * (3 - len(dims)))  # type: ignore[return-value]
+
+
+# -- stream assembly / parsing ----------------------------------------------
+
+
+def interp_compress(
+    data: np.ndarray,
+    eb_abs: float,
+    *,
+    anchor_log2: int | None = None,
+    impl: str | None = None,
+    scratch=None,
+) -> CompressionResult:
+    """Compress ``data`` with the interpolation predictor (absolute bound).
+
+    ``impl`` selects the pass implementation (``"reference"`` /
+    ``"vectorized"``; default the ``REPRO_INTERP_IMPL`` environment
+    variable, then vectorized) — output bytes are identical for both.
+    ``scratch`` routes the bitshuffle/zero-block stages through the pooled
+    hotpath kernels (byte-identical by the hotpath contract).
+    """
+    data = ensure_ndim(ensure_float32(data))
+    eb_abs = ensure_positive(eb_abs, "eb_abs")
+    impl_pass = _resolve_impl(impl)
+    if anchor_log2 is None:
+        anchor_log2 = default_anchor_log2(data.shape)
+    if not 1 <= anchor_log2 <= _MAX_ANCHOR_LOG2:
+        raise ConfigError(f"anchor_log2 must be in [1, {_MAX_ANCHOR_LOG2}]")
+    eb2 = 2.0 * eb_abs
+    with telemetry.span("stage.interp.predict"):
+        src = data.astype(np.float64)
+        rec = np.empty(data.shape, dtype=np.float64)
+        codes = np.zeros(data.shape, dtype=np.uint16)
+        s0 = 1 << anchor_log2
+        asel = tuple(slice(None, None, s0) for _ in range(data.ndim))
+        anchors = np.rint(src[asel] / eb2).astype(np.int64)
+        rec[asel] = anchors.astype(np.float64) * eb2
+        n_sat, max_abs = _run_levels(
+            rec, src, codes, anchor_log2, eb2, True, impl_pass
+        )
+    flat = codes.reshape(-1)
+    if scratch is not None:
+        from repro.core.hotpath import bitshuffle_pooled, encode_zero_blocks_pooled
+
+        with telemetry.span("stage.bitshuffle"):
+            words = bitshuffle_pooled(flat, scratch)
+        with telemetry.span("stage.encode"):
+            encoded = encode_zero_blocks_pooled(words, scratch)
+    else:
+        with telemetry.span("stage.bitshuffle"):
+            words = bitshuffle(flat)
+        with telemetry.span("stage.encode"):
+            encoded = encode_zero_blocks(words)
+    anchors_le = np.ascontiguousarray(anchors, dtype=_ANCHOR_DTYPE)
+    header = struct.pack(
+        _HEADER_FMT,
+        INTERP_MAGIC,
+        INTERP_VERSION,
+        data.ndim,
+        0,
+        *_pad3(data.shape),
+        float(eb_abs),
+        anchor_log2,
+        0,
+        encoded.n_blocks,
+        encoded.n_nonzero,
+        n_sat,
+        int(anchors_le.size),
+    )
+    with telemetry.span("stage.pack"):
+        body = (
+            header
+            + anchors_le.tobytes()
+            + encoded.bitflags.tobytes()
+            + encoded.literals.tobytes()
+        )
+        stream = body + struct.pack(_CRC_FMT, zlib.crc32(body) & 0xFFFFFFFF)
+    return CompressionResult(
+        stream=stream,
+        original_bytes=int(data.nbytes),
+        compressed_bytes=len(stream),
+        eb_abs=eb_abs,
+        quantizer=QuantizerStats(n_sat, 0, max_abs),
+        n_blocks=encoded.n_blocks,
+        n_nonzero_blocks=encoded.n_nonzero,
+        stage_sizes={
+            "codes_bytes": int(flat.nbytes),
+            "shuffled_bytes": int(words.nbytes),
+            "flags_bytes": int(encoded.bitflags.nbytes),
+            "literals_bytes": int(encoded.literals.nbytes),
+            "anchors_bytes": int(anchors_le.nbytes),
+        },
+        plan="interp",
+    )
+
+
+def _unpack_header(buf: bytes):
+    """Parse + cross-validate an FZIN header (the full hardening ladder)."""
+    reader = BoundedReader(buf, name="FZIN stream")
+    (
+        magic,
+        version,
+        ndim,
+        _r0,
+        d0,
+        d1,
+        d2,
+        eb_abs,
+        anchor_log2,
+        _r1,
+        n_blocks,
+        n_nonzero,
+        n_saturated,
+        n_anchors,
+    ) = reader.read_struct(_HEADER_FMT, "header")
+    if magic != INTERP_MAGIC:
+        raise FormatError(f"bad magic {magic!r}")
+    if version != INTERP_VERSION:
+        raise FormatError(f"unsupported FZIN stream version {version}")
+    if not 1 <= ndim <= 3:
+        raise FormatError(f"bad ndim {ndim}")
+    shape = (d0, d1, d2)[:ndim]
+    if any(d <= 0 for d in shape):
+        raise FormatError(f"non-positive dimension in shape {shape}")
+    if not (eb_abs > 0 and math.isfinite(eb_abs)):
+        raise FormatError(f"bad error bound {eb_abs}")
+    if not 1 <= anchor_log2 <= _MAX_ANCHOR_LOG2:
+        raise FormatError(f"bad anchor stride exponent {anchor_log2}")
+    n_codes = math.prod(shape)
+    if n_codes > MAX_ELEMENTS:
+        raise FormatError(
+            f"element count {n_codes} exceeds the cap {MAX_ELEMENTS}"
+        )
+    implied_anchors = math.prod(_anchor_grid_shape(shape, anchor_log2))
+    if n_anchors != implied_anchors:
+        raise FormatError(
+            f"n_anchors {n_anchors} does not match the {implied_anchors} "
+            f"anchors implied by shape {shape} at stride 2**{anchor_log2}"
+        )
+    implied = implied_block_count(n_codes)
+    if n_blocks != implied:
+        raise FormatError(
+            f"n_blocks {n_blocks} does not match the {implied} blocks "
+            f"implied by shape {shape}"
+        )
+    if n_nonzero > n_blocks:
+        raise FormatError(f"n_nonzero {n_nonzero} exceeds n_blocks {n_blocks}")
+    if n_saturated > n_codes:
+        raise FormatError(
+            f"n_saturated {n_saturated} exceeds element count {n_codes}"
+        )
+    return shape, float(eb_abs), anchor_log2, n_blocks, n_nonzero, n_anchors
+
+
+def _check_framing(buf: bytes):
+    """Header validation ladder + exact-length + CRC for a full FZIN stream."""
+    header = _unpack_header(buf)
+    shape, eb_abs, anchor_log2, n_blocks, n_nonzero, n_anchors = header
+    flag_bytes = (n_blocks + 7) // 8
+    expected = (
+        _HEADER_BYTES
+        + n_anchors * _ANCHOR_DTYPE.itemsize
+        + flag_bytes
+        + n_nonzero * BLOCK_BYTES
+        + _CRC_BYTES
+    )
+    if len(buf) != expected:
+        raise FormatError(
+            f"stream size mismatch: have {len(buf)} bytes, header implies {expected}"
+        )
+    (stored,) = struct.unpack_from(_CRC_FMT, buf, expected - _CRC_BYTES)
+    actual = zlib.crc32(buf[: expected - _CRC_BYTES]) & 0xFFFFFFFF
+    if stored != actual:
+        raise FormatError(
+            f"stream CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )
+    return header
+
+
+def interp_info(stream: bytes | bytearray | memoryview) -> dict:
+    """Validated header facts of an ``FZIN`` stream (framing + CRC checked)."""
+    buf = bytes(stream)
+    shape, eb_abs, anchor_log2, n_blocks, n_nonzero, n_anchors = _check_framing(buf)
+    n_sat = struct.unpack_from(_HEADER_FMT, buf)[-2]
+    return {
+        "shape": shape,
+        "eb_abs": eb_abs,
+        "anchor_stride": 1 << anchor_log2,
+        "n_anchors": n_anchors,
+        "n_blocks": n_blocks,
+        "n_nonzero": n_nonzero,
+        "n_saturated": n_sat,
+    }
+
+
+def interp_decompress(
+    stream: bytes | bytearray | memoryview,
+    *,
+    impl: str | None = None,
+    scratch=None,
+) -> np.ndarray:
+    """Reconstruct a field from an ``FZIN`` stream (float32).
+
+    Mirrors the core format's failure taxonomy: framing problems
+    (truncation, bad magics, header inconsistencies, CRC mismatch) raise
+    :class:`~repro.errors.FormatError`; streams that parse but decode
+    inconsistently raise :class:`~repro.errors.DecompressionError`.
+    """
+    buf = bytes(stream)
+    impl_pass = _resolve_impl(impl)
+    shape, eb_abs, anchor_log2, n_blocks, n_nonzero, n_anchors = _check_framing(buf)
+    flag_bytes = (n_blocks + 7) // 8
+    reader = BoundedReader(buf, name="FZIN stream")
+    reader.skip(_HEADER_BYTES, "header")
+    anchors = reader.read_array(_ANCHOR_DTYPE, n_anchors, "anchor values")
+    flags = reader.read_array(np.uint8, flag_bytes, "bit-flag array")
+    literals = reader.read_array(np.uint32, n_nonzero * BLOCK_WORDS, "literal blocks")
+    encoded = EncodedBlocks(
+        bitflags=flags, literals=literals, n_blocks=n_blocks, n_nonzero=n_nonzero
+    )
+    n_codes = math.prod(shape)
+    if scratch is not None:
+        from repro.core.hotpath import bitunshuffle_pooled, decode_zero_blocks_pooled
+
+        words = decode_zero_blocks_pooled(encoded, scratch)
+        codes_flat = bitunshuffle_pooled(words, n_codes, scratch)
+    else:
+        words = decode_zero_blocks(encoded)
+        codes_flat = bitunshuffle(words, n_codes)
+    codes = codes_flat.reshape(shape)
+    with telemetry.span("stage.interp.reconstruct"):
+        eb2 = 2.0 * eb_abs
+        rec = np.empty(shape, dtype=np.float64)
+        s0 = 1 << anchor_log2
+        asel = tuple(slice(None, None, s0) for _ in range(len(shape)))
+        try:
+            rec[asel] = anchors.reshape(
+                _anchor_grid_shape(shape, anchor_log2)
+            ).astype(np.float64) * eb2
+            _run_levels(rec, None, codes, anchor_log2, eb2, False, impl_pass)
+        except ValueError as exc:
+            raise DecompressionError(f"inconsistent FZIN stream: {exc}") from exc
+    return rec.astype(np.float32)

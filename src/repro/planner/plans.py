@@ -1,0 +1,155 @@
+"""Plan taxonomy and routing policy for the adaptive per-chunk planner.
+
+Three *segment plans* exist on disk (recorded per segment in the FZMC v3
+container index, see :mod:`repro.engine.container`):
+
+=============  ==  ================================================
+name           id  pipeline
+=============  ==  ================================================
+``fast``        0  fused Lorenzo dual-quantization (FZ-GPU, ``FZGP``)
+``interp``      1  cubic multi-level interpolation predictor (``FZIN``)
+``constant``    2  constant-block shortcut, fill value only (``FZCN``)
+=============  ==  ================================================
+
+Five *request plans* select how chunks are routed:
+
+* ``fast`` — every chunk takes the fused fast path (the legacy default;
+  byte-identical to pre-planner output).
+* ``auto`` — probe each chunk and pick the cheapest plan that does not
+  cost throughput: constant when the whole chunk fits inside the bound,
+  interpolation only when the probe predicts a clear ratio win.
+* ``ratio`` — like ``auto`` but biased toward the high-ratio pipelines:
+  interpolation is chosen whenever the probe does not predict it to be
+  *worse* than Lorenzo.
+* ``interp`` / ``constant`` — forced plans for conformance testing and
+  benchmarking.  ``constant`` falls back to ``fast`` for chunks that do
+  not qualify (a chunk whose value range exceeds the bound cannot be
+  represented by a fill value without violating the bound).
+
+:mod:`repro.serve` exposes only ``auto``/``fast``/``ratio`` on the wire
+(:data:`SERVE_PLANS`); the forced plans are a local/testing surface — see
+``docs/PLANNING.md`` for the trust model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "PLAN_FAST",
+    "PLAN_INTERP",
+    "PLAN_CONST",
+    "PLAN_NAMES",
+    "PLAN_IDS",
+    "REQUEST_PLANS",
+    "SERVE_PLANS",
+    "PlanPolicy",
+    "normalize_plan",
+    "plan_id",
+    "plan_name",
+    "decide",
+]
+
+PLAN_FAST = 0
+PLAN_INTERP = 1
+PLAN_CONST = 2
+
+#: segment-plan id -> canonical name (the container index stores the id)
+PLAN_NAMES = {PLAN_FAST: "fast", PLAN_INTERP: "interp", PLAN_CONST: "constant"}
+#: canonical name -> segment-plan id
+PLAN_IDS = {name: pid for pid, name in PLAN_NAMES.items()}
+
+#: every request-level plan value the engine/CLI accept
+REQUEST_PLANS = ("auto", "fast", "ratio", "interp", "constant")
+#: the subset `repro.serve` accepts on the wire (forced plans are not
+#: remotely selectable — see docs/PLANNING.md)
+SERVE_PLANS = ("auto", "fast", "ratio")
+
+
+def normalize_plan(plan: str | None, allowed: tuple[str, ...] = REQUEST_PLANS) -> str:
+    """Validate a request-plan string (``None`` means ``"fast"``)."""
+    if plan is None:
+        return "fast"
+    if not isinstance(plan, str) or plan not in allowed:
+        raise ConfigError(
+            f"plan must be one of {'/'.join(allowed)}, got {plan!r}"
+        )
+    return plan
+
+
+def plan_id(name: str) -> int:
+    """Segment-plan id for a canonical plan name."""
+    try:
+        return PLAN_IDS[name]
+    except KeyError:
+        raise ConfigError(f"unknown segment plan {name!r}") from None
+
+
+def plan_name(pid: int) -> str:
+    """Canonical name for a segment-plan id."""
+    try:
+        return PLAN_NAMES[int(pid)]
+    except (KeyError, ValueError):
+        raise ConfigError(f"unknown segment plan id {pid!r}") from None
+
+
+@dataclass(frozen=True)
+class PlanPolicy:
+    """Probe-driven routing thresholds (see docs/PLANNING.md).
+
+    Attributes
+    ----------
+    interp_margin_auto:
+        ``auto`` routes a chunk to interpolation only when the sampled
+        interpolation-residual entropy is below this fraction of the
+        sampled Lorenzo-residual entropy — a clear predicted win, so the
+        slower predictor never costs ratio-neutral throughput.
+    interp_margin_ratio:
+        The same threshold for ``ratio`` requests: near 1.0, so
+        interpolation is used whenever it is not predicted to be worse.
+    min_lorenzo_bits:
+        Below this sampled Lorenzo entropy (bits/value) the fused path is
+        already near its 128x encoder cap; switching predictors cannot
+        buy meaningful ratio, so ``auto``/``ratio`` stay on ``fast``.
+    """
+
+    interp_margin_auto: float = 0.75
+    interp_margin_ratio: float = 1.0
+    min_lorenzo_bits: float = 0.5
+
+
+DEFAULT_POLICY = PlanPolicy()
+
+
+def decide(probe, request: str, policy: PlanPolicy | None = None) -> int:
+    """Route one probed chunk to a segment plan.
+
+    ``probe`` is a :class:`repro.planner.probe.ChunkProbe`; ``request`` is a
+    validated request plan.  Forced plans bypass the entropy thresholds
+    entirely (``constant`` still requires the chunk to qualify — an
+    unrepresentable chunk degrades to ``fast`` rather than violating the
+    error bound).
+    """
+    policy = policy or DEFAULT_POLICY
+    if request == "fast":
+        return PLAN_FAST
+    if request == "interp":
+        return PLAN_INTERP
+    if request == "constant":
+        return PLAN_CONST if probe.constant_ok else PLAN_FAST
+    if request not in ("auto", "ratio"):
+        raise ConfigError(f"unknown request plan {request!r}")
+    if probe.constant_ok:
+        return PLAN_CONST
+    margin = (
+        policy.interp_margin_auto if request == "auto"
+        else policy.interp_margin_ratio
+    )
+    if (
+        probe.lorenzo_bits > policy.min_lorenzo_bits
+        and probe.interp_bits < margin * probe.lorenzo_bits
+    ):
+        return PLAN_INTERP
+    return PLAN_FAST

@@ -71,6 +71,7 @@ from repro.errors import (
     UnsupportedDataError,
     WorkerCrashError,
 )
+from repro.planner import SERVE_PLANS, plan_name
 from repro.serve.http import (
     HttpError,
     Limits,
@@ -105,6 +106,7 @@ class ServeConfig:
     chunk_bytes: int = DEFAULT_CHUNK_BYTES  #: container segment target size
     stream_flush_bytes: int = 64 << 10  #: coalesce streamed chunks up to this
     retry_after: float = 1.0  #: Retry-After hint on backpressure sheds
+    plan: str = "fast"  #: default request plan when ``plan=`` is absent
 
 
 class _Stream:
@@ -505,7 +507,9 @@ class App:
             body=text.encode("utf-8"),
         )
 
-    def _parse_field(self, request: Request) -> tuple[np.ndarray, float, str, int]:
+    def _parse_field(
+        self, request: Request
+    ) -> tuple[np.ndarray, float, str, int, str]:
         """Validate a compress request: query params + raw float32 body."""
         shape_text = request.query.get("shape", "")
         if not shape_text:
@@ -543,16 +547,27 @@ class App:
             raise HttpError(400, "bad chunk_bytes") from exc
         if chunk_bytes < 1:
             raise HttpError(400, f"chunk_bytes must be positive, got {chunk_bytes}")
+        # Only the routing plans are wire-selectable: a forced plan can
+        # degrade throughput or ratio arbitrarily, so it stays a local
+        # (CLI/library) surface — see docs/PLANNING.md for the trust model.
+        plan = request.query.get("plan", self.config.plan)
+        if plan not in SERVE_PLANS:
+            raise HttpError(
+                400,
+                f"plan must be one of {'/'.join(SERVE_PLANS)}, got {plan!r}",
+            )
         data = np.frombuffer(request.body, dtype="<f4").reshape(shape)
-        return data, eb, mode, chunk_bytes
+        return data, eb, mode, chunk_bytes, plan
 
     async def _compress(self, request: Request) -> Response:
-        data, eb, mode, chunk_bytes = self._parse_field(request)
+        data, eb, mode, chunk_bytes, plan = self._parse_field(request)
         flush = self.config.stream_flush_bytes
 
         def work(stream: _Stream) -> None:
             sink = _SegmentSink(stream.push, flush)
-            self.engine.compress_chunked_to(sink, data, eb, mode, chunk_bytes)
+            self.engine.compress_chunked_to(
+                sink, data, eb, mode, chunk_bytes, plan=plan
+            )
             sink.finish()
 
         return await self._streamed(
@@ -625,8 +640,10 @@ class App:
                 "eb_abs": idx.eb_abs,
                 "container_bytes": idx.container_bytes,
                 "n_segments": len(idx.segments),
+                "version": idx.version,
                 "segment_extents": [entry.extent for entry in idx.segments],
                 "segment_bytes": [entry.seg_bytes for entry in idx.segments],
+                "segment_plans": [plan_name(entry.plan) for entry in idx.segments],
             }
             for idx in indexes
         ]

@@ -18,6 +18,7 @@ __all__ = [
     "load_trace",
     "stage_breakdown",
     "backend_breakdown",
+    "plan_breakdown",
     "span_summary",
     "STAGE_PREFIXES",
 ]
@@ -153,6 +154,49 @@ def backend_breakdown(events: list[dict]) -> list[dict]:
                 "total_ms": dur / 1e3,
                 "mean_us": dur / count,
                 "mb_per_s": (nbytes / 1e6) / (dur / 1e6) if dur else 0.0,
+            }
+        )
+    return rows
+
+
+def plan_breakdown(events: list[dict]) -> list[dict]:
+    """Aggregate planner root spans per chosen segment plan.
+
+    ``planner.compress`` spans carry the segment plan the probe routed each
+    chunk to (``fast``/``interp``/``constant``; chunks compressed through a
+    plain ``fast`` request bypass the planner and emit no planner spans);
+    ``planner.decompress`` spans carry the plan of each non-fast segment
+    decoded.  This groups the trace by (plan, operation), with the
+    aggregate compression ratio per plan — the ``repro stats`` view of a
+    mixed-plan container run.
+    """
+    totals: dict[tuple[str, str], list[float]] = {}
+    for ev in events:
+        if ev["name"] not in ("planner.compress", "planner.decompress"):
+            continue
+        plan = ev.get("attrs", {}).get("plan")
+        if plan is None:
+            continue
+        agg = totals.setdefault((str(plan), ev["name"]), [0, 0.0, 0, 0])
+        agg[0] += 1
+        agg[1] += ev["dur_us"]
+        agg[2] += int(ev["attrs"].get("bytes_in", 0))
+        agg[3] += int(ev["attrs"].get("bytes_out", 0))
+    rows = []
+    for plan, op in sorted(totals):
+        count, dur, bytes_in, bytes_out = totals[(plan, op)]
+        if op == "planner.compress":
+            ratio = bytes_in / bytes_out if bytes_out else 0.0
+        else:  # decompress: in is the stream, out the field
+            ratio = bytes_out / bytes_in if bytes_in else 0.0
+        rows.append(
+            {
+                "plan": plan,
+                "op": op,
+                "chunks": count,
+                "total_ms": dur / 1e3,
+                "mean_us": dur / count,
+                "ratio": ratio,
             }
         )
     return rows

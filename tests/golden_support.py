@@ -11,10 +11,21 @@ Fixtures under ``tests/golden/``:
 * ``golden_v2.fz``        — current (v2, CRC-trailed) single-shot stream
 * ``golden_v1.fz``        — the same payload framed as a legacy v1 stream
 * ``golden_container.fz`` — the same field as a multi-chunk FZMC container
+  (v3, per-segment plan ids)
+* ``golden_container_v2.fz`` — the same segments framed as a legacy
+  pre-planner v2 container (``FZMC0002``, 24-byte index entries); built by
+  downgrading the v3 fixture so the regeneration protocol still reproduces
+  it even though the writer only emits v3
 * ``golden_salvage.fz``   — the container with segment 1 deterministically
   bit-flipped (built under a ``segment_corrupt`` fault plan, so the damage
   is itself reproducible), plus ``golden_salvage_report.txt`` holding the
   expected byte-exact salvage report
+* ``golden_interp.fzin``  — the planner's cubic-interpolation (``FZIN``)
+  encoding of the mixed field's smooth band
+* ``golden_constant.fzcn`` — the planner's constant-block (``FZCN``)
+  encoding of the mixed field's flat band
+* ``golden_container_mixed.fz`` — the mixed field through ``plan="auto"``:
+  one constant, one interp and one fast segment in a single v3 container
 * ``golden_cusz_v1.csz``  — the field through the cuSZ baseline with the
   legacy serial-Huffman payload (stream version 1)
 * ``golden_cusz_v2.csz``  — the same through the current gap-array
@@ -51,8 +62,12 @@ FIXTURES = (
     "golden_v2.fz",
     "golden_v1.fz",
     "golden_container.fz",
+    "golden_container_v2.fz",
     "golden_salvage.fz",
     "golden_salvage_report.txt",
+    "golden_interp.fzin",
+    "golden_constant.fzcn",
+    "golden_container_mixed.fz",
     "golden_cusz_v1.csz",
     "golden_cusz_v2.csz",
 )
@@ -71,12 +86,86 @@ def golden_field() -> np.ndarray:
     return field.reshape(GOLDEN_SHAPE)
 
 
+def golden_mixed_field() -> np.ndarray:
+    """A 48x40 field whose three 16-row bands route to all three plans.
+
+    Like :func:`golden_field`, every value derives from integer arithmetic
+    (exact in float32), so the auto-plan probe decisions and the encoded
+    bytes are platform-deterministic:
+
+    * rows 0..15  — constant ``7.5``: the probe's exact range check sends
+      the chunk to the ``constant`` plan;
+    * rows 16..31 — quadratic in the flat index (``j**2 / 32``): first
+      differences are all distinct (high Lorenzo entropy) while half
+      second differences are constant (near-zero interp entropy), so the
+      chunk routes to ``interp`` by a wide margin;
+    * rows 32..47 — the hash noise of :func:`golden_field`: both probe
+      entropies saturate, so the chunk stays on the ``fast`` path.
+
+    At ``GOLDEN_CHUNK_BYTES`` each band is exactly one container segment.
+    """
+    rows, cols = GOLDEN_SHAPE
+    band = rows // 3 * cols
+    j = np.arange(band, dtype=np.int64)
+    # j^2 < 2^20 is exact in f32; /2^9 only shifts the exponent.  The 2^9
+    # scale keeps the worst edge-fallback prediction error well inside the
+    # uint16 residual magnitude at GOLDEN_EB (no saturated residuals).
+    quad = (j * j).astype(np.float32) / np.float32(512.0)
+    noise = golden_field().reshape(-1)[:band]
+    flat = np.concatenate([np.full(band, 7.5, np.float32), quad, noise])
+    return flat.reshape(GOLDEN_SHAPE)
+
+
+def container_v2_from_v3(blob: bytes) -> bytes:
+    """Reframe a v3 container as a legacy pre-planner v2 container.
+
+    The writer only emits v3, so the v2 fixture is produced by downgrading:
+    same segments byte-for-byte, ``FZMC0002``/``FZMCEND2`` magics, 24-byte
+    index entries (the plan column dropped — every entry must be ``fast``).
+    This is exactly the file a pre-planner writer would have produced.
+    """
+    import struct
+    import zlib
+
+    from repro.engine import container as cf
+
+    if blob[:8] != cf.CONTAINER_MAGIC:
+        raise ValueError("not a v3 container")
+    index_bytes, _crc, end_magic = struct.unpack_from(
+        cf._FOOTER_FMT, blob, len(blob) - cf.FOOTER_BYTES
+    )
+    if end_magic != cf.END_MAGIC:
+        raise ValueError("not a v3 container footer")
+    index_off = len(blob) - cf.FOOTER_BYTES - index_bytes
+    meta = struct.unpack_from(cf._INDEX_META_FMT, blob, index_off)
+    *head, container_bytes = meta
+    n = meta[1]
+    entries = []
+    off = index_off + cf._INDEX_META_BYTES
+    for _ in range(n):
+        o, s, e, plan = struct.unpack_from(cf._INDEX_ENTRY_FMTS[3], blob, off)
+        if plan != 0:
+            raise ValueError("cannot downgrade a non-fast segment to v2")
+        entries.append((o, s, e))
+        off += struct.calcsize(cf._INDEX_ENTRY_FMTS[3])
+    index = struct.pack(cf._INDEX_META_FMT, *head, container_bytes - 8 * n)
+    index += b"".join(struct.pack(cf._INDEX_ENTRY_FMTS[2], *t) for t in entries)
+    footer = struct.pack(
+        cf._FOOTER_FMT, len(index), zlib.crc32(index) & 0xFFFFFFFF,
+        cf.END_MAGIC_V2,
+    )
+    return cf.CONTAINER_MAGIC_V2 + blob[8:index_off] + index + footer
+
+
 def build_golden() -> dict[str, bytes]:
     """Encode the golden field into every fixture layout."""
     from repro import faults
     from repro.baselines.cusz import CuSZ
+    from repro.planner import constant_compress, interp_compress
 
     data = golden_field()
+    mixed = golden_mixed_field()
+    band = GOLDEN_SHAPE[0] // 3
     fz = FZGPU()
     v2 = fz.compress(data, GOLDEN_EB, "abs").stream
     header, encoded = unpack_stream(v2)
@@ -84,6 +173,10 @@ def build_golden() -> dict[str, bytes]:
     with Engine() as engine:
         container = engine.compress_chunked(
             data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
+        )
+        mixed_container = engine.compress_chunked(
+            mixed, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES,
+            plan="auto",
         )
         with faults.installed(faults.FaultPlan.parse(SALVAGE_PLAN)):
             damaged = engine.compress_chunked(
@@ -94,8 +187,16 @@ def build_golden() -> dict[str, bytes]:
         "golden_v2.fz": v2,
         "golden_v1.fz": v1,
         "golden_container.fz": container,
+        "golden_container_v2.fz": container_v2_from_v3(container),
         "golden_salvage.fz": damaged,
         "golden_salvage_report.txt": (report.summary() + "\n").encode(),
+        "golden_interp.fzin": interp_compress(
+            mixed[band : 2 * band], GOLDEN_EB
+        ).stream,
+        "golden_constant.fzcn": constant_compress(
+            mixed[:band], GOLDEN_EB
+        ).stream,
+        "golden_container_mixed.fz": mixed_container,
         "golden_cusz_v1.csz": CuSZ(stream_version=1).compress(
             data, GOLDEN_EB, "abs"
         ).stream,

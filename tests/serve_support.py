@@ -78,12 +78,15 @@ def http_compress(
     chunk_bytes: int | None = None,
     headers: dict | None = None,
     chunked: bool = False,
+    plan: str | None = None,
 ):
     """POST /v1/compress; returns ``(status, headers, container_bytes)``."""
     shape = ",".join(str(n) for n in data.shape)
     target = f"/v1/compress?shape={shape}&eb={eb!r}&mode={mode}"
     if chunk_bytes is not None:
         target += f"&chunk_bytes={chunk_bytes}"
+    if plan is not None:
+        target += f"&plan={plan}"
     return request(
         address, "POST", target, np.ascontiguousarray(data).tobytes(),
         headers=headers, chunked=chunked,

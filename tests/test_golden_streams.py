@@ -21,6 +21,7 @@ from tests.golden_support import (
     GOLDEN_SHAPE,
     build_golden,
     golden_field,
+    golden_mixed_field,
 )
 from repro.core.format import unpack_stream
 from repro.core.pipeline import FZGPU
@@ -64,8 +65,16 @@ def test_fused_reencode_matches_stored_bytes(stored):
         container = engine.compress_chunked(
             data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
         )
+        mixed = engine.compress_chunked(
+            golden_mixed_field(), GOLDEN_EB, "abs",
+            chunk_bytes=GOLDEN_CHUNK_BYTES, plan="auto",
+        )
     assert container == stored["golden_container.fz"], (
         "fused backend encoded golden_container.fz differently from the fixture"
+    )
+    assert mixed == stored["golden_container_mixed.fz"], (
+        "fused backend encoded golden_container_mixed.fz differently from "
+        "the fixture"
     )
 
 
@@ -97,6 +106,58 @@ def test_container_fixture_decodes_identically(stored):
     with Engine() as engine:
         got = engine.decompress_chunked(blob)
     assert np.array_equal(got, FZGPU().decompress(stored["golden_v2.fz"]))
+
+
+def test_v2_container_fixture_decodes_identically(stored):
+    """Legacy pre-planner containers must keep decoding forever.
+
+    ``golden_container_v2.fz`` carries the same segments as the v3 fixture
+    behind the old ``FZMC0002`` framing (24-byte index entries, no plan
+    column); a current reader must parse it as version 2 with every plan
+    reading back ``fast`` and reconstruct bit-identically to v3.
+    """
+    blob = stored["golden_container_v2.fz"]
+    (idx,) = read_containers(io.BytesIO(blob))
+    assert idx.version == 2
+    assert all(seg.plan == 0 for seg in idx.segments)
+    (v3_idx,) = read_containers(io.BytesIO(stored["golden_container.fz"]))
+    assert v3_idx.version == 3
+    assert [
+        (s.offset, s.seg_bytes, s.extent) for s in idx.segments
+    ] == [(s.offset, s.seg_bytes, s.extent) for s in v3_idx.segments]
+    with Engine() as engine:
+        v2 = engine.decompress_chunked(blob)
+        v3 = engine.decompress_chunked(stored["golden_container.fz"])
+    assert np.array_equal(v2, v3)
+
+
+def test_mixed_container_fixture_decodes_within_bound(stored):
+    """The auto-planned fixture holds one segment per plan and stays in bound."""
+    blob = stored["golden_container_mixed.fz"]
+    (idx,) = read_containers(io.BytesIO(blob))
+    assert idx.version == 3
+    assert [seg.plan for seg in idx.segments] == [2, 1, 0]  # const/interp/fast
+    data = golden_mixed_field()
+    with Engine() as engine:
+        out = engine.decompress_chunked(blob)
+    assert out.shape == GOLDEN_SHAPE
+    assert float(np.max(np.abs(out.astype(np.float64) - data))) <= GOLDEN_EB
+
+
+def test_planner_stream_fixtures_decode_within_bound(stored):
+    """The FZIN and FZCN stream fixtures reconstruct inside the bound."""
+    from repro.planner import constant_decompress, interp_decompress
+
+    band = GOLDEN_SHAPE[0] // 3
+    data = golden_mixed_field()
+    interp = interp_decompress(stored["golden_interp.fzin"])
+    assert interp.shape == (band, GOLDEN_SHAPE[1])
+    ref = data[band : 2 * band].astype(np.float64)
+    assert float(np.max(np.abs(interp.astype(np.float64) - ref))) <= GOLDEN_EB
+    const = constant_decompress(stored["golden_constant.fzcn"])
+    assert const.shape == (band, GOLDEN_SHAPE[1])
+    ref = data[:band].astype(np.float64)
+    assert float(np.max(np.abs(const.astype(np.float64) - ref))) <= GOLDEN_EB
 
 
 def test_salvage_fixture_recovers_everything_else(stored):
@@ -157,16 +218,22 @@ def test_corrupted_fixture_rejected(stored, name):
     blob = stored[name]
     bad_magic = b"XXXX" + blob[4:]
     truncated = blob[: len(blob) - 3]
+    containers = (
+        "golden_container.fz",
+        "golden_container_v2.fz",
+        "golden_container_mixed.fz",
+        "golden_salvage.fz",
+    )
     if name == "golden_v2.fz":
         flipped = blob[:200] + bytes([blob[200] ^ 0x40]) + blob[201:]
-    elif name in ("golden_container.fz", "golden_salvage.fz"):
+    elif name in containers:
         flipped = blob[:40] + bytes([blob[40] ^ 0x40]) + blob[41:]
     else:
         # v1 has no CRC; only framing-level corruption is detectable
         flipped = None
     for mutated in filter(None, (bad_magic, truncated, flipped)):
         with pytest.raises(FormatError):
-            if name in ("golden_container.fz", "golden_salvage.fz"):
+            if name in containers:
                 with Engine() as engine:
                     engine.decompress_chunked(mutated)
             else:

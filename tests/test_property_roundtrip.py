@@ -21,7 +21,13 @@ Properties locked in:
   stream of its float32 cast;
 * **rejection contracts** — 0-d, 4-D, empty, non-finite and integer inputs
   are refused with :class:`~repro.errors.UnsupportedDataError`, bad bounds
-  and modes with :class:`~repro.errors.ConfigError`.
+  and modes with :class:`~repro.errors.ConfigError`;
+* **plan roundtrip** — every request plan (``auto``/``fast``/``ratio``
+  plus the forced ``interp``/``constant``) reconstructs within the bound
+  through ``compress_with_plan``/``decompress_any`` on independently swept
+  decode backends, with ``plan="fast"`` byte-identical to the direct
+  codec.  ``plan`` shrinks toward ``fast``, so a minimal failing case
+  separates "the planner/predictor is wrong" from "the codec is wrong".
 
 ``PROPERTY_EXAMPLES`` scales the number of generated cases per property
 (default 60; CI can raise it for a deeper soak).
@@ -69,6 +75,12 @@ MODES = ("rel", "abs")
 #: "the codec is wrong" from "this backend diverges from the codec".
 BACKENDS = available_backends()
 
+#: Request plans swept by the planner properties, simplest-first: ``fast``
+#: is the shrink target (a failing case simplifies toward the plain fused
+#: pipeline before anything else).
+PLANS = ("fast", "auto", "ratio", "interp", "constant")
+_PLAN_RANK = {p: i for i, p in enumerate(PLANS)}
+
 #: Shared bound tolerance used across the whole repo's conformance checks.
 BOUND_SLACK = 1.0 + 1e-5
 
@@ -101,6 +113,8 @@ class Case:
     #: live repro.serve server).  Shrinks toward "direct", separating "the
     #: server mangles bytes" from "the codec/engine is wrong".
     transport: str = "direct"
+    #: request plan for the planner properties; shrinks toward "fast"
+    plan: str = "fast"
 
     def field(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed)
@@ -133,6 +147,7 @@ def generate_cases(n: int, seed: int = MASTER_SEED) -> list[Case]:
                 seed=int(rng.integers(2**31)),
                 backend=BACKENDS[rng.integers(len(BACKENDS))],
                 decode_backend=BACKENDS[rng.integers(len(BACKENDS))],
+                plan=PLANS[rng.integers(len(PLANS))],
             )
         )
     return cases
@@ -159,6 +174,8 @@ def shrink_candidates(case: Case):
         yield dataclasses.replace(case, decode_backend="reference")
     if case.transport != "direct":
         yield dataclasses.replace(case, transport="direct")
+    for plan in PLANS[: _PLAN_RANK[case.plan]]:  # strictly simpler only
+        yield dataclasses.replace(case, plan=plan)
 
 
 def _failure(check, case: Case) -> AssertionError | None:
@@ -284,6 +301,44 @@ def test_float64_input_matches_float32_cast():
         assert a.stream == b.stream, "float64 input is not stream-equivalent"
 
     run_property(check, generate_cases(N_EXAMPLES // 2, MASTER_SEED + 3))
+
+
+def test_plan_roundtrip_error_bound():
+    """Every request plan reconstructs within the bound on every backend.
+
+    ``plan="fast"`` must additionally be byte-identical to the direct codec
+    (the planner's legacy-compatibility contract); non-fast requests may
+    emit FZGP, FZIN or FZCN streams, all of which ``decompress_any`` must
+    route correctly on an independently swept decode backend.
+    """
+    from repro.planner import compress_with_plan, decompress_any
+
+    def check(case: Case) -> None:
+        codec = FZGPU(backend=case.backend)
+        data = case.field()
+        result = compress_with_plan(
+            data, case.eb, case.mode, plan=case.plan, codec=codec
+        )
+        if case.plan == "fast":
+            assert result.stream == codec.compress(
+                data, eb=case.eb, mode=case.mode
+            ).stream, "plan='fast' is not byte-identical to the direct codec"
+        recon = decompress_any(
+            result.stream, codec=FZGPU(backend=case.decode_backend)
+        )
+        assert recon.shape == data.shape, (
+            f"shape changed: {data.shape} -> {recon.shape}"
+        )
+        assert recon.dtype == np.float32, f"dtype {recon.dtype}"
+        if result.quantizer.n_saturated:
+            return
+        err = float(np.max(np.abs(recon.astype(np.float64) - data)))
+        assert err <= bound_tolerance(data, result.eb_abs), (
+            f"plan {case.plan} -> {result.plan}: max error {err:.6e} "
+            f"exceeds bound {result.eb_abs:.6e}"
+        )
+
+    run_property(check, generate_cases(N_EXAMPLES, MASTER_SEED + 8))
 
 
 # ---------------------------------------------------------------------------
@@ -450,12 +505,16 @@ def test_salvage_property_middle_gouge():
 
 
 def test_http_transport_is_byte_transparent():
-    """Random field/eb/mode/backend cases pushed through a live
+    """Random field/eb/mode/backend/plan cases pushed through a live
     ``repro.serve`` server must produce containers byte-identical to the
     in-process engine path and reconstructions bit-identical to the direct
-    decode.  ``transport`` shrinks toward "direct", so a minimal failing
-    case tells you whether the server or the engine/codec is at fault."""
+    decode.  ``transport`` shrinks toward "direct" and ``plan`` toward
+    "fast", so a minimal failing case tells you whether the server, the
+    planner or the engine/codec is at fault.  Forced plans are not
+    wire-selectable (they shrink to the serve subset here), which is itself
+    part of the serve trust-model contract covered in test_planner.py."""
     from repro.engine import Engine
+    from repro.planner import SERVE_PLANS
     from tests.serve_support import http_compress, http_decompress, live_server
 
     rng = np.random.default_rng(MASTER_SEED + 7)
@@ -465,21 +524,25 @@ def test_http_transport_is_byte_transparent():
             c,
             transport="http" if rng.integers(4) else "direct",
             mode="abs" if c.kind in ("zeros",) else c.mode,
+            plan=c.plan if c.plan in SERVE_PLANS else "fast",
         )
         for c in base
     ]
     assert any(c.transport == "http" for c in cases)
+    assert any(c.plan != "fast" for c in cases)
 
     with Engine(jobs=1) as reference:
         with live_server(jobs=2, pool="thread") as (srv, app, engine):
 
             def check(case: Case) -> None:
                 data = case.field()
-                expected = reference.compress_chunked(data, case.eb, case.mode)
+                expected = reference.compress_chunked(
+                    data, case.eb, case.mode, plan=case.plan
+                )
                 recon_ref = reference.decompress_chunked(expected)
                 if case.transport == "http":
                     status, _, blob = http_compress(
-                        srv.address, data, case.eb, case.mode
+                        srv.address, data, case.eb, case.mode, plan=case.plan
                     )
                     assert status == 200, f"compress failed: {blob!r}"
                     assert blob == expected, (
@@ -494,7 +557,9 @@ def test_http_transport_is_byte_transparent():
                 else:
                     with Engine(jobs=1, backend=case.backend) as eng:
                         assert (
-                            eng.compress_chunked(data, case.eb, case.mode)
+                            eng.compress_chunked(
+                                data, case.eb, case.mode, plan=case.plan
+                            )
                             == expected
                         ), "backend diverges from reference on the direct path"
                         assert np.array_equal(
