@@ -52,7 +52,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from io import BytesIO
 from typing import BinaryIO, Callable, Iterable, Iterator, Sequence
 
@@ -74,9 +74,26 @@ from repro.errors import (
     TransientTaskError,
     WorkerCrashError,
 )
-from repro.planner import compress_with_plan, decompress_any, normalize_plan, plan_id
+from repro.planner import (
+    CONSTANT_MAGIC,
+    compress_with_plan,
+    decompress_any,
+    normalize_plan,
+    peek_shape,
+    plan_id,
+)
 from repro.utils.chunking import chunk_shape_for
-from repro.utils.pool import BufferPool, Scratch
+from repro.utils.pool import (
+    BufferPool,
+    MmapDescriptor,
+    Scratch,
+    SharedArena,
+    ShmArray,
+    ShmBlock,
+    ShmDescriptor,
+    mmap_descriptor_for,
+    shm_available,
+)
 from repro.utils.safeio import check_consistent
 from repro.utils.validation import ensure_positive
 
@@ -99,6 +116,20 @@ DEFAULT_RETRIES = 2
 
 #: Hard cap on one exponential-backoff sleep.
 MAX_BACKOFF_S = 2.0
+
+#: Largest payload the shm transport stages per task; bigger items fall back
+#: to pickling for that item.  Writes past /dev/shm capacity die with SIGBUS
+#: (tmpfs reserves lazily), which no validation ladder can catch, so huge
+#: one-shot fields belong on the chunked API rather than in one segment.
+MAX_SHM_STAGE_BYTES = 1 << 31
+
+#: Decode-side plausibility cap: a peeked FZGP/FZIN header claiming more
+#: output bytes per stream byte than this is staged via pickle instead, so a
+#: crafted header cannot make the *parent* reserve absurd segments — the
+#: worker's full validation ladder then rejects it with the usual taxonomy.
+#: (FZCN is exempt: its 52-byte stream is fully CRC-validated by the peek,
+#: and huge legitimate ratios are that plan's whole point.)
+MAX_SHM_DECODE_RATIO = 4096
 
 #: Exception classes the engine re-enqueues; anything else (a malformed
 #: stream, a bad parameter, an unexpected bug) is deterministic — retrying
@@ -318,6 +349,136 @@ def _proc_decompress(args) -> tuple[np.ndarray, dict | None]:
     )
 
 
+# ---------------------------------------------------------------------------
+# shared-memory transport (transport="shm"): tasks carry (name, offset,
+# shape, dtype) descriptors instead of pickled arrays.  Workers attach
+# read-only input views and write their payload into a descriptor-addressed
+# output region; only a small marker (plus compression metadata) rides the
+# result pickle.  Items that could not be staged — oversized fields, headers
+# that fail the peek, lease failures — fall back to the pickle payload shape
+# within the same run, so the two transports stay byte-identical.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShmRef:
+    """Worker marker: the payload was written into the task's out descriptor."""
+
+    nbytes: int
+
+
+def _attach_input(src):
+    if isinstance(src, (ShmDescriptor, MmapDescriptor)):
+        return src.attach()
+    return src
+
+
+def _proc_compress_shm(args) -> tuple[CompressionResult, dict | None]:
+    (src, eb, mode, chunk, backend, pooled, telem, plan, out_desc), index, \
+        attempt, plan_text = args
+
+    def body():
+        result = _compress_task(
+            _proc_codec(chunk, backend), _attach_input(src), eb, mode, plan,
+            _proc_scratch(pooled),
+        )
+        stream = result.stream
+        if out_desc is None or len(stream) > out_desc.nbytes:
+            # no reserved region, or the stream expanded past it (rare):
+            # ship the bytes inline — still byte-identical, just slower
+            return result
+        out_desc.attach()[: len(stream)] = np.frombuffer(stream, dtype=np.uint8)
+        return replace(result, stream=_ShmRef(len(stream)))
+
+    return _proc_run(telem, body, index, attempt, plan_text)
+
+
+def _proc_decompress_shm(args) -> tuple[np.ndarray, dict | None]:
+    (src, out_desc, chunk, backend, pooled, telem), index, attempt, \
+        plan_text = args
+
+    def body():
+        arr = decompress_any(
+            _attach_input(src),
+            codec=_proc_codec(chunk, backend),
+            scratch=_proc_scratch(pooled),
+        )
+        if (
+            out_desc is None
+            or tuple(arr.shape) != out_desc.shape
+            or arr.dtype.str != out_desc.dtype
+        ):
+            # the parent pre-sized the region from the header; a stream that
+            # decodes to something else ships inline and is re-checked there
+            return arr
+        np.copyto(out_desc.attach(), arr)
+        return _ShmRef(int(arr.nbytes))
+
+    return _proc_run(telem, body, index, attempt, plan_text)
+
+
+def _stream_capacity(nbytes: int) -> int:
+    """Output reservation per compress task.
+
+    Worst-case expansion is a header plus an incompressible payload — well
+    under 1.5x of the input plus a fixed floor for tiny fields.  A stream
+    that still will not fit ships inline instead of failing.
+    """
+    return int(nbytes) + (int(nbytes) >> 1) + (1 << 16)
+
+
+class _ShmLedger:
+    """Parent-side lease bookkeeping for one shm-transport pool call.
+
+    Every block a task references stays leased until that task's result
+    slot is consumed, so retries, pool rebuilds and resubmissions always
+    find their segments alive.  A slot that quarantined on *timeout* gets
+    its output block retired rather than recycled — the wedged worker may
+    still be writing — and :meth:`abandon` (the ``finally`` backstop for
+    abandoned generators and raised errors) retires every outstanding
+    output for the same reason.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple] = {}
+
+    def add(
+        self,
+        index: int,
+        inputs: Sequence[ShmBlock] = (),
+        out: ShmBlock | None = None,
+        shape: tuple[int, ...] | None = None,
+    ) -> None:
+        self._entries[index] = (tuple(inputs), out, shape)
+
+    def out(self, index: int) -> ShmBlock | None:
+        entry = self._entries.get(index)
+        return entry[1] if entry else None
+
+    def shape(self, index: int) -> tuple[int, ...] | None:
+        entry = self._entries.get(index)
+        return entry[2] if entry else None
+
+    def release(self, index: int, retire_out: bool = False) -> None:
+        entry = self._entries.pop(index, None)
+        if entry is None:
+            return
+        inputs, out, _ = entry
+        for block in inputs:
+            block.release()
+        if out is not None:
+            if retire_out:
+                out.retire()
+            else:
+                out.release()
+
+    def abandon(self) -> None:
+        for index in list(self._entries):
+            self.release(index, retire_out=True)
+
+
 class Engine:
     """Parallel batch/streaming front-end to the FZ-GPU codec.
 
@@ -370,6 +531,15 @@ class Engine:
         field/chunk and may route it to the interpolation or constant
         pipeline (see :mod:`repro.planner`).  Decompression always
         dispatches on the stream magic, independent of this setting.
+    transport:
+        How array payloads cross the process-pool boundary.  ``"auto"``
+        (default) uses named shared memory when the pool is ``"process"``,
+        ``jobs > 1`` and the platform supports it, else pickling;
+        ``"pickle"`` forces the legacy path; ``"shm"`` requires shared
+        memory and raises :class:`ConfigError` where it is unavailable.
+        Thread pools and inline runs share address space already, so the
+        knob only affects process pools.  Output bytes are identical for
+        every setting (``tests/test_engine_shm.py``).
     """
 
     def __init__(
@@ -384,12 +554,22 @@ class Engine:
         task_timeout: float | None = None,
         backoff: float = 0.05,
         plan: str = "fast",
+        transport: str = "auto",
     ) -> None:
         jobs = int(jobs)
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if pool not in ("thread", "process"):
             raise ConfigError(f"pool must be 'thread' or 'process', got {pool!r}")
+        if transport not in ("auto", "pickle", "shm"):
+            raise ConfigError(
+                f"transport must be 'auto', 'pickle' or 'shm', got {transport!r}"
+            )
+        if transport == "shm" and not shm_available():
+            raise ConfigError(
+                "transport='shm' requires working POSIX/Win32 shared memory "
+                "on this platform (use transport='auto' or 'pickle')"
+            )
         retries = int(retries)
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
@@ -400,6 +580,8 @@ class Engine:
         self.jobs = jobs
         self.pool_kind = pool
         self.pooled = bool(pooled)
+        self.transport = transport
+        self._shm: SharedArena | None = None
         self.plan = normalize_plan(plan)
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
         self.retries = retries
@@ -460,6 +642,9 @@ class Engine:
             self._executor.shutdown(wait=not self._degraded, cancel_futures=True)
             self._executor = None
         self._degraded = False
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
 
     def __enter__(self) -> "Engine":
         return self
@@ -495,6 +680,182 @@ class Engine:
             depth = self._pending_tasks
         if telemetry.enabled():
             telemetry.gauge("engine.queue_depth", depth)
+
+    # -- shared-memory data plane ------------------------------------------
+
+    def _use_shm(self) -> bool:
+        """True when this engine's pool calls ride the shm transport."""
+        if self.pool_kind != "process" or self.jobs == 1:
+            return False
+        if self.transport == "pickle":
+            return False
+        return True if self.transport == "shm" else shm_available()
+
+    def _arena(self) -> SharedArena:
+        # serve's event loop (body sink) and its producer threads reach
+        # this concurrently; _pending_lock guards the lazy init so two
+        # arenas are never created (the loser's would leak its segments)
+        with self._pending_lock:
+            if self._shm is None:
+                self._shm = SharedArena()
+            return self._shm
+
+    def shared_arena(self) -> SharedArena | None:
+        """The engine's shm arena when the shm transport is active.
+
+        :mod:`repro.serve` leases request-body segments from this so
+        uploads land directly in the block a worker will attach; ``None``
+        means payloads take the pickle path and callers should not bother
+        staging.
+        """
+        return self._arena() if self._use_shm() else None
+
+    def _try_lease(self, nbytes: int) -> ShmBlock | None:
+        try:
+            return self._arena().lease(nbytes)
+        except (OSError, ConfigError):
+            # /dev/shm exhausted or arena unusable: fall back to pickling
+            # this item rather than failing the call
+            return None
+
+    def _stage_field(self, field) -> tuple[object, tuple[ShmBlock, ...]]:
+        """Put one input field behind a descriptor.
+
+        Returns ``(payload, input_blocks)``: shared-memory-resident fields
+        (:class:`ShmArray`) and read-only memmaps ship as pure addresses;
+        anything else is copied into a leased block once — replacing the
+        pickle copy, not adding to it.  Oversized or unstageable fields
+        return the array itself (pickle fallback for that item).
+        """
+        if (
+            isinstance(field, ShmArray)
+            and getattr(field, "shm_block", None) is not None
+            and field.flags["C_CONTIGUOUS"]
+        ):
+            block: ShmBlock = field.shm_block
+            try:
+                desc = block.descriptor_for(field)
+                block.retain()
+                return desc, (block,)
+            except ConfigError:
+                pass  # foreign/closed block: stage a copy below
+        desc = mmap_descriptor_for(field)
+        if desc is not None:
+            return desc, ()
+        arr = np.ascontiguousarray(field)
+        if arr.nbytes > MAX_SHM_STAGE_BYTES:
+            return arr, ()
+        block = self._try_lease(arr.nbytes)
+        if block is None:
+            return arr, ()
+        with telemetry.span("engine.shm_stage") as sp:
+            sp.set("nbytes", int(arr.nbytes))
+            np.copyto(block.asarray(arr.shape, arr.dtype), arr)
+        return block.descriptor(arr.shape, arr.dtype), (block,)
+
+    def _peek_decode_shape(self, blob) -> tuple[int, ...] | None:
+        """Pre-size a decode output from its stream header, conservatively.
+
+        ``None`` (→ pickle transport for this stream) when the header does
+        not parse, the declared output exceeds the staging cap, or it is
+        implausibly large for the stream length (crafted-header guard;
+        ``FZCN`` is exempt because the peek CRC-validates its whole 52-byte
+        stream and extreme ratios are that plan's point).
+        """
+        try:
+            shape = peek_shape(blob)
+        except ReproError:
+            return None
+        out_bytes = 4 * int(math.prod(shape))
+        if out_bytes > MAX_SHM_STAGE_BYTES:
+            return None
+        if bytes(blob[:4]) != CONSTANT_MAGIC and out_bytes > (
+            MAX_SHM_DECODE_RATIO * max(len(blob), 1)
+        ):
+            return None
+        return shape
+
+    def _shm_compress_items(
+        self, fields: Iterable, eb, mode: str, telem: bool, plan: str,
+        ledger: _ShmLedger,
+    ) -> Iterator[tuple]:
+        for i, field in enumerate(fields):
+            payload, inputs = self._stage_field(field)
+            out = out_desc = None
+            if isinstance(payload, (ShmDescriptor, MmapDescriptor)):
+                out = self._try_lease(_stream_capacity(payload.nbytes))
+                if out is not None:
+                    out_desc = out.descriptor(
+                        (out.capacity,), np.uint8, writable=True
+                    )
+            ledger.add(i, inputs, out)
+            yield (
+                payload, eb, mode, self._chunk, self._backend_sel,
+                self.pooled, telem, plan, out_desc,
+            )
+
+    def _shm_decompress_items(
+        self, blobs: Iterable[bytes], telem: bool, ledger: _ShmLedger
+    ) -> Iterator[tuple]:
+        for i, blob in enumerate(blobs):
+            src, inputs, out, out_desc = blob, (), None, None
+            shape = self._peek_decode_shape(blob)
+            if shape is not None:
+                inp = self._try_lease(len(blob))
+                if inp is not None:
+                    inp.view(len(blob))[:] = blob
+                    src = inp.descriptor((len(blob),), np.uint8)
+                    inputs = (inp,)
+                    out = self._try_lease(4 * int(math.prod(shape)))
+                    if out is not None:
+                        out_desc = out.descriptor(shape, np.float32, writable=True)
+            ledger.add(i, inputs, out, shape)
+            yield (
+                src, out_desc, self._chunk, self._backend_sel, self.pooled,
+                telem,
+            )
+
+    def _drain_shm(
+        self, results: Iterable, ledger: _ShmLedger, consume: Callable
+    ) -> Iterator:
+        """Yield consumed result slots, releasing each task's leases promptly.
+
+        ``consume(index, result)`` copies whatever must outlive the lease
+        *before* the blocks go back to the free list; anything left in the
+        ledger when the generator closes (abandonment, raised errors) is
+        retired via :meth:`_ShmLedger.abandon`.
+        """
+        try:
+            for index, res in enumerate(results):
+                if isinstance(res, TaskFailure):
+                    # a timed-out worker may still be mid-write: never
+                    # recycle that output block
+                    ledger.release(index, retire_out="timeout" in res.history)
+                    yield res
+                else:
+                    out = consume(index, res)
+                    ledger.release(index)
+                    yield out
+        finally:
+            ledger.abandon()
+
+    def _rehydrate(self, ledger: _ShmLedger) -> Callable:
+        """Consume callback: copy an shm-resident stream back into bytes."""
+        def consume(index: int, res: CompressionResult) -> CompressionResult:
+            ref = res.stream
+            if isinstance(ref, _ShmRef):
+                res = replace(res, stream=bytes(ledger.out(index).view(ref.nbytes)))
+            return res
+        return consume
+
+    def _materialize(self, ledger: _ShmLedger) -> Callable:
+        """Consume callback: copy an shm-resident decode into a fresh array."""
+        def consume(index: int, res):
+            if isinstance(res, _ShmRef):
+                view = ledger.out(index).asarray(ledger.shape(index), np.float32)
+                return np.array(view, copy=True, subok=False)
+            return res
+        return consume
 
     # -- task plumbing -----------------------------------------------------
 
@@ -771,16 +1132,37 @@ class Engine:
         with telemetry.span("engine.compress_batch") as sp:
             sp.set("n_fields", len(fields))
             sp.set("plan", plan)
-            results = list(
-                self._run_ordered(
-                    lambda f, s: _compress_task(self._codec, f, eb, mode, plan, s),
-                    _proc_compress,
-                    fields,
-                    [(f, eb, mode, self._chunk, self._backend_sel, self.pooled,
-                      telem, plan) for f in fields],
-                    on_error=on_error,
-                )
+            thread_fn = lambda f, s: _compress_task(  # noqa: E731
+                self._codec, f, eb, mode, plan, s
             )
+            if self._use_shm():
+                ledger = _ShmLedger()
+                results = list(
+                    self._drain_shm(
+                        self._run_ordered(
+                            thread_fn,
+                            _proc_compress_shm,
+                            fields,
+                            self._shm_compress_items(
+                                fields, eb, mode, telem, plan, ledger
+                            ),
+                            on_error=on_error,
+                        ),
+                        ledger,
+                        self._rehydrate(ledger),
+                    )
+                )
+            else:
+                results = list(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_compress,
+                        fields,
+                        [(f, eb, mode, self._chunk, self._backend_sel,
+                          self.pooled, telem, plan) for f in fields],
+                        on_error=on_error,
+                    )
+                )
         return results
 
     def decompress_batch(
@@ -796,16 +1178,35 @@ class Engine:
         telem = telemetry.enabled()
         with telemetry.span("engine.decompress_batch") as sp:
             sp.set("n_streams", len(streams))
-            results = list(
-                self._run_ordered(
-                    lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
-                    _proc_decompress,
-                    streams,
-                    [(b, self._chunk, self._backend_sel, self.pooled, telem)
-                     for b in streams],
-                    on_error=on_error,
-                )
+            thread_fn = lambda b, s: decompress_any(  # noqa: E731
+                b, codec=self._codec, scratch=s
             )
+            if self._use_shm():
+                ledger = _ShmLedger()
+                results = list(
+                    self._drain_shm(
+                        self._run_ordered(
+                            thread_fn,
+                            _proc_decompress_shm,
+                            streams,
+                            self._shm_decompress_items(streams, telem, ledger),
+                            on_error=on_error,
+                        ),
+                        ledger,
+                        self._materialize(ledger),
+                    )
+                )
+            else:
+                results = list(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_decompress,
+                        streams,
+                        [(b, self._chunk, self._backend_sel, self.pooled, telem)
+                         for b in streams],
+                        on_error=on_error,
+                    )
+                )
         return results
 
     def decompress_stream(
@@ -821,6 +1222,9 @@ class Engine:
         each decoded chunk to the client before the next finishes.
         """
         telem = telemetry.enabled()
+        thread_fn = lambda b, s: decompress_any(  # noqa: E731
+            b, codec=self._codec, scratch=s
+        )
 
         def tasks():
             for blob in streams:
@@ -828,13 +1232,28 @@ class Engine:
 
         with telemetry.span("engine.decompress_stream") as sp:
             n = 0
-            for result in self._run_ordered(
-                lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
-                _proc_decompress,
-                streams,
-                tasks(),
-                on_error=on_error,
-            ):
+            if self._use_shm():
+                ledger = _ShmLedger()
+                results: Iterator = self._drain_shm(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_decompress_shm,
+                        streams,
+                        self._shm_decompress_items(streams, telem, ledger),
+                        on_error=on_error,
+                    ),
+                    ledger,
+                    self._materialize(ledger),
+                )
+            else:
+                results = self._run_ordered(
+                    thread_fn,
+                    _proc_decompress,
+                    streams,
+                    tasks(),
+                    on_error=on_error,
+                )
+            for result in results:
                 n += 1
                 yield result
             sp.set("n_streams", n)
@@ -896,20 +1315,41 @@ class Engine:
             writer = fzmc.ContainerWriter(fileobj, data.shape, eb_abs)
             compressed = 0
             chunk_plans: list[str] = []
-            results = self._run_ordered(
-                lambda span, s: _compress_task(
-                    self._codec,
-                    np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs",
-                    plan, s,
-                ),
-                _proc_compress,
-                spans,
-                (
-                    (np.ascontiguousarray(data[a:b]), eb_abs, "abs", self._chunk,
-                     self._backend_sel, self.pooled, telem, plan)
-                    for a, b in spans
-                ),
+            thread_fn = lambda span, s: _compress_task(  # noqa: E731
+                self._codec,
+                np.ascontiguousarray(data[span[0] : span[1]]), eb_abs, "abs",
+                plan, s,
             )
+            if self._use_shm():
+                # chunk spans of a memmap/ShmArray field ship as pure
+                # addresses; plain in-memory fields are staged chunk by
+                # chunk (the copy the pickle path paid anyway)
+                ledger = _ShmLedger()
+                results: Iterable = self._drain_shm(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_compress_shm,
+                        spans,
+                        self._shm_compress_items(
+                            (data[a:b] for a, b in spans), eb_abs, "abs",
+                            telem, plan, ledger,
+                        ),
+                    ),
+                    ledger,
+                    self._rehydrate(ledger),
+                )
+            else:
+                results = self._run_ordered(
+                    thread_fn,
+                    _proc_compress,
+                    spans,
+                    (
+                        (np.ascontiguousarray(data[a:b]), eb_abs, "abs",
+                         self._chunk, self._backend_sel, self.pooled, telem,
+                         plan)
+                        for a, b in spans
+                    ),
+                )
             for (a, b), result in zip(spans, results):
                 writer.add_segment(result.stream, b - a, plan=plan_id(result.plan))
                 chunk_plans.append(result.plan)
@@ -985,16 +1425,30 @@ class Engine:
             root.set("n_chunks", len(payloads))
             telem = telemetry.enabled()
             row = 0
-            for expected, chunk_arr in zip(
-                extents,
-                self._run_ordered(
-                    lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
+            thread_fn = lambda b, s: decompress_any(  # noqa: E731
+                b, codec=self._codec, scratch=s
+            )
+            if self._use_shm():
+                ledger = _ShmLedger()
+                results: Iterable = self._drain_shm(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_decompress_shm,
+                        payloads,
+                        self._shm_decompress_items(payloads, telem, ledger),
+                    ),
+                    ledger,
+                    self._materialize(ledger),
+                )
+            else:
+                results = self._run_ordered(
+                    thread_fn,
                     _proc_decompress,
                     payloads,
                     [(b, self._chunk, self._backend_sel, self.pooled, telem)
                      for b in payloads],
-                ),
-            ):
+                )
+            for expected, chunk_arr in zip(extents, results):
                 check_consistent(
                     tuple(chunk_arr.shape) == tuple(expected),
                     f"chunk decoded to shape {tuple(chunk_arr.shape)}, container "
@@ -1021,9 +1475,27 @@ class Engine:
         """
         payloads = list(payloads)
         telem = telemetry.enabled()
+        thread_fn = lambda b, s: decompress_any(  # noqa: E731
+            b, codec=self._codec, scratch=s
+        )
+        if self._use_shm():
+            ledger = _ShmLedger()
+            return list(
+                self._drain_shm(
+                    self._run_ordered(
+                        thread_fn,
+                        _proc_decompress_shm,
+                        payloads,
+                        self._shm_decompress_items(payloads, telem, ledger),
+                        on_error="return",
+                    ),
+                    ledger,
+                    self._materialize(ledger),
+                )
+            )
         return list(
             self._run_ordered(
-                lambda b, s: decompress_any(b, codec=self._codec, scratch=s),
+                thread_fn,
                 _proc_decompress,
                 payloads,
                 [(b, self._chunk, self._backend_sel, self.pooled, telem)

@@ -11,7 +11,7 @@ See ``docs/PLANNING.md`` for the probe thresholds, the container v3
 per-segment plan records, and the serve-side trust model.
 """
 
-from repro.planner.codec import compress_with_plan, decompress_any
+from repro.planner.codec import compress_with_plan, decompress_any, peek_shape
 from repro.planner.constant import (
     CONSTANT_MAGIC,
     constant_compress,
@@ -45,6 +45,7 @@ from repro.planner.probe import DEFAULT_SAMPLES, ChunkProbe, probe_chunk
 __all__ = [
     "compress_with_plan",
     "decompress_any",
+    "peek_shape",
     "CONSTANT_MAGIC",
     "constant_compress",
     "constant_decompress",

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
+import math
+
 from repro import telemetry
+from repro.core.format import HEADER_BYTES, MAX_ELEMENTS, StreamHeader
 from repro.core.format import MAGIC as FAST_MAGIC
 from repro.core.pipeline import FZGPU, CompressionResult, resolve_error_bound
 from repro.errors import FormatError
@@ -25,8 +28,14 @@ from repro.planner.constant import (
     CONSTANT_MAGIC,
     constant_compress,
     constant_decompress,
+    constant_peek_shape,
 )
-from repro.planner.interp import INTERP_MAGIC, interp_compress, interp_decompress
+from repro.planner.interp import (
+    INTERP_MAGIC,
+    interp_compress,
+    interp_decompress,
+    interp_peek_shape,
+)
 from repro.planner.plans import (
     PLAN_CONST,
     PLAN_INTERP,
@@ -37,7 +46,7 @@ from repro.planner.plans import (
 from repro.planner.plans import decide as _decide
 from repro.planner.probe import probe_chunk
 
-__all__ = ["compress_with_plan", "decompress_any"]
+__all__ = ["compress_with_plan", "decompress_any", "peek_shape"]
 
 
 def _resolve_codec(codec, chunk, backend) -> FZGPU:
@@ -124,6 +133,33 @@ def decompress_any(
             root.set("bytes_in", len(buf))
             root.set("bytes_out", int(out.nbytes))
         return out
+    raise FormatError(
+        f"unknown stream magic {magic!r}; expected one of "
+        f"{FAST_MAGIC!r}/{INTERP_MAGIC!r}/{CONSTANT_MAGIC!r}"
+    )
+
+
+def peek_shape(stream: bytes | bytearray | memoryview) -> tuple[int, ...]:
+    """Reconstruction shape declared by any plan's stream header.
+
+    Header-only by design: ``FZGP``/``FZIN`` headers are cross-validated
+    but their payload CRC is *not* checked (``FZCN`` streams are 52 bytes,
+    so full validation is free).  The decode path still runs the complete
+    hardening ladder — this exists so transports can pre-size output
+    buffers without decoding.  Raises :class:`FormatError` when the header
+    cannot be parsed or declares an impossible element count.
+    """
+    magic = bytes(stream[:4])
+    if magic == FAST_MAGIC:
+        header = StreamHeader.unpack(bytes(stream[:HEADER_BYTES]))
+        shape = tuple(int(d) for d in header.shape)
+        if any(d <= 0 for d in shape) or math.prod(shape) > MAX_ELEMENTS:
+            raise FormatError(f"implausible shape {shape} in stream header")
+        return shape
+    if magic == INTERP_MAGIC:
+        return interp_peek_shape(stream)
+    if magic == CONSTANT_MAGIC:
+        return constant_peek_shape(stream)
     raise FormatError(
         f"unknown stream magic {magic!r}; expected one of "
         f"{FAST_MAGIC!r}/{INTERP_MAGIC!r}/{CONSTANT_MAGIC!r}"

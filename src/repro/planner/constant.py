@@ -35,6 +35,7 @@ __all__ = [
     "constant_compress",
     "constant_decompress",
     "constant_info",
+    "constant_peek_shape",
 ]
 
 CONSTANT_MAGIC = b"FZCN"
@@ -173,3 +174,8 @@ def constant_info(stream: bytes | bytearray | memoryview) -> dict:
         "fill": fill,
         "stream_bytes": STREAM_BYTES,
     }
+
+
+def constant_peek_shape(stream: bytes | bytearray | memoryview) -> tuple[int, ...]:
+    """Shape declared by an ``FZCN`` stream (full validation — streams are tiny)."""
+    return tuple(int(d) for d in constant_info(stream)["shape"])

@@ -61,6 +61,7 @@ __all__ = [
     "INTERP_VERSION",
     "interp_compress",
     "interp_decompress",
+    "interp_peek_shape",
     "default_anchor_log2",
 ]
 
@@ -467,6 +468,18 @@ def interp_info(stream: bytes | bytearray | memoryview) -> dict:
         "n_nonzero": n_nonzero,
         "n_saturated": n_sat,
     }
+
+
+def interp_peek_shape(stream: bytes | bytearray | memoryview) -> tuple[int, ...]:
+    """Shape declared by an ``FZIN`` header, without a CRC/length pass.
+
+    Runs the header cross-validation ladder only (dims positive, element
+    count capped, anchor/block counts implied by the shape), so transports
+    can pre-size decode buffers from untrusted bytes; decoding still runs
+    the full framing + CRC checks.
+    """
+    shape, *_ = _unpack_header(bytes(stream[:_HEADER_BYTES]))
+    return tuple(int(d) for d in shape)
 
 
 def interp_decompress(

@@ -165,17 +165,27 @@ class _Admission:
     hook *and* from an error path, and the underlying in-flight slot is
     returned exactly once.  Requests that hold no slot (non-engine routes)
     carry a no-op admission.
+
+    Further per-request resources — notably the shared-memory lease holding
+    a staged request body — ride the same ticket via :meth:`add`, so every
+    existing release path (error, stream completion, abandonment) frees
+    them without new plumbing.
     """
 
-    __slots__ = ("_release",)
+    __slots__ = ("_callbacks",)
 
     def __init__(self, release: Callable[[], None] | None = None) -> None:
-        self._release = release
+        self._callbacks: list[Callable[[], None]] = (
+            [release] if release is not None else []
+        )
+
+    def add(self, callback: Callable[[], None]) -> None:
+        self._callbacks.append(callback)
 
     def release(self) -> None:
-        release, self._release = self._release, None
-        if release is not None:
-            release()
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
 
 
 def _json_body(payload: dict) -> bytes:
@@ -334,6 +344,39 @@ class App:
         """Peer address minus the ephemeral port (stable across connections)."""
         client = request.client or "anonymous"
         return client.rsplit(":", 1)[0] or client
+
+    def body_sink(
+        self, request: Request, admission: _Admission
+    ) -> Callable[[int], memoryview | None] | None:
+        """Zero-copy upload path: lease shared memory for the request body.
+
+        Returns a ``sink(length)`` callable for
+        :func:`~repro.serve.http.read_request_body`, or ``None`` when the
+        engine is not running a shared-memory data plane.  A successful
+        lease parks the block on ``request.body_block`` (so ``_parse_field``
+        can hand the engine a :class:`ShmArray` that ships as a pure
+        descriptor) and rides the admission ticket for release — every
+        existing error/completion path frees the segment.  A failed lease
+        (arena pressure) returns ``None`` and the body buffers as bytes,
+        exactly as before.
+        """
+        if request.method != "POST":
+            return None
+        arena = self.engine.shared_arena()
+        if arena is None:
+            return None
+
+        def sink(length: int) -> memoryview | None:
+            try:
+                block = arena.lease(length)
+            except (OSError, ConfigError):
+                return None
+            request.body_block = block
+            admission.add(block.release)
+            self.recorder.counter("serve.shm_bodies")
+            return block.view(length)
+
+        return sink
 
     async def handle(
         self, request: Request, admission: _Admission | None = None
@@ -556,7 +599,14 @@ class App:
                 400,
                 f"plan must be one of {'/'.join(SERVE_PLANS)}, got {plan!r}",
             )
-        data = np.frombuffer(request.body, dtype="<f4").reshape(shape)
+        block = request.body_block
+        if block is not None:
+            # the body already lives in a leased shared-memory segment: hand
+            # the engine a ShmArray so chunk spans ship as descriptors and
+            # the upload is never copied again
+            data = block.asarray(shape, "<f4")
+        else:
+            data = np.frombuffer(request.body, dtype="<f4").reshape(shape)
         return data, eb, mode, chunk_bytes, plan
 
     async def _compress(self, request: Request) -> Response:

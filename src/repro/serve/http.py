@@ -105,8 +105,13 @@ class Request:
     path: str
     query: dict[str, str]
     headers: dict[str, str]  #: header names lower-cased
+    #: raw body bytes; a ``memoryview`` over ``body_block`` when a sink
+    #: staged the upload into shared memory (len/slicing work either way)
     body: bytes
     client: str = ""  #: peer identity (ip:port) for quota keying
+    #: the leased shared-memory block holding ``body``, when a sink was
+    #: used; owned by the admission ticket, released exactly once
+    body_block: object | None = None
 
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)
@@ -198,9 +203,26 @@ async def read_request_head(
 
 
 async def read_request_body(
-    reader: asyncio.StreamReader, request: Request, limits: Limits
+    reader: asyncio.StreamReader,
+    request: Request,
+    limits: Limits,
+    sink=None,
 ) -> None:
-    """Read the request's body (Content-Length or chunked) into ``request``."""
+    """Read the request's body (Content-Length or chunked) into ``request``.
+
+    ``sink(length)`` may return a writable buffer for a known-length body —
+    the zero-copy upload path: the socket drains straight into it and
+    ``request.body`` becomes a view of that buffer.  When the sink declines
+    (returns ``None``), or the body is chunked, the body is buffered as
+    bytes exactly as before.
+    """
+    if sink is not None and not request.headers.get("transfer-encoding"):
+        length = _content_length(request.headers, limits)
+        if length:
+            view = sink(length)
+            if view is not None:
+                request.body = await _read_body_into(reader, length, view)
+                return
     request.body = await _read_body(reader, request.headers, limits)
 
 
@@ -220,17 +242,11 @@ def _parse_headers(blob: bytes) -> dict[str, str]:
     return headers
 
 
-async def _read_body(
-    reader: asyncio.StreamReader, headers: dict[str, str], limits: Limits
-) -> bytes:
-    coding = headers.get("transfer-encoding", "").lower()
-    if coding:
-        if coding != "chunked":
-            raise HttpError(400, f"unsupported transfer-encoding {coding!r}")
-        return await _read_chunked(reader, limits)
+def _content_length(headers: dict[str, str], limits: Limits) -> int | None:
+    """Validated Content-Length, or ``None`` when the header is absent."""
     length_text = headers.get("content-length")
     if length_text is None:
-        return b""
+        return None
     try:
         length = int(length_text)
     except ValueError as exc:
@@ -243,6 +259,20 @@ async def _read_body(
             f"request body of {length} bytes exceeds the "
             f"{limits.max_body_bytes}-byte limit",
         )
+    return length
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str], limits: Limits
+) -> bytes:
+    coding = headers.get("transfer-encoding", "").lower()
+    if coding:
+        if coding != "chunked":
+            raise HttpError(400, f"unsupported transfer-encoding {coding!r}")
+        return await _read_chunked(reader, limits)
+    length = _content_length(headers, limits)
+    if length is None:
+        return b""
     try:
         return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
@@ -251,6 +281,25 @@ async def _read_body(
             f"truncated body: declared {length} bytes, connection closed "
             f"after {len(exc.partial)}",
         ) from exc
+
+
+async def _read_body_into(
+    reader: asyncio.StreamReader, length: int, view
+) -> memoryview:
+    """Drain exactly ``length`` body bytes into a caller-provided buffer."""
+    view = memoryview(view)
+    got = 0
+    while got < length:
+        chunk = await reader.read(min(1 << 20, length - got))
+        if not chunk:
+            raise HttpError(
+                400,
+                f"truncated body: declared {length} bytes, connection "
+                f"closed after {got}",
+            )
+        view[got : got + len(chunk)] = chunk
+        got += len(chunk)
+    return view[:length]
 
 
 async def _read_chunked(reader: asyncio.StreamReader, limits: Limits) -> bytes:

@@ -108,7 +108,12 @@ class Server:
                     # head alone: a refused request's body is never read,
                     # so shed uploads cost no buffer memory
                     admission = app.admit(request)
-                    await read_request_body(reader, request, app.limits)
+                    await read_request_body(
+                        reader,
+                        request,
+                        app.limits,
+                        sink=app.body_sink(request, admission),
+                    )
                 except HttpError as exc:
                     if admission is not None:
                         admission.release()

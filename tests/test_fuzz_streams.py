@@ -201,3 +201,243 @@ class TestCraftedHeaders:
         self._tripwire(monkeypatch)
         with pytest.raises(FormatError):
             codec.decode(bytes(stream))
+
+
+# ---------------------------------------------------------------------------
+# Planner streams: FZIN (interpolation) and FZCN (constant-block)
+# ---------------------------------------------------------------------------
+#
+# These decoders sit behind the shared-memory transport's header peek
+# (``repro.planner.peek_shape``), so a crafted header reaches the *parent*
+# process, not just a worker: every size field must be cross-validated
+# before a single byte is allocated.
+
+from repro.planner import decompress_any, peek_shape  # noqa: E402
+from repro.planner.constant import (  # noqa: E402
+    constant_compress,
+    constant_decompress,
+)
+from repro.planner.interp import interp_compress, interp_decompress  # noqa: E402
+
+
+def _planner_streams():
+    rng = np.random.default_rng(11)
+    field = np.cumsum(rng.standard_normal((20, 36)), axis=0).astype(np.float32)
+    interp = interp_compress(field, 1e-3).stream
+    const = constant_compress(np.full((16, 16), 2.5, np.float32), 1e-3).stream
+    return [
+        ("FZIN", interp, interp_decompress),
+        ("FZCN", const, constant_decompress),
+    ]
+
+
+_PLANNER_STREAMS = _planner_streams()
+_PLANNER_IDS = [name for name, _, _ in _PLANNER_STREAMS]
+
+
+@pytest.mark.parametrize("name,stream,decode", _PLANNER_STREAMS, ids=_PLANNER_IDS)
+@given(
+    pos_frac=st.floats(0.0, 1.0),
+    n_flips=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=_EXAMPLES, deadline=None)
+def test_planner_random_byte_corruption(name, stream, decode, pos_frac, n_flips, seed):
+    rng = np.random.default_rng(seed)
+    buf = bytearray(stream)
+    start = int(pos_frac * (len(buf) - 1))
+    for _ in range(n_flips):
+        idx = min(start + int(rng.integers(0, 16)), len(buf) - 1)
+        buf[idx] ^= int(rng.integers(1, 256))
+    try:
+        out = decode(bytes(buf))
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize("name,stream,decode", _PLANNER_STREAMS, ids=_PLANNER_IDS)
+@given(n_flips=st.integers(1, 6), seed=st.integers(0, 2**31))
+@settings(max_examples=_EXAMPLES, deadline=None)
+def test_planner_header_mutation(name, stream, decode, n_flips, seed):
+    """Focused corruption of the size-field-bearing header prefix."""
+    rng = np.random.default_rng(seed)
+    buf = bytearray(stream)
+    span = min(80, len(buf))
+    for _ in range(n_flips):
+        idx = int(rng.integers(0, span))
+        buf[idx] ^= int(rng.integers(1, 256))
+    try:
+        out = decode(bytes(buf))
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize("name,stream,decode", _PLANNER_STREAMS, ids=_PLANNER_IDS)
+@given(cut_frac=st.floats(0.0, 0.999))
+@settings(max_examples=_EXAMPLES, deadline=None)
+def test_planner_truncation(name, stream, decode, cut_frac):
+    cut = int(cut_frac * len(stream))
+    with pytest.raises(ACCEPTABLE):
+        decode(stream[:cut])
+
+
+@pytest.mark.parametrize("name,stream,decode", _PLANNER_STREAMS, ids=_PLANNER_IDS)
+def test_planner_garbage_and_empty(name, stream, decode):
+    rng = np.random.default_rng(3)
+    with pytest.raises(ACCEPTABLE):
+        decode(bytes(rng.integers(0, 256, 512, dtype=np.uint8)))
+    with pytest.raises(ACCEPTABLE):
+        decode(b"")
+
+
+@given(seed=st.integers(0, 2**31), n=st.integers(0, 128))
+@settings(max_examples=_EXAMPLES, deadline=None)
+def test_peek_shape_arbitrary_bytes(seed, n):
+    """The transport-facing header peek never escapes the error hierarchy."""
+    rng = np.random.default_rng(seed)
+    blob = bytes(rng.integers(0, 256, n, dtype=np.uint8))
+    try:
+        shape = peek_shape(blob)
+    except ACCEPTABLE:
+        return
+    assert all(d > 0 for d in shape)
+
+
+@pytest.mark.parametrize("name,stream,decode", _PLANNER_STREAMS, ids=_PLANNER_IDS)
+def test_peek_shape_matches_decode(name, stream, decode):
+    assert peek_shape(stream) == decode(stream).shape
+    assert decompress_any(stream).shape == peek_shape(stream)
+
+
+class TestCraftedPlannerHeaders:
+    """Directed FZIN/FZCN memory bombs: CRC-valid frames with hostile sizes.
+
+    Random corruption almost always dies at the CRC; these craft streams
+    where every checksum passes and only the cross-validation ladder stands
+    between a forged count and a giant allocation.
+    """
+
+    _tripwire = staticmethod(TestCraftedHeaders._tripwire)
+
+    @staticmethod
+    def _reframe_interp(stream: bytes, **overrides) -> bytes:
+        """Re-pack an FZIN header with forged fields and a *valid* CRC."""
+        import struct
+        import zlib
+
+        from repro.planner import interp as fzin
+
+        fields = list(struct.unpack_from(fzin._HEADER_FMT, stream))
+        names = [
+            "magic", "version", "ndim", "_r0", "d0", "d1", "d2",
+            "eb_abs", "anchor_log2", "_r1", "n_blocks", "n_nonzero",
+            "n_saturated", "n_anchors",
+        ]
+        for key, value in overrides.items():
+            fields[names.index(key)] = value
+        header = struct.pack(fzin._HEADER_FMT, *fields)
+        body = header + stream[fzin._HEADER_BYTES : -fzin._CRC_BYTES]
+        return body + struct.pack(
+            fzin._CRC_FMT, zlib.crc32(body) & 0xFFFFFFFF
+        )
+
+    @staticmethod
+    def _frame_constant(**overrides) -> bytes:
+        """A CRC-valid FZCN frame with forged header fields."""
+        import struct
+        import zlib
+
+        from repro.planner import constant as fzcn
+
+        fields = dict(
+            magic=fzcn.CONSTANT_MAGIC, version=fzcn.CONSTANT_VERSION,
+            ndim=1, _r0=0, d0=16, d1=1, d2=1, eb_abs=1e-3, fill=2.5,
+        )
+        fields.update(overrides)
+        body = struct.pack(
+            fzcn._HEADER_FMT, fields["magic"], fields["version"],
+            fields["ndim"], fields["_r0"], fields["d0"], fields["d1"],
+            fields["d2"], fields["eb_abs"], fields["fill"],
+        )
+        return body + struct.pack(
+            fzcn._CRC_FMT, zlib.crc32(body) & 0xFFFFFFFF
+        )
+
+    @pytest.fixture()
+    def interp_stream(self):
+        return _PLANNER_STREAMS[0][1]
+
+    def test_interp_huge_shape_fails_fast(self, monkeypatch, interp_stream):
+        """A forged 2**50-element shape must die at the element cap."""
+        stream = self._reframe_interp(interp_stream, ndim=1, d0=2**50)
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError):
+            interp_decompress(stream)
+        with pytest.raises(FormatError):
+            peek_shape(stream)
+
+    def test_interp_forged_anchor_count_fails_fast(
+        self, monkeypatch, interp_stream
+    ):
+        """n_anchors must match the count implied by shape and stride."""
+        stream = self._reframe_interp(interp_stream, n_anchors=2**40)
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError, match="n_anchors"):
+            interp_decompress(stream)
+
+    def test_interp_forged_block_count_fails_fast(
+        self, monkeypatch, interp_stream
+    ):
+        """n_blocks is implied by the shape; a forged count cannot buy flags."""
+        stream = self._reframe_interp(interp_stream, n_blocks=2**40)
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError, match="n_blocks"):
+            interp_decompress(stream)
+
+    def test_interp_nonzero_exceeding_blocks_rejected(self, interp_stream):
+        stream = self._reframe_interp(interp_stream, n_nonzero=2**40)
+        with pytest.raises(FormatError):
+            interp_decompress(stream)
+
+    def test_interp_bad_anchor_stride_rejected(self, interp_stream):
+        for log2 in (0, 31, 255):
+            stream = self._reframe_interp(interp_stream, anchor_log2=log2)
+            with pytest.raises(FormatError, match="anchor"):
+                interp_decompress(stream)
+
+    def test_interp_saturated_exceeding_elements_rejected(self, interp_stream):
+        stream = self._reframe_interp(interp_stream, n_saturated=2**40)
+        with pytest.raises(FormatError, match="n_saturated"):
+            interp_decompress(stream)
+
+    def test_constant_huge_shape_fails_fast(self, monkeypatch):
+        """A CRC-valid FZCN frame claiming 2**50 elements allocates nothing."""
+        stream = self._frame_constant(ndim=3, d0=2**17, d1=2**17, d2=2**16)
+        self._tripwire(monkeypatch)
+        with pytest.raises(FormatError):
+            constant_decompress(stream)
+
+    def test_constant_wrong_length_rejected(self):
+        good = self._frame_constant()
+        for blob in (good[:-1], good + b"\0", b""):
+            with pytest.raises(FormatError):
+                constant_decompress(blob)
+
+    def test_constant_nonfinite_fill_rejected(self):
+        for fill in (float("nan"), float("inf")):
+            with pytest.raises(FormatError):
+                constant_decompress(self._frame_constant(fill=fill))
+
+    def test_constant_nonpositive_dim_rejected(self):
+        with pytest.raises(FormatError):
+            constant_decompress(self._frame_constant(d0=0))
+
+    def test_routing_rejects_unknown_magic(self):
+        with pytest.raises(FormatError):
+            decompress_any(b"NOPE" + bytes(60))
+        with pytest.raises(FormatError):
+            peek_shape(b"NOPE" + bytes(60))
