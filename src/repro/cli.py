@@ -260,6 +260,26 @@ def cmd_decompress(args: argparse.Namespace) -> int:
 
     if args.salvage and not looks_like_container(args.input):
         raise SystemExit("--salvage needs a multi-chunk container input")
+    if args.roi and not looks_like_container(args.input):
+        raise SystemExit("--roi needs a multi-chunk container input")
+    if args.roi:
+        with _cli_engine(args) as engine:
+            if args.salvage:
+                recon, report = engine.decompress_roi_file(
+                    args.input, args.roi, args.output, salvage=True
+                )
+                print(report.summary())
+                print(
+                    f"reconstructed ROI {args.roi} -> {recon.shape} float32 "
+                    f"(salvaged) -> {args.output}"
+                )
+                return 0 if report.lost_bytes == 0 else 1
+            recon = engine.decompress_roi_file(args.input, args.roi, args.output)
+        print(
+            f"reconstructed ROI {args.roi} -> {recon.shape} float32 -> "
+            f"{args.output}"
+        )
+        return 0
     if looks_like_container(args.input):
         with _cli_engine(args) as engine:
             if args.salvage:
@@ -544,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "container: recover intact segments, NaN-fill the "
                          "rest, print a salvage report (exit 1 if bytes "
                          "were lost)")
+    sp.add_argument("--roi", metavar="SLAB", default=None,
+                    help="decode only this hyperslab of a multi-chunk "
+                         "container, e.g. '128:256,:,0:64' (start:stop per "
+                         "axis, ':' for a whole axis); only intersecting "
+                         "segments are read, and the output is byte-"
+                         "identical to slicing the full decode; combines "
+                         "with --salvage (NaN-fill damage inside the slab)")
     add_codec_opts(sp)
     add_engine_opts(sp)
     add_telemetry_opts(sp)

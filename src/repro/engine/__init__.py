@@ -10,6 +10,11 @@ Public surface:
   container format (``FZMC0002``) plus the salvage primitives
   (:func:`~repro.engine.container.resync_segments`,
   :class:`~repro.engine.container.SalvageReport`).
+* ROI / progressive decode — ``Engine.decompress_roi`` /
+  ``Engine.iter_roi_tiles`` decode only the container segments whose row
+  span intersects a requested hyperslab (see :mod:`repro.roi`, re-exported
+  here as :class:`~repro.roi.Slab` / :func:`~repro.roi.plan_roi` /
+  :class:`~repro.roi.RoiTile`).
 """
 
 from repro.engine.container import (
@@ -34,12 +39,18 @@ from repro.engine.executor import (
     TaskFailure,
     plan_chunks,
 )
+from repro.roi import RoiPlan, RoiTile, Slab, plan_roi, resolve_slab
 
 __all__ = [
     "Engine",
     "FileReport",
     "TaskFailure",
     "plan_chunks",
+    "RoiPlan",
+    "RoiTile",
+    "Slab",
+    "plan_roi",
+    "resolve_slab",
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_RETRIES",
     "MAX_BACKOFF_S",

@@ -76,12 +76,16 @@ from repro.errors import (
 )
 from repro.planner import (
     CONSTANT_MAGIC,
+    INTERP_MAGIC,
     compress_with_plan,
+    constant_info,
     decompress_any,
+    interp_preview,
     normalize_plan,
     peek_shape,
     plan_id,
 )
+from repro.roi import RoiPlan, RoiTile, plan_roi
 from repro.utils.chunking import chunk_shape_for
 from repro.utils.pool import (
     BufferPool,
@@ -1464,14 +1468,294 @@ class Engine:
         """In-memory variant of :meth:`decompress_chunked_from`."""
         return self.decompress_chunked_from(BytesIO(blob), salvage=salvage)
 
+    # -- region-of-interest / progressive decode ---------------------------
+
+    def _roi_read_plan(self, fileobj: BinaryIO, slab) -> RoiPlan:
+        """Read the container indexes and intersect ``slab`` with them."""
+        with telemetry.span("engine.read_index"):
+            indexes = fzmc.read_containers(fileobj)
+        with telemetry.span("roi.plan") as sp:
+            plan = plan_roi(indexes, slab)
+            sp.set("n_segments", plan.n_segments)
+            sp.set("n_intersecting", len(plan.tasks))
+        if telemetry.enabled():
+            telemetry.counter("roi.requests")
+            telemetry.counter("roi.chunks_skipped", plan.n_skipped)
+        return plan
+
+    def _roi_payloads(self, fileobj: BinaryIO, plan: RoiPlan) -> list[bytes]:
+        """Read + CRC-check exactly the intersecting segments, in file order."""
+        return [
+            fzmc.read_segment_payload(
+                fileobj, task.container_start, task.entry, task.seg_ordinal
+            )
+            for task in plan.tasks
+        ]
+
+    @staticmethod
+    def _roi_fill(task, payload: bytes) -> np.float32:
+        """Fill value of a constant segment, cross-checked against the index.
+
+        ``FZCN`` segments are the ROI fast path: their 52-byte stream is
+        fully CRC-validated by :func:`~repro.planner.constant_info` and the
+        sub-slab is synthesized directly — no pool round-trip, no full
+        chunk materialization.
+        """
+        info = constant_info(payload)
+        check_consistent(
+            tuple(info["shape"]) == task.chunk_shape,
+            f"constant segment declares shape {tuple(info['shape'])}, "
+            f"container index declares {task.chunk_shape}",
+        )
+        return np.float32(info["fill"])
+
+    def decompress_roi_from(self, fileobj: BinaryIO, slab, salvage: bool = False):
+        """Decode only the hyperslab ``slab`` of a multi-chunk container.
+
+        ``slab`` is a :class:`~repro.roi.Slab`, a ``"start:stop,..."`` spec
+        string, or a sequence of slices/``(start, stop)`` pairs
+        (:func:`~repro.roi.resolve_slab` semantics; missing trailing axes
+        select whole dimensions).  Only the segments whose axis-0 row span
+        intersects the slab are read, CRC-checked and decoded — the rest
+        are never touched (``roi.chunks_skipped``).  The result is
+        **byte-identical** to ``decompress_chunked_from(...)[slab]``.
+
+        With ``salvage=True`` damage inside the requested slab is
+        NaN-filled and accounted in a
+        :class:`~repro.engine.container.SalvageReport` scoped to the ROI
+        (``total_bytes`` is the slab's size); damage *outside* the slab is
+        invisible — those segments are skipped, so they cannot fail the
+        read.  The index trailer itself must parse (an unreadable index
+        leaves nothing to plan with; use the full salvage decode's forward
+        re-sync for that).
+        """
+        with telemetry.span("engine.decompress_roi") as root:
+            plan = self._roi_read_plan(fileobj, slab)
+            root.set("n_segments", plan.n_segments)
+            root.set("n_intersecting", len(plan.tasks))
+            if salvage:
+                out, report = self._roi_salvage(fileobj, plan)
+            else:
+                out = self._roi_strict(fileobj, plan)
+            root.set("bytes_out", int(out.nbytes))
+        return (out, report) if salvage else out
+
+    def decompress_roi(self, blob: bytes, slab, salvage: bool = False):
+        """In-memory variant of :meth:`decompress_roi_from`."""
+        return self.decompress_roi_from(BytesIO(blob), slab, salvage=salvage)
+
+    def _roi_strict(self, fileobj: BinaryIO, plan: RoiPlan) -> np.ndarray:
+        out = np.empty(plan.out_shape, dtype=np.float32)
+        payloads = self._roi_payloads(fileobj, plan)
+        decode_tasks = []
+        decode_payloads: list[bytes] = []
+        filled = 0
+        for task, payload in zip(plan.tasks, payloads):
+            if payload[:4] == CONSTANT_MAGIC:
+                fill = self._roi_fill(task, payload)
+                out[task.out_row0 : task.out_row0 + task.rows] = fill
+                filled += 1
+            else:
+                decode_tasks.append(task)
+                decode_payloads.append(payload)
+        results = self._decode_tolerant(decode_payloads, on_error="raise")
+        for task, arr in zip(decode_tasks, results):
+            check_consistent(
+                tuple(arr.shape) == task.chunk_shape,
+                f"chunk decoded to shape {tuple(arr.shape)}, container "
+                f"index declares {task.chunk_shape}",
+            )
+            out[task.out_row0 : task.out_row0 + task.rows] = arr[task.local]
+        if telemetry.enabled():
+            telemetry.counter("roi.chunks_decoded", len(decode_tasks))
+            telemetry.counter("roi.chunks_filled", filled)
+            telemetry.counter("roi.bytes_out", int(out.nbytes))
+        return out
+
+    def _roi_salvage(
+        self, fileobj: BinaryIO, plan: RoiPlan
+    ) -> tuple[np.ndarray, fzmc.SalvageReport]:
+        """Best-effort ROI decode: NaN-fill damage inside the slab only."""
+        out = np.full(plan.out_shape, np.nan, dtype=np.float32)
+        slots: list[tuple[object, bytes | None, str]] = []
+        for task in plan.tasks:
+            try:
+                payload = fzmc.read_segment_payload(
+                    fileobj, task.container_start, task.entry, task.seg_ordinal
+                )
+            except FormatError as exc:
+                slots.append((task, None, f"segment read failed: {exc}"))
+            else:
+                slots.append((task, payload, ""))
+        decoded = iter(
+            self._decode_tolerant(
+                [p for _, p, _ in slots
+                 if p is not None and p[:4] != CONSTANT_MAGIC]
+            )
+        )
+        outcomes: list[fzmc.SegmentOutcome] = []
+        recovered = filled = n_decoded = 0
+        for task, payload, detail in slots:
+            ok = False
+            if payload is not None:
+                if payload[:4] == CONSTANT_MAGIC:
+                    try:
+                        fill = self._roi_fill(task, payload)
+                    except ReproError as exc:
+                        detail = f"constant segment invalid: {exc}"
+                    else:
+                        out[task.out_row0 : task.out_row0 + task.rows] = fill
+                        ok = True
+                        filled += 1
+                else:
+                    res = next(decoded)
+                    if isinstance(res, TaskFailure):
+                        detail = f"payload decode failed: {res.error_type}"
+                    elif tuple(res.shape) != task.chunk_shape:
+                        detail = (
+                            f"decoded shape {tuple(res.shape)} does not "
+                            f"match declared {task.chunk_shape}"
+                        )
+                    else:
+                        out[task.out_row0 : task.out_row0 + task.rows] = (
+                            res[task.local]
+                        )
+                        ok = True
+                        n_decoded += 1
+            nbytes = task.tile_bytes
+            if ok:
+                recovered += nbytes
+                outcomes.append(
+                    fzmc.SegmentOutcome(task.ordinal, task.rows, nbytes, "recovered")
+                )
+            else:
+                outcomes.append(
+                    fzmc.SegmentOutcome(
+                        task.ordinal, task.rows, nbytes, "lost", detail
+                    )
+                )
+        total = int(out.nbytes)
+        report = fzmc.SalvageReport(
+            shape=plan.out_shape,
+            resynced=False,
+            total_bytes=total,
+            recovered_bytes=recovered,
+            lost_bytes=total - recovered,
+            segments=tuple(outcomes),
+        )
+        if telemetry.enabled():
+            telemetry.counter("roi.chunks_decoded", n_decoded)
+            telemetry.counter("roi.chunks_filled", filled)
+            telemetry.counter("roi.bytes_out", total)
+        return out, report
+
+    def iter_roi_tiles(self, source, slab) -> Iterator[RoiTile]:
+        """Progressive ROI decode: coarse-to-fine :class:`~repro.roi.RoiTile` s.
+
+        ``source`` is a container blob or a seekable binary file object.
+        Tiles arrive in file order, one output-row band per intersecting
+        segment: constant segments yield a single exact tile synthesized
+        from their 52-byte header, interpolation segments yield a level-0
+        anchor-grid preview (``final=False``) *before* their exact
+        reconstruction, and fast segments yield one exact tile.
+        Concatenating the ``final`` tiles along axis 0 reproduces
+        :meth:`decompress_roi` byte-identically; exact decodes run through
+        the worker pool and overlap with preview delivery.
+
+        Planning and segment reads happen eagerly — malformed containers
+        and bad slabs raise here, not mid-iteration.
+        """
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            source = BytesIO(source)
+        plan = self._roi_read_plan(source, slab)
+        payloads = self._roi_payloads(source, plan)
+        return self._roi_tile_gen(plan, payloads)
+
+    def _roi_tile_gen(
+        self, plan: RoiPlan, payloads: list[bytes]
+    ) -> Iterator[RoiTile]:
+        telem = telemetry.enabled()
+
+        def tile(level: int, final: bool, task, data: np.ndarray) -> RoiTile:
+            if telem:
+                telemetry.counter(
+                    "roi.tiles", 1,
+                    {"level": str(level), "final": str(final).lower()},
+                )
+            return RoiTile(level, final, task.out_row0, data)
+
+        results = self.decompress_stream(
+            [p for p in payloads if p[:4] != CONSTANT_MAGIC]
+        )
+        filled = n_decoded = 0
+        try:
+            for task, payload in zip(plan.tasks, payloads):
+                if payload[:4] == CONSTANT_MAGIC:
+                    fill = self._roi_fill(task, payload)
+                    filled += 1
+                    yield tile(
+                        0, True, task,
+                        np.full(task.tile_shape, fill, dtype=np.float32),
+                    )
+                    continue
+                if payload[:4] == INTERP_MAGIC:
+                    preview = interp_preview(payload)
+                    check_consistent(
+                        tuple(preview.shape) == task.chunk_shape,
+                        f"FZIN preview shape {tuple(preview.shape)} does not "
+                        f"match container index {task.chunk_shape}",
+                    )
+                    yield tile(
+                        0, False, task,
+                        np.ascontiguousarray(preview[task.local]),
+                    )
+                arr = next(results)
+                check_consistent(
+                    tuple(arr.shape) == task.chunk_shape,
+                    f"chunk decoded to shape {tuple(arr.shape)}, container "
+                    f"index declares {task.chunk_shape}",
+                )
+                n_decoded += 1
+                yield tile(1, True, task, np.ascontiguousarray(arr[task.local]))
+        finally:
+            results.close()
+            if telem:
+                telemetry.counter("roi.chunks_decoded", n_decoded)
+                telemetry.counter("roi.chunks_filled", filled)
+
+    def decompress_roi_file(
+        self,
+        input_path: str | pathlib.Path,
+        slab,
+        output_path: str | pathlib.Path | None = None,
+        salvage: bool = False,
+    ):
+        """ROI decode of a container file (optionally saving the slab).
+
+        With ``salvage=True`` returns ``(array, SalvageReport)`` — see
+        :meth:`decompress_roi_from`.
+        """
+        with open(input_path, "rb") as f:
+            result = self.decompress_roi_from(f, slab, salvage=salvage)
+        out = result[0] if salvage else result
+        if output_path is not None:
+            from repro.io import save_field
+
+            save_field(output_path, out)
+        return result
+
     # -- salvage decode ----------------------------------------------------
 
-    def _decode_tolerant(self, payloads: Sequence[bytes]) -> list:
+    def _decode_tolerant(
+        self, payloads: Sequence[bytes], on_error: str = "return"
+    ) -> list:
         """Decode core streams through the pool, one result slot per input.
 
-        Runs with ``on_error="return"`` so a payload that fails to decode
-        lands as a :class:`TaskFailure` in its slot instead of aborting the
-        surviving segments.
+        With the default ``on_error="return"`` a payload that fails to
+        decode lands as a :class:`TaskFailure` in its slot instead of
+        aborting the surviving segments (the salvage path);
+        ``on_error="raise"`` surfaces the first failure with the usual
+        taxonomy (the strict ROI path).
         """
         payloads = list(payloads)
         telem = telemetry.enabled()
@@ -1487,7 +1771,7 @@ class Engine:
                         _proc_decompress_shm,
                         payloads,
                         self._shm_decompress_items(payloads, telem, ledger),
-                        on_error="return",
+                        on_error=on_error,
                     ),
                     ledger,
                     self._materialize(ledger),
@@ -1500,7 +1784,7 @@ class Engine:
                 payloads,
                 [(b, self._chunk, self._backend_sel, self.pooled, telem)
                  for b in payloads],
-                on_error="return",
+                on_error=on_error,
             )
         )
 

@@ -25,6 +25,7 @@ from repro.planner.interp import (
     interp_compress,
     interp_decompress,
     interp_info,
+    interp_preview,
 )
 from repro.planner.plans import (
     PLAN_CONST,
@@ -56,6 +57,7 @@ __all__ = [
     "interp_compress",
     "interp_decompress",
     "interp_info",
+    "interp_preview",
     "PLAN_CONST",
     "PLAN_FAST",
     "PLAN_INTERP",

@@ -62,6 +62,7 @@ __all__ = [
     "interp_compress",
     "interp_decompress",
     "interp_peek_shape",
+    "interp_preview",
     "default_anchor_log2",
 ]
 
@@ -480,6 +481,37 @@ def interp_peek_shape(stream: bytes | bytearray | memoryview) -> tuple[int, ...]
     """
     shape, *_ = _unpack_header(bytes(stream[:_HEADER_BYTES]))
     return tuple(int(d) for d in shape)
+
+
+def interp_preview(stream: bytes | bytearray | memoryview) -> np.ndarray:
+    """Coarse anchor-grid preview of an ``FZIN`` stream (float32).
+
+    Reconstructs only the exactly-stored anchors (one per ``2**anchor_log2``
+    hypercube) and upsamples them nearest-neighbor to the declared shape —
+    no residual decode, no bitunshuffle, no level passes.  This is the
+    level-0 tile of a progressive ROI decode: anchors live directly after
+    the header, so the preview touches a fraction of the stream's work
+    while framing + CRC are still validated in full.
+
+    Anchor positions (coordinates ≡ 0 mod the stride) are *exact* — they
+    equal the final reconstruction there; everything else is the nearest
+    anchor at block resolution.
+    """
+    buf = bytes(stream)
+    shape, eb_abs, anchor_log2, _n_blocks, _n_nonzero, n_anchors = _check_framing(buf)
+    reader = BoundedReader(buf, name="FZIN stream")
+    reader.skip(_HEADER_BYTES, "header")
+    anchors = reader.read_array(_ANCHOR_DTYPE, n_anchors, "anchor values")
+    grid = _anchor_grid_shape(shape, anchor_log2)
+    try:
+        vals = anchors.reshape(grid).astype(np.float64) * (2.0 * eb_abs)
+    except ValueError as exc:
+        raise DecompressionError(f"inconsistent FZIN stream: {exc}") from exc
+    s0 = 1 << anchor_log2
+    ndim = len(shape)
+    for axis, dim in enumerate(shape):
+        vals = np.repeat(vals, s0, axis=axis)[_axis_sel(ndim, axis, slice(0, dim))]
+    return vals.astype(np.float32)
 
 
 def interp_decompress(

@@ -1,0 +1,164 @@
+"""Hyperslab selection: per-axis ``[start, stop)`` bounds for ROI decode.
+
+A :class:`Slab` is the validated, fully-resolved form — every axis has
+concrete non-negative bounds inside the field shape, so downstream planning
+code never re-checks ranges.  User-facing specs arrive as text
+(``"8:24,:,0:7"``, the CLI/HTTP wire form), as Python slices, or as
+``(start, stop)`` pairs; :func:`resolve_slab` normalizes all of them
+against a concrete shape.
+
+Error taxonomy: every malformed, empty or out-of-range spec raises
+:class:`~repro.errors.ConfigError` — it is a *request* problem, not a
+stream problem — so the serve layer maps it to a 400 and the CLI to a
+clean exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["Slab", "parse_slab", "resolve_slab"]
+
+#: one unresolved axis bound: (start-or-None, stop-or-None)
+_RawAxis = tuple[int | None, int | None]
+
+
+@dataclass(frozen=True)
+class Slab:
+    """A fully-resolved hyperslab: ``0 <= start[i] < stop[i] <= dim[i]``."""
+
+    start: tuple[int, ...]
+    stop: tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.start)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(b - a for a, b in zip(self.start, self.stop))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    def slices(self) -> tuple[slice, ...]:
+        """The numpy index tuple selecting this slab from a full field."""
+        return tuple(slice(a, b) for a, b in zip(self.start, self.stop))
+
+    def text(self) -> str:
+        """Render back to the ``"a:b,c:d"`` wire form."""
+        return ",".join(f"{a}:{b}" for a, b in zip(self.start, self.stop))
+
+
+def _parse_bound(part: str, side: str, axis: int) -> int | None:
+    part = part.strip()
+    if not part:
+        return None
+    try:
+        return int(part)
+    except ValueError as exc:
+        raise ConfigError(
+            f"slab axis {axis}: bad {side} bound {part!r} (expected an integer)"
+        ) from exc
+
+
+def parse_slab(text: str) -> tuple[_RawAxis, ...]:
+    """Parse a ``"start:stop,start:stop,..."`` slab spec (bounds optional).
+
+    ``":"`` selects a whole axis; either bound may be omitted.  Bare
+    indexes (``"3"``) are rejected — numpy would drop the axis, and an ROI
+    read always preserves dimensionality.  Raises
+    :class:`~repro.errors.ConfigError` on any malformed input.
+    """
+    if not isinstance(text, str):
+        raise ConfigError(f"slab spec must be a string, got {type(text).__name__}")
+    if not text.strip():
+        raise ConfigError("empty slab spec")
+    axes: list[_RawAxis] = []
+    for axis, part in enumerate(text.split(",")):
+        if ":" not in part:
+            raise ConfigError(
+                f"slab axis {axis}: {part.strip()!r} has no ':' — use "
+                f"'start:stop' ranges (bare indexes would drop the axis)"
+            )
+        lo_text, _, hi_text = part.partition(":")
+        if ":" in hi_text:
+            raise ConfigError(
+                f"slab axis {axis}: {part.strip()!r} has a step — only "
+                f"contiguous start:stop ranges are supported"
+            )
+        axes.append(
+            (_parse_bound(lo_text, "start", axis), _parse_bound(hi_text, "stop", axis))
+        )
+    return tuple(axes)
+
+
+def _raw_axes(spec, ndim: int) -> tuple[_RawAxis, ...]:
+    if isinstance(spec, Slab):
+        return tuple(zip(spec.start, spec.stop))
+    if isinstance(spec, str):
+        return parse_slab(spec)
+    if isinstance(spec, Sequence):
+        axes: list[_RawAxis] = []
+        for axis, item in enumerate(spec):
+            if isinstance(item, slice):
+                if item.step not in (None, 1):
+                    raise ConfigError(
+                        f"slab axis {axis}: step {item.step!r} unsupported "
+                        f"(only contiguous ranges)"
+                    )
+                axes.append((item.start, item.stop))
+            elif isinstance(item, Sequence) and len(item) == 2:
+                axes.append((item[0], item[1]))
+            else:
+                raise ConfigError(
+                    f"slab axis {axis}: expected a slice or (start, stop) "
+                    f"pair, got {item!r}"
+                )
+        return tuple(axes)
+    raise ConfigError(
+        f"slab spec must be a string, Slab, or sequence of slices/(start, "
+        f"stop) pairs, got {type(spec).__name__}"
+    )
+
+
+def resolve_slab(spec, shape: tuple[int, ...]) -> Slab:
+    """Resolve any slab spec against ``shape`` into a validated :class:`Slab`.
+
+    Fewer axes than ``shape`` has are padded with whole-axis selections
+    (numpy leading-axes convention); more axes than the field raise.
+    Negative bounds count from the end of the axis.  An empty or
+    out-of-range selection raises :class:`~repro.errors.ConfigError`.
+    """
+    raw = _raw_axes(spec, len(shape))
+    if len(raw) > len(shape):
+        raise ConfigError(
+            f"slab has {len(raw)} axes but the field shape {shape} has only "
+            f"{len(shape)}"
+        )
+    raw = raw + ((None, None),) * (len(shape) - len(raw))
+    start: list[int] = []
+    stop: list[int] = []
+    for axis, ((lo, hi), dim) in enumerate(zip(raw, shape)):
+        a = 0 if lo is None else (int(lo) + dim if int(lo) < 0 else int(lo))
+        b = dim if hi is None else (int(hi) + dim if int(hi) < 0 else int(hi))
+        if a < 0 or b > dim:
+            raise ConfigError(
+                f"slab axis {axis}: [{lo}:{hi}] out of range for dimension "
+                f"{dim}"
+            )
+        if a >= b:
+            raise ConfigError(
+                f"slab axis {axis}: [{lo}:{hi}] selects nothing on dimension "
+                f"{dim} (start must be < stop)"
+            )
+        start.append(a)
+        stop.append(b)
+    return Slab(tuple(start), tuple(stop))

@@ -657,6 +657,9 @@ class App:
         return indexes, payloads, extents
 
     async def _decompress(self, request: Request) -> Response:
+        slab_text = request.query.get("slab")
+        if slab_text is not None:
+            return await self._decompress_roi(request, slab_text)
         indexes, payloads, extents = await self._parsed_container(request.body)
         total_rows = sum(idx.shape[0] for idx in indexes)
         shape = (total_rows,) + indexes[0].shape[1:]
@@ -678,6 +681,43 @@ class App:
                 ("Content-Type", "application/octet-stream"),
                 ("X-Repro-Dtype", "float32"),
                 ("X-Repro-Shape", ",".join(str(n) for n in shape)),
+            ],
+        )
+
+    async def _decompress_roi(self, request: Request, slab_text: str) -> Response:
+        """Hyperslab decode: ``POST /v1/decompress?slab=start:stop,...``.
+
+        Planning runs up front on a worker thread — a malformed container
+        or slab (empty, out of range, too many axes) surfaces as a typed
+        400 *before* any headers go out, and only the segments whose row
+        span intersects the slab are ever read or decoded.  The body then
+        streams one tile per intersecting segment (the exact slab bytes,
+        row-major, in order), so first bytes reach the client as soon as
+        the first segment decodes.
+        """
+        body = request.body
+        loop = asyncio.get_running_loop()
+
+        def plan():
+            from repro.roi import plan_roi
+
+            return plan_roi(fzmc.read_containers(BytesIO(body)), slab_text)
+
+        roi_plan = await loop.run_in_executor(None, plan)
+        self.recorder.counter("serve.roi_requests")
+
+        def work(stream: _Stream) -> None:
+            for tile in self.engine.iter_roi_tiles(BytesIO(body), slab_text):
+                if tile.final:
+                    stream.push(tile.data.tobytes())
+
+        return await self._streamed(
+            work,
+            [
+                ("Content-Type", "application/octet-stream"),
+                ("X-Repro-Dtype", "float32"),
+                ("X-Repro-Shape", ",".join(str(n) for n in roi_plan.out_shape)),
+                ("X-Repro-Slab", roi_plan.slab.text()),
             ],
         )
 

@@ -30,6 +30,9 @@ Fixtures under ``tests/golden/``:
   legacy serial-Huffman payload (stream version 1)
 * ``golden_cusz_v2.csz``  — the same through the current gap-array
   segment-parallel payload (stream version 2)
+* ``golden_roi_slab.bin`` — the raw float32 bytes of the
+  ``GOLDEN_ROI_SLAB`` hyperslab decoded out of the mixed container via
+  ``Engine.decompress_roi`` (crosses all three plan bands)
 
 Regenerate after an *intentional* format change with::
 
@@ -70,7 +73,13 @@ FIXTURES = (
     "golden_container_mixed.fz",
     "golden_cusz_v1.csz",
     "golden_cusz_v2.csz",
+    "golden_roi_slab.bin",
 )
+
+#: The ROI pinned by ``golden_roi_slab.bin`` / ``golden_roi_request.http``:
+#: 32 rows x 28 cols of the mixed container, crossing the constant, interp
+#: and fast bands so partial decode of every plan kind is exercised.
+GOLDEN_ROI_SLAB = "10:42,6:34"
 
 #: Fault plan that damages the salvage fixture: one deterministic byte flip
 #: in segment 1, position derived from a pure hash (see repro.faults).
@@ -183,6 +192,7 @@ def build_golden() -> dict[str, bytes]:
                 data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
             )
         _, report = engine.decompress_chunked(damaged, salvage=True)
+        roi_slab = engine.decompress_roi(mixed_container, GOLDEN_ROI_SLAB)
     return {
         "golden_v2.fz": v2,
         "golden_v1.fz": v1,
@@ -203,6 +213,7 @@ def build_golden() -> dict[str, bytes]:
         "golden_cusz_v2.csz": CuSZ(stream_version=2).compress(
             data, GOLDEN_EB, "abs"
         ).stream,
+        "golden_roi_slab.bin": roi_slab.tobytes(),
     }
 
 
@@ -212,7 +223,11 @@ def build_golden() -> dict[str, bytes]:
 
 #: HTTP fixtures are built separately (they need an event loop) but follow
 #: the same protocol: byte-compare fresh output, regenerate deliberately.
-SERVE_FIXTURES = ("golden_serve_exchange.http", "golden_serve_metrics.txt")
+SERVE_FIXTURES = (
+    "golden_serve_exchange.http",
+    "golden_roi_request.http",
+    "golden_serve_metrics.txt",
+)
 
 
 class _FixedStepClock:
@@ -267,6 +282,7 @@ def build_golden_serve() -> dict[str, bytes]:
             enabled=True, clock=lambda: 0.0, wall_clock=lambda: 0, pid=1, tid=1
         )
         parts: list[bytes] = []
+        roi_parts: list[bytes] = []
         with Engine(jobs=1) as engine:
             app = App(
                 engine, ServeConfig(), recorder=recorder,
@@ -275,8 +291,14 @@ def build_golden_serve() -> dict[str, bytes]:
             container = engine.compress_chunked(
                 data, GOLDEN_EB, "abs", chunk_bytes=GOLDEN_CHUNK_BYTES
             )
+            mixed_container = engine.compress_chunked(
+                golden_mixed_field(), GOLDEN_EB, "abs",
+                chunk_bytes=GOLDEN_CHUNK_BYTES, plan="auto",
+            )
 
-            async def exchange(method: str, target: str, body: bytes = b"") -> None:
+            async def exchange(
+                sink: list[bytes], method: str, target: str, body: bytes = b""
+            ) -> None:
                 wire_req = render_request(method, target, body=body)
                 reader = asyncio.StreamReader()
                 reader.feed_data(wire_req)
@@ -285,7 +307,7 @@ def build_golden_serve() -> dict[str, bytes]:
                 response = await app.handle(request)
                 writer = _CaptureWriter()
                 await write_response(writer, response)
-                parts.append(
+                sink.append(
                     b"=== request " + f"{method} {target}".encode() + b" ===\n"
                     + wire_req
                     + b"\n=== response ===\n"
@@ -293,18 +315,28 @@ def build_golden_serve() -> dict[str, bytes]:
                     + b"\n"
                 )
 
-            await exchange("GET", "/healthz")
+            await exchange(parts, "GET", "/healthz")
             await exchange(
+                parts,
                 "POST",
                 f"/v1/compress?shape={GOLDEN_SHAPE[0]},{GOLDEN_SHAPE[1]}"
                 f"&eb={GOLDEN_EB!r}&mode=abs&chunk_bytes={GOLDEN_CHUNK_BYTES}",
                 data.tobytes(),
             )
-            await exchange("POST", "/v1/decompress", container)
-            await exchange("POST", "/v1/info", container)
+            await exchange(parts, "POST", "/v1/decompress", container)
+            await exchange(parts, "POST", "/v1/info", container)
+            # the ROI wire exchange pins the streamed-tile chunked framing
+            # and the X-Repro-Slab / X-Repro-Shape response headers
+            await exchange(
+                roi_parts,
+                "POST",
+                f"/v1/decompress?slab={GOLDEN_ROI_SLAB}",
+                mixed_container,
+            )
             metrics = to_prometheus(recorder.snapshot()).encode()
         return {
             "golden_serve_exchange.http": b"".join(parts),
+            "golden_roi_request.http": b"".join(roi_parts),
             "golden_serve_metrics.txt": metrics,
         }
 

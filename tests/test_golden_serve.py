@@ -49,9 +49,37 @@ def test_exchange_fixture_carries_the_golden_container(stored):
 
 
 def test_exchange_fixture_has_no_nondeterministic_headers(stored):
-    text = stored["golden_serve_exchange.http"]
-    for banned in (b"\r\nDate:", b"\r\nServer:", b"\r\nETag:"):
-        assert banned not in text
+    for name in ("golden_serve_exchange.http", "golden_roi_request.http"):
+        text = stored[name]
+        for banned in (b"\r\nDate:", b"\r\nServer:", b"\r\nETag:"):
+            assert banned not in text
+
+
+def test_roi_request_fixture_carries_the_golden_slab(stored):
+    """The ROI wire fixture streams exactly golden_roi_slab.bin back.
+
+    The response is chunked per segment tile, so the slab bytes appear in
+    the reply with chunk framing interleaved — strip it and byte-compare.
+    """
+    from tests.golden_support import GOLDEN_ROI_SLAB
+
+    text = stored["golden_roi_request.http"]
+    slab = (GOLDEN_DIR / "golden_roi_slab.bin").read_bytes()
+    assert f"/v1/decompress?slab={GOLDEN_ROI_SLAB}".encode() in text
+    assert b"X-Repro-Slab: 10:42,6:34" in text
+    assert b"X-Repro-Shape: 32,28" in text
+    assert b"Transfer-Encoding: chunked" in text
+    body = text.split(b"=== response ===\n", 1)[1]
+    head_end = body.index(b"\r\n\r\n") + 4
+    payload, rest = bytearray(), body[head_end:]
+    while True:
+        size_line, rest = rest.split(b"\r\n", 1)
+        size = int(size_line, 16)
+        if size == 0:
+            break
+        payload += rest[:size]
+        rest = rest[size + 2 :]  # skip the chunk's trailing CRLF
+    assert bytes(payload) == slab
 
 
 def test_metrics_fixture_covers_the_serve_catalog(stored):

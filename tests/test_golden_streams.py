@@ -18,6 +18,7 @@ from tests.golden_support import (
     GOLDEN_CHUNK_BYTES,
     GOLDEN_DIR,
     GOLDEN_EB,
+    GOLDEN_ROI_SLAB,
     GOLDEN_SHAPE,
     build_golden,
     golden_field,
@@ -191,6 +192,25 @@ def test_salvage_fixture_recovers_everything_else(stored):
     assert (report.summary() + "\n").encode() == stored[
         "golden_salvage_report.txt"
     ]
+
+
+def test_roi_slab_fixture_is_the_sliced_full_decode(stored):
+    """The pinned ROI bytes equal both a fresh partial decode and the oracle.
+
+    ``golden_roi_slab.bin`` is the raw float32 slab ``GOLDEN_ROI_SLAB`` of
+    the mixed container — crossing the constant, interp and fast bands —
+    so any drift in partial decode of *any* plan kind shows up here as a
+    byte diff before it is a silent wrong answer for a reader.
+    """
+    from repro.roi import resolve_slab
+
+    blob = stored["golden_container_mixed.fz"]
+    with Engine() as engine:
+        roi = engine.decompress_roi(blob, GOLDEN_ROI_SLAB)
+        full = engine.decompress_chunked(blob)
+    assert roi.tobytes() == stored["golden_roi_slab.bin"]
+    sliced = full[resolve_slab(GOLDEN_ROI_SLAB, full.shape).slices()]
+    assert sliced.tobytes() == stored["golden_roi_slab.bin"]
 
 
 def test_cusz_fixtures_decode_identically(stored):

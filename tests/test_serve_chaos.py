@@ -66,6 +66,40 @@ def test_faults_absorbed_server_side(plan, clean_blob):
     assert blob == expected  # recovery changes wall-clock, never bytes
 
 
+@pytest.mark.parametrize(
+    "plan",
+    ["transient_error:p=0.4,seed=7", "worker_crash:at=1,times=2"],
+    ids=["transient", "crash-retried"],
+)
+def test_faults_absorbed_over_shm_transport(plan, clean_blob):
+    """The zero-copy transport leg: same contract, shm descriptors in play.
+
+    Recovery re-runs tasks whose shm leases were already retired; the
+    client must still see one clean 200 with byte-identical output, and
+    the worker pool must not leak segments across the retries.
+    """
+    from repro.utils.pool import shm_available
+
+    if not shm_available():
+        pytest.skip("POSIX shared memory unavailable")
+    data, expected = clean_blob
+    with faults.installed(faults.FaultPlan.parse(plan)):
+        with live_server(
+            jobs=2, pool="process", transport="shm", retries=3, **FAST
+        ) as (srv, app, engine):
+            status, _, blob = http_compress(srv.address, data, 1e-3)
+            assert status == 200
+            assert blob == expected
+            # the round trip survives the same fault plan over shm too
+            status, headers, raw = request(
+                srv.address, "POST", "/v1/decompress", blob
+            )
+    assert status == 200
+    shape = tuple(int(n) for n in headers["x-repro-shape"].split(","))
+    out = np.frombuffer(raw, "<f4").reshape(shape)
+    assert np.allclose(out, data, atol=2e-3 * np.ptp(data))
+
+
 def test_exhausted_retries_surface_structured_5xx(clean_blob):
     data, expected = clean_blob
     with live_server(jobs=2, pool="thread", retries=1, **FAST) as (
